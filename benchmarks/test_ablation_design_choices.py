@@ -1,0 +1,105 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+These go beyond the paper's own tables: they quantify the contribution of
+individual design decisions of the prototype.
+
+* **Multi-instance scaling** (the "future architecture" of Figure 3a): how
+  much does adding TRS/DCT instances help once the single-instance pipeline
+  saturates?
+* **Communication cost**: how sensitive is the full-system speedup to the
+  AXI message latency (the paper's "main lesson" about data exchange)?
+* **Ready-queue policy**: FIFO vs LIFO outside the Lu corner case.
+* **In-flight window**: how the 256-entry TM compares against smaller
+  windows for a fine-grained workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.registry import build_benchmark
+from repro.core.config import DMDesign, PicosConfig
+from repro.core.scheduler import SchedulingPolicy
+from repro.sim.hil import HILMode, HILSimulator
+
+from conftest import run_once
+
+
+def _speedup(program, config, workers=12, mode=HILMode.HW_ONLY, policy=SchedulingPolicy.FIFO):
+    return HILSimulator(
+        program, config=config, mode=mode, num_workers=workers, policy=policy
+    ).run().speedup
+
+
+def test_ablation_multi_instance_scaling(benchmark, bench_problem_size):
+    """More TRS/DCT instances never hurt and help once one DCT saturates."""
+    program = build_benchmark("cholesky", 32, problem_size=bench_problem_size)
+
+    def run():
+        speedups = {}
+        for instances in (1, 2, 4):
+            config = PicosConfig(num_trs=instances, num_dct=instances)
+            speedups[instances] = _speedup(program, config, workers=24)
+        return speedups
+
+    speedups = run_once(benchmark, run)
+    assert speedups[2] >= 0.95 * speedups[1]
+    assert speedups[4] >= 0.95 * speedups[2]
+
+
+def test_ablation_communication_latency(benchmark, bench_problem_size):
+    """Full-system speedup degrades as the AXI message cost grows (the
+    paper's lesson about the data-exchange path).  The effect only matters
+    for fine-grained tasks, so the finest Cholesky granularity is used."""
+    program = build_benchmark("cholesky", 32, problem_size=bench_problem_size)
+
+    def run():
+        speedups = {}
+        for comm in (50, 247, 1000):
+            config = replace(PicosConfig(), comm_cycles=comm)
+            speedups[comm] = _speedup(
+                program, config, workers=12, mode=HILMode.FULL_SYSTEM
+            )
+        return speedups
+
+    speedups = run_once(benchmark, run)
+    assert speedups[50] >= speedups[247] >= speedups[1000]
+    assert speedups[50] > 1.3 * speedups[1000]
+
+
+def test_ablation_ready_queue_policy(benchmark, bench_problem_size):
+    """Outside the Lu corner case the policy barely matters; for Lu it does."""
+    cholesky = build_benchmark("cholesky", 64, problem_size=bench_problem_size)
+    lu = build_benchmark("lu", 32, problem_size=bench_problem_size)
+    config = PicosConfig()
+
+    def run():
+        return {
+            "cholesky_fifo": _speedup(cholesky, config, policy=SchedulingPolicy.FIFO),
+            "cholesky_lifo": _speedup(cholesky, config, policy=SchedulingPolicy.LIFO),
+            "lu_fifo": _speedup(lu, config, policy=SchedulingPolicy.FIFO),
+            "lu_lifo": _speedup(lu, config, policy=SchedulingPolicy.LIFO),
+        }
+
+    results = run_once(benchmark, run)
+    assert results["cholesky_lifo"] == pytest.approx(results["cholesky_fifo"], rel=0.25)
+    assert results["lu_lifo"] > results["lu_fifo"]
+
+
+def test_ablation_in_flight_window(benchmark, bench_problem_size):
+    """A larger Task Memory (in-flight window) helps fine-grained workloads;
+    the 256-entry TM of the prototype is comfortably past the knee."""
+    program = build_benchmark("cholesky", 32, problem_size=bench_problem_size)
+
+    def run():
+        speedups = {}
+        for entries in (8, 64, 256):
+            config = replace(PicosConfig(), tm_entries=entries)
+            speedups[entries] = _speedup(program, config, workers=16)
+        return speedups
+
+    speedups = run_once(benchmark, run)
+    assert speedups[64] >= speedups[8]
+    assert speedups[256] >= 0.98 * speedups[64]

@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 1 (speedup vs task granularity, Nanos++).
+
+Paper claim reproduced: with the software-only runtime on 12 cores, the
+speedup of every application first rises as the block size shrinks (more
+parallelism) and then collapses once the runtime overhead rivals the task
+duration.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig01_granularity
+
+from conftest import run_once
+
+
+def test_fig01_granularity_curves(benchmark, bench_problem_size):
+    sweeps = {
+        "heat": (256, 128, 64, 32),
+        "cholesky": (256, 128, 64, 32),
+        "lu": (256, 128, 64, 32, 16, 8),
+        "sparselu": (256, 128, 64, 32),
+    }
+    results = run_once(
+        benchmark,
+        fig01_granularity.run_fig01,
+        problem_size=bench_problem_size,
+        sweeps=sweeps,
+    )
+
+    # Every curve rises and then falls: the finest granularity is never the
+    # best, and it is strictly worse than the peak.
+    for name, curve in results.items():
+        peak = fig01_granularity.peak_block_size(curve)
+        finest = min(curve)
+        assert peak != finest, name
+        assert curve[finest] < curve[peak], name
+
+    # The collapse is severe for the stencil and Cholesky (the paper's
+    # motivating observation: 12-core speedup drops to low single digits).
+    assert results["heat"][32] < 4.0
+    assert results["cholesky"][32] < 4.0

@@ -1,0 +1,60 @@
+"""Benchmark: regenerate Figure 8 (speedup of the three DM designs, HW-only).
+
+Paper claims reproduced:
+
+* for the wavefront benchmarks (Heat, Cholesky) the direct-hash designs do
+  not scale while the Pearson design does;
+* for Lu/SparseLu all designs benefit from smaller blocks, with 16-way and
+  Pearson close to the top;
+* Lu remains the corner case where 16-way can edge out Pearson (Figure 9).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig08_dm_designs
+
+from conftest import run_once
+
+BENCHMARKS = (
+    ("heat", 64),
+    ("heat", 32),
+    ("cholesky", 64),
+    ("cholesky", 32),
+    ("lu", 64),
+    ("lu", 32),
+    ("sparselu", 128),
+    ("sparselu", 64),
+)
+
+
+def test_fig08_dm_design_speedups(benchmark, bench_problem_size):
+    results = run_once(
+        benchmark,
+        fig08_dm_designs.run_fig08,
+        benchmarks=BENCHMARKS,
+        worker_counts=(2, 4, 8, 12),
+        problem_size=bench_problem_size,
+    )
+
+    pearson, way8, way16 = "DM P+8way", "DM 8way", "DM 16way"
+
+    # Heat: Pearson scales from 2 to 12 workers, the direct-hash designs
+    # stay flat (Figure 8, first row).
+    for block in (64, 32):
+        per_design = results[("heat", block)]
+        assert per_design[pearson][12] > 2.0 * per_design[way8][12]
+        assert per_design[pearson][12] > 1.5 * per_design[pearson][2]
+        assert per_design[way8][12] < 2.0
+
+    # Cholesky: Pearson is the best design at 12 workers.
+    for block in (64, 32):
+        per_design = results[("cholesky", block)]
+        assert max(per_design, key=lambda d: per_design[d][12]) == pearson
+
+    # Lu / SparseLu: every design improves with the finer block size
+    # (Figure 8, second row), and 16-way is competitive with Pearson.
+    for bench in ("lu", "sparselu"):
+        coarse, fine = [b for (n, b) in BENCHMARKS if n == bench]
+        for design in (way16, pearson):
+            assert results[(bench, fine)][design][12] >= results[(bench, coarse)][design][12] * 0.9
+        assert results[(bench, fine)][way16][12] > 0.6 * results[(bench, fine)][pearson][12]

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 9 (the Lu corner case and its remedies).
+
+Paper claims reproduced: with the original Lu creation order and a FIFO
+ready queue, the conflict-free Pearson design can lose to the 16-way design
+because consumers are woken last-first and the critical panel task is
+delayed; reversing the panel creation order (MLu) or switching the Task
+Scheduler to LIFO restores the Pearson advantage.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig09_lu_corner
+
+from conftest import run_once
+
+
+def test_fig09_lu_corner_case(benchmark, bench_problem_size):
+    results = run_once(
+        benchmark,
+        fig09_lu_corner.run_fig09,
+        block_sizes=(32, 16),
+        problem_size=bench_problem_size,
+    )
+
+    pearson = "DM P+8way"
+    way16 = "DM 16way"
+
+    # Either fix makes Pearson the best design everywhere.
+    assert fig09_lu_corner.pearson_recovers(results)
+
+    for block in (32, 16):
+        original = results["lu-fifo"][block][pearson]
+        # Both remedies improve the Pearson speedup over the original order.
+        assert results["mlu-fifo"][block][pearson] > original
+        assert results["lu-lifo"][block][pearson] > original
+
+    # The corner case itself: with the original creation order the 16-way
+    # design is at least competitive with Pearson (the paper measures it
+    # ahead) at the finest block size.
+    assert results["lu-fifo"][16][way16] >= 0.95 * results["lu-fifo"][16][pearson]

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 10 (Nanos++ per-task overheads).
+
+Paper claims reproduced: task creation cost is essentially independent of
+the number of dependences; submission cost grows with the number of
+dependences and, through contention, with the number of threads, reaching
+tens of thousands of cycles per task at 12 threads.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_nanos_overhead
+from repro.runtime.overhead import NanosOverheadModel
+
+from conftest import run_once
+
+
+def test_fig10_overhead_curves(benchmark):
+    curves = run_once(benchmark, fig10_nanos_overhead.run_fig10)
+    threads = list(fig10_nanos_overhead.FIG10_THREADS)
+    twelve = threads.index(12)
+    one = threads.index(1)
+
+    # Creation is flat-ish; submission grows with dependences and threads.
+    assert curves["creation"][twelve] < 2.0 * curves["creation"][one]
+    assert curves["15 DEPs"][one] > curves["1 DEPs"][one]
+    assert curves["5 DEPs"][twelve] > 3.0 * curves["5 DEPs"][one]
+
+    # At 12 threads the total per-task overhead reaches the tens of
+    # thousands of cycles that explain the Figure 1 collapse.
+    model = NanosOverheadModel()
+    assert model.creation_and_submission(5, 12) > 20_000

@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Table II (#DM conflicts per design).
+
+Paper claim reproduced: the direct-hash designs suffer hundreds to
+thousands of conflicts on the block-aligned real benchmarks (8-way >=
+16-way), while the Pearson design removes essentially all of them.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2_dm_conflicts
+
+from conftest import run_once
+
+BENCHMARKS = (
+    ("heat", 128),
+    ("heat", 64),
+    ("sparselu", 128),
+    ("sparselu", 64),
+    ("lu", 64),
+    ("lu", 32),
+    ("cholesky", 128),
+    ("cholesky", 64),
+)
+
+
+def test_table2_dm_conflicts(benchmark, bench_problem_size):
+    results = run_once(
+        benchmark,
+        table2_dm_conflicts.run_table2,
+        benchmarks=BENCHMARKS,
+        problem_size=bench_problem_size,
+    )
+
+    way8, way16, pearson = "DM 8way", "DM 16way", "DM P+8way"
+
+    # Pearson hashing removes (essentially) every conflict.
+    assert table2_dm_conflicts.pearson_is_conflict_free(results)
+
+    for key, per_design in results.items():
+        # Higher associativity never increases conflicts.
+        assert per_design[way8] >= per_design[way16]
+        # And the direct-hash designs always conflict far more than Pearson.
+        assert per_design[way8] > 10 * max(1, per_design[pearson]), key
+
+    # The fine-grained points show the large absolute counts of Table II.
+    assert results[("heat", 64)][way8] > 100
+    assert results[("lu", 32)][way8] > 100

@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Table III (hardware resource consumption).
+
+Paper claims reproduced: the full Picos design uses a small fraction of the
+XC7Z020 (around 6% of the LUTs and under 20% of the BRAM); the 16-way DM
+roughly doubles the BRAM of the 8-way designs; the Pearson design costs
+almost the same as the plain 8-way one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table3_resources
+from repro.hardware.resources import PAPER_TABLE3
+
+from conftest import run_once
+
+
+def test_table3_resource_model(benchmark):
+    rows = run_once(benchmark, table3_resources.run_table3)
+    by_component = {row["component"]: row["model"] for row in rows}
+
+    # The full design fits comfortably on the device.
+    assert table3_resources.full_design_fits()
+    full = by_component["Full Picos (DM P+8way)"]
+    assert full["LUTs"] < 10.0
+    assert full["BRAM"] < 25.0
+
+    # Design ordering of the DM variants matches Table III.
+    assert by_component["DM 16way"]["BRAM"] > 1.6 * by_component["DM 8way"]["BRAM"]
+    assert by_component["DM P+8way"]["BRAM"] == pytest.approx(
+        by_component["DM 8way"]["BRAM"], rel=0.25
+    )
+    assert by_component["DM 16way"]["LUTs"] > by_component["DM P+8way"]["LUTs"]
+
+    # Every modelled row is within a few points of the paper's percentages.
+    for component, paper in PAPER_TABLE3.items():
+        model = by_component[component]
+        assert abs(model["LUTs"] - paper["LUTs"]) < 1.0, component
+        assert abs(model["BRAM"] - paper["BRAM"]) < 3.0, component
+
+    # The what-if 32-way row the paper argues against: double the memory.
+    what_if = table3_resources.what_if_32way()
+    assert what_if["dm32_bram_pct"] > 1.9 * what_if["dm16_bram_pct"]

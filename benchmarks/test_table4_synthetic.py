@@ -1,0 +1,49 @@
+"""Benchmark: regenerate Table IV (latency / throughput on synthetic cases).
+
+Paper claims reproduced (HW-only mode): the first-task latency grows with
+its dependence count (45 cycles for none, ~312 for fifteen); per-task
+throughput is 15-24 cycles for tasks with at most one dependence and ~16-19
+cycles per additional dependence; the HW+comm and Full-system modes are
+dominated by the ~740-cycle communication loop and the ~2-3k-cycle Nanos++
+creation/submission cost respectively.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table4_synthetic
+
+from conftest import run_once
+
+
+def test_table4_synthetic_capacity(benchmark):
+    results = run_once(benchmark, table4_synthetic.run_table4)
+
+    # HW-only: latency and throughput of the hardware pipeline itself.
+    hw = results["hw-only"]
+    assert hw["case1"]["L1st"] == pytest.approx(45, abs=3)
+    assert hw["case2"]["L1st"] == pytest.approx(73, abs=3)
+    assert hw["case3"]["L1st"] == pytest.approx(312, abs=15)
+    assert hw["case1"]["thrTask"] == pytest.approx(15, abs=2)
+    assert hw["case2"]["thrTask"] == pytest.approx(24, abs=2)
+    assert hw["case3"]["thrTask"] == pytest.approx(243, rel=0.1)
+    assert hw["case7"]["thrTask"] == pytest.approx(178, rel=0.1)
+    # Per-dependence throughput stays in the 16-24 cycle band.
+    for case in ("case2", "case3", "case4", "case5", "case6", "case7"):
+        assert 14 <= hw[case]["thrDep"] <= 26
+
+    # HW+comm: the AXI loop (~3 x ~250 cycles) dominates per-task cost.
+    comm = results["hw-comm"]
+    for case in ("case1", "case2", "case3", "case5", "case6"):
+        assert comm[case]["thrTask"] == pytest.approx(740, rel=0.05)
+
+    # Full-system: Nanos++ creation/submission dominates; key cells within
+    # a few percent of the paper.
+    full = results["full-system"]
+    for case, expected in (("case1", 2729), ("case2", 3125), ("case3", 3413), ("case7", 3379)):
+        assert full[case]["thrTask"] == pytest.approx(expected, rel=0.05)
+
+    # Mode ordering holds for every case.
+    for case in hw:
+        assert hw[case]["thrTask"] < comm[case]["thrTask"] < full[case]["thrTask"]

@@ -1,0 +1,13 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+the package can be installed in editable mode in offline environments where
+the ``wheel`` package (required by the PEP 660 editable path of older
+setuptools releases) is unavailable::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Metrics and report rendering.
+
+:mod:`repro.analysis.speedup` provides the speedup / scalability helpers the
+experiment drivers share, and :mod:`repro.analysis.report` renders fixed-
+width tables and ASCII series so every table and figure of the paper can be
+regenerated on a terminal.
+"""
+
+from repro.analysis.speedup import (
+    ScalabilityCurve,
+    crossover_block_size,
+    geometric_mean,
+    relative_improvement,
+)
+from repro.analysis.report import Table, render_series, render_table
+
+__all__ = [
+    "ScalabilityCurve",
+    "crossover_block_size",
+    "geometric_mean",
+    "relative_improvement",
+    "Table",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,123 @@
+"""Plain-text rendering of tables and figure series.
+
+The experiment drivers print their results as fixed-width tables (for the
+paper's tables) and labelled numeric series (for the paper's figures); this
+module provides those renderers so every driver produces uniform,
+diff-friendly output that EXPERIMENTS.md can quote directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.2e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-aligned table."""
+
+    headers: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    title: str = ""
+    precision: int = 2
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row; the cell count must match the header count."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        """Render the table as fixed-width text."""
+        formatted_rows = [
+            [_format_cell(cell, self.precision) for cell in row] for row in self.rows
+        ]
+        widths = [len(header) for header in self.headers]
+        for row in formatted_rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header_line = "  ".join(
+            header.ljust(widths[index]) for index, header in enumerate(self.headers)
+        )
+        lines.append(header_line)
+        lines.append("  ".join("-" * width for width in widths))
+        for row in formatted_rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """One-shot helper building and rendering a :class:`Table`."""
+    table = Table(headers=list(headers), title=title, precision=precision)
+    for row in rows:
+        table.add_row(*row)
+    return table.render()
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[Cell],
+    series: Dict[str, Sequence[float]],
+    precision: int = 2,
+) -> str:
+    """Render a figure-style family of curves as a table.
+
+    ``series`` maps a curve label to its y-values, one per ``x_values``
+    entry; this is how the figure drivers print the curves of Figures 1, 8,
+    9, 10 and 11 in a terminal-friendly form.
+    """
+    headers = [x_label] + list(series)
+    rows: List[List[Cell]] = []
+    for index, x_value in enumerate(x_values):
+        row: List[Cell] = [x_value]
+        for label in series:
+            values = series[label]
+            row.append(values[index] if index < len(values) else "")
+        rows.append(row)
+    return render_table(headers, rows, title=title, precision=precision)
+
+
+def render_bar_chart(
+    title: str,
+    values: Dict[str, float],
+    width: int = 40,
+    precision: int = 2,
+) -> str:
+    """Render a simple horizontal ASCII bar chart (used by examples)."""
+    if not values:
+        return title
+    peak = max(values.values())
+    lines = [title] if title else []
+    label_width = max(len(label) for label in values)
+    for label, value in values.items():
+        bar_length = 0 if peak <= 0 else int(round(width * value / peak))
+        bar = "#" * bar_length
+        lines.append(
+            f"{label.ljust(label_width)}  {bar} {_format_cell(value, precision)}"
+        )
+    return "\n".join(lines)

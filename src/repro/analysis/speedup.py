@@ -1,0 +1,114 @@
+"""Speedup and scalability metrics shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of a sequence of positive values."""
+    filtered = [value for value in values if value > 0]
+    if not filtered:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in filtered) / len(filtered))
+
+
+def relative_improvement(candidate: float, baseline: float) -> float:
+    """``candidate / baseline`` guarded against a zero baseline."""
+    if baseline <= 0:
+        return float("inf") if candidate > 0 else 0.0
+    return candidate / baseline
+
+
+@dataclass
+class ScalabilityCurve:
+    """Speedup as a function of the number of workers for one configuration."""
+
+    label: str
+    #: Mapping of worker count to speedup.
+    points: Dict[int, float] = field(default_factory=dict)
+
+    def add(self, workers: int, speedup: float) -> None:
+        """Record one point of the curve."""
+        self.points[workers] = speedup
+
+    def worker_counts(self) -> List[int]:
+        """Worker counts of the curve, ascending."""
+        return sorted(self.points)
+
+    def speedups(self) -> List[float]:
+        """Speedups of the curve, in worker-count order."""
+        return [self.points[w] for w in self.worker_counts()]
+
+    def peak(self) -> Tuple[int, float]:
+        """(workers, speedup) of the best point of the curve."""
+        if not self.points:
+            return (0, 0.0)
+        best = max(self.points.items(), key=lambda item: item[1])
+        return best
+
+    def saturation_workers(self, tolerance: float = 0.05) -> int:
+        """Smallest worker count within ``tolerance`` of the peak speedup.
+
+        This is the quantity the paper uses informally when it says the
+        software runtime "scales up to 8 workers maximum" while the
+        prototype "continues to scale to 24 workers".
+        """
+        if not self.points:
+            return 0
+        _, peak = self.peak()
+        for workers in self.worker_counts():
+            if self.points[workers] >= peak * (1.0 - tolerance):
+                return workers
+        return self.worker_counts()[-1]
+
+    def dominates(self, other: "ScalabilityCurve", from_workers: int = 1) -> bool:
+        """Whether this curve is at least as fast as ``other`` everywhere.
+
+        Only worker counts present in both curves and ``>= from_workers``
+        are compared.
+        """
+        common = [
+            workers
+            for workers in self.points
+            if workers in other.points and workers >= from_workers
+        ]
+        if not common:
+            return False
+        return all(self.points[w] >= other.points[w] for w in common)
+
+
+def crossover_block_size(
+    speedups_by_block: Dict[int, float], baseline_by_block: Dict[int, float]
+) -> Optional[int]:
+    """Largest block size at which the candidate starts beating the baseline.
+
+    The paper's headline claim is that as granularity decreases the hardware
+    keeps scaling while the software collapses; this helper finds the block
+    size (iterating from coarse to fine) at which the candidate first wins,
+    or ``None`` if it never does.
+    """
+    for block_size in sorted(set(speedups_by_block) & set(baseline_by_block), reverse=True):
+        if speedups_by_block[block_size] > baseline_by_block[block_size]:
+            return block_size
+    return None
+
+
+def speedup_ratio_summary(
+    candidate: Dict[int, float], baseline: Dict[int, float]
+) -> Dict[str, float]:
+    """Geometric-mean, min and max ratio between two speedup maps."""
+    ratios = [
+        relative_improvement(candidate[key], baseline[key])
+        for key in sorted(set(candidate) & set(baseline))
+        if baseline[key] > 0
+    ]
+    if not ratios:
+        return {"geomean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "geomean": geometric_mean(ratios),
+        "min": min(ratios),
+        "max": max(ratios),
+    }

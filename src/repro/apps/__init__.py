@@ -1,0 +1,44 @@
+"""Task-graph generators for the real applications of the paper.
+
+The five applications of Section IV-C are reproduced as generators that
+build the exact inter-task dependence structure the OmpSs versions create
+(the structure is what the Picos hardware and the Nanos++ runtime manage):
+
+* :mod:`repro.apps.heat` -- blocked Gauss-Seidel heat diffusion sweep;
+* :mod:`repro.apps.lu` -- blocked LU factorisation (plus the *Modified Lu*
+  creation order of Figure 9);
+* :mod:`repro.apps.sparselu` -- blocked LU over a sparse block matrix;
+* :mod:`repro.apps.cholesky` -- blocked Cholesky factorisation;
+* :mod:`repro.apps.h264dec` -- H.264 macroblock wavefront decoding.
+
+:mod:`repro.apps.registry` maps benchmark names and block sizes to
+generators and carries the Table I calibration data (task counts,
+dependence ranges, average task sizes and sequential execution times).
+"""
+
+from repro.apps.registry import (
+    PAPER_BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_names,
+    build_benchmark,
+    table1_reference,
+)
+from repro.apps.heat import heat_program
+from repro.apps.lu import lu_program, modified_lu_program
+from repro.apps.sparselu import sparselu_program
+from repro.apps.cholesky import cholesky_program
+from repro.apps.h264dec import h264dec_program
+
+__all__ = [
+    "PAPER_BENCHMARKS",
+    "BenchmarkSpec",
+    "benchmark_names",
+    "build_benchmark",
+    "table1_reference",
+    "heat_program",
+    "lu_program",
+    "modified_lu_program",
+    "sparselu_program",
+    "cholesky_program",
+    "h264dec_program",
+]

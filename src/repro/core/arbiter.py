@@ -1,0 +1,63 @@
+"""Arbiter (ARB): routing of TRS <-> DCT traffic.
+
+With a single TRS and a single DCT (the prototype of Figure 3b) the Arbiter
+degenerates into a pass-through, but the future architecture of Figure 3a
+scales by instantiating N TRSs and N DCTs; the Arbiter then decides which
+DCT tracks which dependence address and which TRS receives each
+notification.  The policy implemented here matches the natural hardware
+choice: dependences are distributed over DCT instances by address hash (so
+one address is always tracked by the same DCT), and notifications are routed
+to the TRS instance encoded in the target slot reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.hashing import pearson_fold
+from repro.core.packets import TaskSlotRef
+
+
+class Arbiter:
+    """Routes packets between TRS and DCT instances and counts traffic."""
+
+    def __init__(self, num_trs: int, num_dct: int) -> None:
+        if num_trs < 1 or num_dct < 1:
+            raise ValueError("the Arbiter needs at least one TRS and one DCT")
+        self.num_trs = num_trs
+        self.num_dct = num_dct
+        self.messages_to_trs = 0
+        self.messages_to_dct = 0
+        self._per_dct_load: Dict[int, int] = {i: 0 for i in range(num_dct)}
+
+    # ------------------------------------------------------------------
+    # routing decisions
+    # ------------------------------------------------------------------
+    def dct_for_address(self, address: int) -> int:
+        """DCT instance responsible for tracking ``address``.
+
+        The mapping must be a pure function of the address so every access
+        to the same data is matched by the same DCT; a Pearson fold keeps
+        the distribution balanced even for block-aligned address streams.
+        """
+        if self.num_dct == 1:
+            index = 0
+        else:
+            index = pearson_fold(address) % self.num_dct
+        self._per_dct_load[index] += 1
+        self.messages_to_dct += 1
+        return index
+
+    def trs_for_slot(self, slot: TaskSlotRef) -> int:
+        """TRS instance that owns the task referenced by ``slot``."""
+        if not 0 <= slot.trs_id < self.num_trs:
+            raise ValueError(f"slot references unknown TRS instance {slot.trs_id}")
+        self.messages_to_trs += 1
+        return slot.trs_id
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def dct_load(self) -> Dict[int, int]:
+        """Number of dependence packets routed to each DCT instance."""
+        return dict(self._per_dct_load)

@@ -1,0 +1,300 @@
+"""Dependence Chain Tracker (DCT).
+
+The DCT is the major dependence-management unit of Picos (Section III-A).
+It owns one Dependence Memory (DM) and one Version Memory (VM) and
+implements the two halves of the operational flow of Section III-B:
+
+new-dependence processing (N5)
+    For each dependence of a new task the DCT performs a DM compare.  A miss
+    allocates a DM way and a VM version and answers *ready*; a hit attaches
+    the dependence to the live version chain of the address and answers
+    *ready* or *dependent* depending on whether earlier accesses are still
+    pending.
+
+finish processing (F4)
+    For each dependence of a finished task the DCT updates the version the
+    dependence belonged to, wakes the consumer chain (from the *last*
+    consumer) or the next producer version when appropriate, and recycles VM
+    and DM entries once a version chain is completely finished.
+
+Structural hazards -- a full DM set (conflict) or a full VM -- are reported
+through :class:`DctStall` so the Gateway can hold the new task, exactly like
+the prototype stalls its pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import PicosConfig
+from repro.core.dependence_memory import DependenceMemory
+from repro.core.packets import (
+    DependencePacket,
+    DependentPacket,
+    FinishPacket,
+    ReadyPacket,
+    TaskSlotRef,
+)
+from repro.core.stats import PicosStats
+from repro.core.version_memory import VersionMemory
+from repro.runtime.task import Direction
+
+
+class StallReason(enum.Enum):
+    """Why the DCT could not store a new dependence."""
+
+    DM_CONFLICT = "dm-conflict"
+    VM_FULL = "vm-full"
+    TM_FULL = "tm-full"
+
+
+class DctStall(Exception):
+    """Raised when a new dependence cannot be stored right now."""
+
+    def __init__(self, reason: StallReason, address: int) -> None:
+        super().__init__(f"DCT stall ({reason.value}) on address {address:#x}")
+        self.reason = reason
+        self.address = address
+
+
+@dataclass
+class DependenceOutcome:
+    """Result of processing one new dependence."""
+
+    #: ``True`` when the dependence is immediately ready.
+    ready: bool
+    #: VM entry (version) the dependence was attached to.
+    vm_index: int
+    #: Consumer-chain predecessor to store in the TMX (waiting consumers only).
+    predecessor: Optional[TaskSlotRef] = None
+
+    def to_packet(self, slot: TaskSlotRef):
+        """Render the outcome as the packet the DCT sends to the TRS."""
+        if self.ready:
+            return ReadyPacket(slot=slot, vm_index=self.vm_index)
+        return DependentPacket(
+            slot=slot, vm_index=self.vm_index, predecessor=self.predecessor
+        )
+
+
+@dataclass
+class FinishOutcome:
+    """Result of processing one dependence-release (finish) packet."""
+
+    #: Wake-ups produced by this release: consumers chains are woken through
+    #: their last consumer; completed versions wake the next producer.
+    wakeups: List[ReadyPacket] = field(default_factory=list)
+    #: Whether a VM entry was recycled.
+    version_released: bool = False
+    #: Whether the DM way of the address was recycled (chain fully finished).
+    address_released: bool = False
+
+
+class DependenceChainTracker:
+    """One DCT instance: DM + VM plus the chain-tracking control logic."""
+
+    def __init__(
+        self,
+        dct_id: int,
+        config: PicosConfig,
+        stats: Optional[PicosStats] = None,
+    ) -> None:
+        self.dct_id = dct_id
+        self.config = config
+        self.stats = stats if stats is not None else PicosStats()
+        self.dm = DependenceMemory(config.dm_design, config.dm_sets)
+        self.vm = VersionMemory(config.effective_vm_entries)
+        #: Addresses whose insertion is currently blocked on a conflict;
+        #: used to avoid double-counting conflicts across retries.
+        self._blocked_addresses: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # new-dependence path (N5)
+    # ------------------------------------------------------------------
+    def can_accept(self, address: int, direction: Direction) -> bool:
+        """Check whether a dependence on ``address`` could be stored now.
+
+        Used by the Gateway to decide whether to resume a stalled
+        submission without paying for a failed attempt.
+        """
+        lookup = self.dm.lookup(address)
+        if lookup.hit:
+            if direction.writes:
+                return not self.vm.full
+            return True
+        if self.dm.set_is_full(self.dm.set_index(address)):
+            return False
+        return not self.vm.full
+
+    def process_dependence(self, packet: DependencePacket) -> DependenceOutcome:
+        """Handle one new dependence; may raise :class:`DctStall`."""
+        address = packet.address
+        direction = packet.direction
+        slot = packet.slot
+        lookup = self.dm.lookup(address)
+
+        if not lookup.hit:
+            outcome = self._insert_first_access(slot, address, direction)
+        else:
+            assert lookup.way is not None
+            if direction.writes:
+                outcome = self._attach_producer(slot, address, lookup.way)
+            else:
+                outcome = self._attach_consumer(slot, lookup.way)
+
+        self._blocked_addresses.discard(address)
+        self.stats.dependences_processed += 1
+        if outcome.ready:
+            self.stats.ready_packets += 1
+        else:
+            self.stats.dependent_packets += 1
+        self._update_memory_watermarks()
+        return outcome
+
+    def _insert_first_access(
+        self, slot: TaskSlotRef, address: int, direction: Direction
+    ) -> DependenceOutcome:
+        """First live access to an address: allocate DM way + first version."""
+        set_index = self.dm.set_index(address)
+        if self.dm.set_is_full(set_index):
+            self._record_conflict(address)
+            raise DctStall(StallReason.DM_CONFLICT, address)
+        if self.vm.full:
+            self.stats.vm_full_stalls += 1
+            raise DctStall(StallReason.VM_FULL, address)
+        _, way = self.dm.allocate(address, input_only=not direction.writes)
+        version = self.vm.allocate(address)
+        self.stats.dm_allocations += 1
+        self.stats.vm_allocations += 1
+        way.latest_vm_index = version.vm_index
+        way.live_versions = 1
+        way.access_count = 1
+        if direction.writes:
+            version.producer = slot
+        else:
+            version.consumers_arrived = 1
+        # The very first access to an address never waits.
+        return DependenceOutcome(ready=True, vm_index=version.vm_index)
+
+    def _attach_consumer(self, slot: TaskSlotRef, way) -> DependenceOutcome:
+        """A reader joins the latest live version of an address."""
+        assert way.latest_vm_index is not None
+        version = self.vm.entry(way.latest_vm_index)
+        way.access_count += 1
+        version.consumers_arrived += 1
+        if version.readers_ready:
+            # The producer already finished (or never existed): the reader
+            # may execute immediately.
+            return DependenceOutcome(ready=True, vm_index=version.vm_index)
+        predecessor = version.last_consumer
+        version.last_consumer = slot
+        return DependenceOutcome(
+            ready=False, vm_index=version.vm_index, predecessor=predecessor
+        )
+
+    def _attach_producer(self, slot: TaskSlotRef, address: int, way) -> DependenceOutcome:
+        """A writer opens a new version chained after the latest live one."""
+        if self.vm.full:
+            self.stats.vm_full_stalls += 1
+            raise DctStall(StallReason.VM_FULL, address)
+        assert way.latest_vm_index is not None
+        previous = self.vm.entry(way.latest_vm_index)
+        version = self.vm.allocate(address)
+        self.stats.vm_allocations += 1
+        version.producer = slot
+        previous.next_version = version.vm_index
+        way.latest_vm_index = version.vm_index
+        way.live_versions += 1
+        way.input_only = False
+        way.access_count += 1
+        # A writer behind a live version always waits: the previous version
+        # still has unfinished accesses (otherwise it would have been
+        # recycled already) and the hardware honours WAW/WAR ordering.
+        return DependenceOutcome(ready=False, vm_index=version.vm_index)
+
+    def _record_conflict(self, address: int) -> None:
+        """Count a DM conflict the first time an address becomes blocked."""
+        self.dm.conflicts += 1
+        if address not in self._blocked_addresses:
+            self.stats.dm_conflicts += 1
+            self._blocked_addresses.add(address)
+        self.stats.dm_conflict_stall_cycles += self.config.dm_conflict_stall_cycles
+
+    # ------------------------------------------------------------------
+    # finish path (F4)
+    # ------------------------------------------------------------------
+    def process_finish(self, packet: FinishPacket) -> FinishOutcome:
+        """Handle the release of one dependence of a finished task."""
+        outcome = FinishOutcome()
+        version = self.vm.entry(packet.vm_index)
+        self.stats.finish_packets += 1
+
+        is_producer_finish = (
+            version.producer is not None
+            and not version.producer_finished
+            and version.producer == packet.slot
+        )
+        if is_producer_finish:
+            version.producer_finished = True
+            if version.last_consumer is not None:
+                # Wake the consumer chain starting from the last consumer
+                # (link 1 of Figure 5); the TRS walks the chain backwards.
+                outcome.wakeups.append(
+                    ReadyPacket(slot=version.last_consumer, vm_index=version.vm_index)
+                )
+                self.stats.wakeup_packets += 1
+        else:
+            version.consumers_finished += 1
+
+        if version.complete:
+            self._retire_version(version, outcome)
+        return outcome
+
+    def _retire_version(self, version, outcome: FinishOutcome) -> None:
+        """Recycle a completed version, waking the next producer if any."""
+        lookup = self.dm.lookup(version.address)
+        if not lookup.hit or lookup.way is None:
+            raise RuntimeError(
+                f"version {version.vm_index} refers to address "
+                f"{version.address:#x} which is not in the DM"
+            )
+        way = lookup.way
+        if version.next_version is not None:
+            next_version = self.vm.entry(version.next_version)
+            if next_version.producer is None:
+                raise RuntimeError("chained version without a producer")
+            outcome.wakeups.append(
+                ReadyPacket(
+                    slot=next_version.producer, vm_index=next_version.vm_index
+                )
+            )
+            self.stats.wakeup_packets += 1
+        self.vm.release(version.vm_index)
+        outcome.version_released = True
+        way.live_versions -= 1
+        if way.live_versions <= 0:
+            self.dm.release(version.address)
+            outcome.address_released = True
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _update_memory_watermarks(self) -> None:
+        self.stats.dm_high_water = max(self.stats.dm_high_water, self.dm.occupied)
+        self.stats.vm_high_water = max(self.stats.vm_high_water, self.vm.occupied)
+
+    @property
+    def live_addresses(self) -> int:
+        """Number of addresses currently tracked by the DM."""
+        return self.dm.occupied
+
+    @property
+    def live_versions(self) -> int:
+        """Number of versions currently stored in the VM."""
+        return self.vm.occupied
+
+    def is_idle(self) -> bool:
+        """``True`` when no dependence state is live (all chains retired)."""
+        return self.dm.occupied == 0 and self.vm.occupied == 0

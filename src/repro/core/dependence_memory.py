@@ -1,0 +1,190 @@
+"""Dependence Memory (DM): the three cache-like designs of Section III-C.
+
+For each new dependence entering the DCT, the DM performs an address match
+against the dependences that arrived earlier.  Each way of a set stores a
+``valid`` bit, an ``input`` bit (all accesses so far are reads), the address
+``tag`` and a pointer to the Version Memory (the ``data`` of Figure 4) plus
+a live-access counter.
+
+Three designs are modelled, matching the paper:
+
+=============  =====  =============================  ==========
+design         ways   set index                      VM entries
+=============  =====  =============================  ==========
+``DM 8way``    8      LSB 6 bits of the address      512
+``DM 16way``   16     LSB 6 bits of the address      1024
+``DM P+8way``  8      Pearson hash of the address    512
+=============  =====  =============================  ==========
+
+When a new address maps to a set whose ways are all valid with different
+tags, the dependence cannot be stored: this is a *DM conflict* (Table II)
+and the whole new-task pipeline stalls until one of the ways is recycled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import DMDesign
+from repro.core.hashing import index_for
+
+
+class DependenceMemoryConflict(RuntimeError):
+    """Raised when a new address cannot be stored because its set is full."""
+
+    def __init__(self, address: int, set_index: int) -> None:
+        super().__init__(
+            f"DM conflict: address {address:#x} maps to full set {set_index}"
+        )
+        self.address = address
+        self.set_index = set_index
+
+
+@dataclass
+class DMWay:
+    """One way of one DM set."""
+
+    valid: bool = False
+    input_only: bool = True
+    tag: int = 0
+    #: VM index of the most recent live version of this address.
+    latest_vm_index: Optional[int] = None
+    #: Number of live versions of this address (the entry is recycled when
+    #: this drops to zero).
+    live_versions: int = 0
+    #: Total accesses (producer or consumer) recorded since allocation;
+    #: mirrors the "count" field of Figure 4.
+    access_count: int = 0
+
+
+@dataclass
+class DMLookupResult:
+    """Outcome of a DM compare operation."""
+
+    hit: bool
+    set_index: int
+    way_index: Optional[int]
+    way: Optional[DMWay]
+
+
+class DependenceMemory:
+    """A 64-set, N-way, cache-like dependence memory."""
+
+    def __init__(self, design: DMDesign, num_sets: int = 64) -> None:
+        if num_sets < 1:
+            raise ValueError("DM needs at least one set")
+        self.design = design
+        self.num_sets = num_sets
+        self.ways_per_set = design.ways
+        self._sets: List[List[DMWay]] = [
+            [DMWay() for _ in range(self.ways_per_set)] for _ in range(num_sets)
+        ]
+        self.conflicts = 0
+        self.allocations = 0
+        self._occupied = 0
+        self._high_water = 0
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+    def set_index(self, address: int) -> int:
+        """Set index for ``address`` under the configured design."""
+        return index_for(address, self.design.uses_pearson, self.num_sets)
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Total number of addresses the DM can hold."""
+        return self.num_sets * self.ways_per_set
+
+    @property
+    def occupied(self) -> int:
+        """Number of valid ways (distinct live addresses)."""
+        return self._occupied
+
+    @property
+    def high_water(self) -> int:
+        """Maximum simultaneous occupancy observed."""
+        return self._high_water
+
+    def set_is_full(self, set_index: int) -> bool:
+        """Whether every way of ``set_index`` is valid."""
+        return all(way.valid for way in self._sets[set_index])
+
+    # ------------------------------------------------------------------
+    # compare / allocate / release
+    # ------------------------------------------------------------------
+    def lookup(self, address: int) -> DMLookupResult:
+        """DM compare: search the set of ``address`` for a matching tag.
+
+        Way 0 has the highest priority, way N-1 the lowest, as in the
+        priority encoder of Figure 4.
+        """
+        set_index = self.set_index(address)
+        for way_index, way in enumerate(self._sets[set_index]):
+            if way.valid and way.tag == address:
+                return DMLookupResult(True, set_index, way_index, way)
+        return DMLookupResult(False, set_index, None, None)
+
+    def allocate(self, address: int, input_only: bool) -> Tuple[int, DMWay]:
+        """Store a new address in its set (the *New DM address* of Figure 4).
+
+        Returns the ``(way_index, way)`` pair used.  Raises
+        :class:`DependenceMemoryConflict` -- and counts one conflict -- when
+        the set has no free way.
+        """
+        set_index = self.set_index(address)
+        ways = self._sets[set_index]
+        for way_index, way in enumerate(ways):
+            if not way.valid:
+                way.valid = True
+                way.tag = address
+                way.input_only = input_only
+                way.latest_vm_index = None
+                way.live_versions = 0
+                way.access_count = 0
+                self.allocations += 1
+                self._occupied += 1
+                self._high_water = max(self._high_water, self._occupied)
+                return way_index, way
+        self.conflicts += 1
+        raise DependenceMemoryConflict(address, set_index)
+
+    def release(self, address: int) -> None:
+        """Invalidate the way holding ``address`` (all versions finished)."""
+        result = self.lookup(address)
+        if not result.hit or result.way is None:
+            raise KeyError(f"address {address:#x} is not stored in the DM")
+        result.way.valid = False
+        result.way.latest_vm_index = None
+        result.way.live_versions = 0
+        self._occupied -= 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def live_addresses(self) -> List[int]:
+        """Every address currently stored (order: set, then way priority)."""
+        addresses: List[int] = []
+        for ways in self._sets:
+            for way in ways:
+                if way.valid:
+                    addresses.append(way.tag)
+        return addresses
+
+    def set_occupancy_histogram(self) -> Dict[int, int]:
+        """Mapping of set index to the number of valid ways it holds.
+
+        This is the quantity that distinguishes the direct-hash designs from
+        the Pearson design for block-aligned address streams: with the direct
+        hash nearly every address lands in a handful of sets.
+        """
+        histogram: Dict[int, int] = {}
+        for set_index, ways in enumerate(self._sets):
+            valid = sum(1 for way in ways if way.valid)
+            if valid:
+                histogram[set_index] = valid
+        return histogram

@@ -1,0 +1,123 @@
+"""Bounded FIFO queues used for all inter-module communication.
+
+Each control unit of Figure 3b "only relies on the status (empty or full)
+and packets of those FIFOs to ensure asynchronous communications with other
+modules".  The :class:`BoundedFifo` class models exactly that interface:
+push, pop, empty/full status, plus occupancy statistics that the hardware
+counters report.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class FifoFullError(RuntimeError):
+    """Raised when pushing into a full FIFO."""
+
+
+class FifoEmptyError(RuntimeError):
+    """Raised when popping from an empty FIFO."""
+
+
+class BoundedFifo(Generic[T]):
+    """A bounded first-in first-out queue with occupancy accounting.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of in-flight packets; ``None`` means unbounded (used
+        by the behavioural model when the exact FIFO depth is irrelevant).
+    name:
+        Human-readable name used in statistics and error messages.
+    """
+
+    def __init__(self, capacity: Optional[int] = None, name: str = "fifo") -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("FIFO capacity must be at least 1")
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self._total_pushed = 0
+        self._max_occupancy = 0
+
+    # ------------------------------------------------------------------
+    # status signals
+    # ------------------------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        """``True`` when the FIFO holds no packets."""
+        return not self._items
+
+    @property
+    def full(self) -> bool:
+        """``True`` when the FIFO cannot accept another packet."""
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    # ------------------------------------------------------------------
+    # data movement
+    # ------------------------------------------------------------------
+    def push(self, item: T) -> None:
+        """Append ``item``; raises :class:`FifoFullError` when full."""
+        if self.full:
+            raise FifoFullError(f"FIFO {self.name!r} is full (capacity={self.capacity})")
+        self._items.append(item)
+        self._total_pushed += 1
+        if len(self._items) > self._max_occupancy:
+            self._max_occupancy = len(self._items)
+
+    def try_push(self, item: T) -> bool:
+        """Append ``item`` if there is room; return whether it was accepted."""
+        if self.full:
+            return False
+        self.push(item)
+        return True
+
+    def pop(self) -> T:
+        """Remove and return the oldest packet; raises when empty."""
+        if not self._items:
+            raise FifoEmptyError(f"FIFO {self.name!r} is empty")
+        return self._items.popleft()
+
+    def peek(self) -> T:
+        """Return the oldest packet without removing it."""
+        if not self._items:
+            raise FifoEmptyError(f"FIFO {self.name!r} is empty")
+        return self._items[0]
+
+    def drain(self) -> List[T]:
+        """Remove and return every packet, oldest first."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def total_pushed(self) -> int:
+        """Number of packets that have ever entered this FIFO."""
+        return self._total_pushed
+
+    @property
+    def max_occupancy(self) -> int:
+        """High-water mark of the FIFO occupancy."""
+        return self._max_occupancy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BoundedFifo(name={self.name!r}, size={len(self._items)}, "
+            f"capacity={self.capacity})"
+        )

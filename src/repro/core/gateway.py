@@ -1,0 +1,275 @@
+"""Gateway (GW): first interface between the processing cores and Picos.
+
+The GW fetches new tasks and finished-task notifications and dispatches them
+to the TRS and DCT instances (steps N1-N4 and F1-F2 of Section III-B).  Two
+behaviours of the prototype are modelled precisely because they shape the
+performance results:
+
+* when no TRS slot is free, the GW *does not process* the new task: the
+  submission interface stalls until a task retires;
+* when the DCT cannot store a dependence (DM conflict or full VM), the
+  submission pipeline stalls mid-task; the GW keeps the partially-dispatched
+  task and resumes from the blocked dependence once resources free up.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.arbiter import Arbiter
+from repro.core.config import PicosConfig
+from repro.core.dct import DctStall, DependenceChainTracker, StallReason
+from repro.core.packets import (
+    DependencePacket,
+    ExecuteTaskPacket,
+    FinishPacket,
+    FinishedTaskPacket,
+    NewTaskPacket,
+    ReadyPacket,
+)
+from repro.core.stats import PicosStats
+from repro.core.trs import TaskReservationStation
+from repro.runtime.task import Task
+
+
+class GatewayStatus(enum.Enum):
+    """Outcome of a submission attempt at the Gateway."""
+
+    ACCEPTED = "accepted"
+    STALLED = "stalled"
+
+
+@dataclass
+class PendingSubmission:
+    """A task whose dispatch stalled partway through its dependences."""
+
+    task: Task
+    trs_id: int
+    tm_index: int
+    next_dep_index: int
+    reason: StallReason
+    retries: int = 0
+
+
+@dataclass
+class GatewayResult:
+    """What happened when the Gateway processed a new task."""
+
+    status: GatewayStatus
+    task: Task
+    #: Execute packets produced during the dispatch (task became ready).
+    execute: List[ExecuteTaskPacket] = field(default_factory=list)
+    #: Stall reason when ``status`` is ``STALLED``.
+    stall_reason: Optional[StallReason] = None
+    #: Number of dependences dispatched during this attempt.
+    dependences_dispatched: int = 0
+    #: Number of retry attempts consumed so far (for stall-cycle accounting).
+    retries: int = 0
+
+
+class Gateway:
+    """Dispatch engine connecting the cores to the TRS and DCT instances."""
+
+    def __init__(
+        self,
+        config: PicosConfig,
+        trs_instances: Sequence[TaskReservationStation],
+        dct_instances: Sequence[DependenceChainTracker],
+        arbiter: Arbiter,
+        stats: Optional[PicosStats] = None,
+    ) -> None:
+        self.config = config
+        self.trs_instances = list(trs_instances)
+        self.dct_instances = list(dct_instances)
+        self.arbiter = arbiter
+        self.stats = stats if stats is not None else PicosStats()
+        self._next_trs = 0
+        self._pending: Optional[PendingSubmission] = None
+        #: task_id -> (trs_id, tm_index) for in-flight tasks, so finished
+        #: notifications can be routed without a search.
+        self._slot_of_task: Dict[int, Tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    @property
+    def has_pending_submission(self) -> bool:
+        """Whether a new task is stalled partway through its dispatch."""
+        return self._pending is not None
+
+    @property
+    def pending_submission(self) -> Optional[PendingSubmission]:
+        """The stalled submission, if any."""
+        return self._pending
+
+    def in_flight_tasks(self) -> int:
+        """Number of tasks currently tracked across every TRS."""
+        return sum(trs.in_flight for trs in self.trs_instances)
+
+    # ------------------------------------------------------------------
+    # new-task path
+    # ------------------------------------------------------------------
+    def submit(self, task: Task) -> GatewayResult:
+        """Process a new task (N1-N6).
+
+        Only one submission can be in flight at a time (the GW is in-order);
+        a stalled submission must be resumed before the next task enters.
+        """
+        if self._pending is not None:
+            raise RuntimeError(
+                "the Gateway has a stalled submission; call resume() first"
+            )
+        if task.num_dependences > self.config.max_deps_per_task:
+            raise ValueError(
+                f"task {task.task_id} carries {task.num_dependences} dependences; "
+                f"the TMX supports at most {self.config.max_deps_per_task}"
+            )
+        trs_id = self._select_trs()
+        if trs_id is None:
+            self.stats.tm_full_stalls += 1
+            return GatewayResult(
+                status=GatewayStatus.STALLED,
+                task=task,
+                stall_reason=StallReason.TM_FULL,
+            )
+        trs = self.trs_instances[trs_id]
+        packet = NewTaskPacket(
+            task_id=task.task_id,
+            trs_id=trs_id,
+            tm_index=0,  # placeholder, replaced after allocation
+            num_deps=task.num_dependences,
+        )
+        entry, execute = trs.accept_new_task(packet)
+        self._slot_of_task[task.task_id] = (trs_id, entry.tm_index)
+        result = GatewayResult(status=GatewayStatus.ACCEPTED, task=task)
+        if execute is not None:
+            result.execute.append(
+                ExecuteTaskPacket(
+                    task_id=task.task_id, trs_id=trs_id, tm_index=entry.tm_index
+                )
+            )
+            return result
+        return self._dispatch_dependences(task, trs_id, entry.tm_index, 0, result)
+
+    def resume(self) -> GatewayResult:
+        """Retry a stalled submission from the blocked dependence."""
+        if self._pending is None:
+            raise RuntimeError("no stalled submission to resume")
+        pending = self._pending
+        self._pending = None
+        result = GatewayResult(
+            status=GatewayStatus.ACCEPTED,
+            task=pending.task,
+            retries=pending.retries + 1,
+        )
+        return self._dispatch_dependences(
+            pending.task,
+            pending.trs_id,
+            pending.tm_index,
+            pending.next_dep_index,
+            result,
+            retries=pending.retries + 1,
+        )
+
+    def can_resume(self) -> bool:
+        """Whether the blocked dependence of the stalled submission fits now."""
+        if self._pending is None:
+            return False
+        pending = self._pending
+        dep = pending.task.dependences[pending.next_dep_index]
+        dct = self.dct_instances[self._dct_index_for(dep.address)]
+        return dct.can_accept(dep.address, dep.direction)
+
+    def _dispatch_dependences(
+        self,
+        task: Task,
+        trs_id: int,
+        tm_index: int,
+        start_index: int,
+        result: GatewayResult,
+        retries: int = 0,
+    ) -> GatewayResult:
+        """Forward dependences ``start_index``.. to their DCTs (N4/N5)."""
+        trs = self.trs_instances[trs_id]
+        for dep_index in range(start_index, task.num_dependences):
+            dep = task.dependences[dep_index]
+            slot = trs.record_dependence(
+                tm_index, dep_index, dep.address, dep.direction.writes
+            )
+            dct = self.dct_instances[self._dct_index_for(dep.address)]
+            packet = DependencePacket(
+                slot=slot, address=dep.address, direction=dep.direction
+            )
+            try:
+                outcome = dct.process_dependence(packet)
+            except DctStall as stall:
+                # Remove the TMX slot we just reserved so the retry records
+                # it again cleanly.
+                entry = trs.task_memory.entry(tm_index)
+                entry.dep_slots.pop()
+                self._pending = PendingSubmission(
+                    task=task,
+                    trs_id=trs_id,
+                    tm_index=tm_index,
+                    next_dep_index=dep_index,
+                    reason=stall.reason,
+                    retries=retries,
+                )
+                result.status = GatewayStatus.STALLED
+                result.stall_reason = stall.reason
+                return result
+            result.dependences_dispatched += 1
+            response = outcome.to_packet(slot)
+            self.arbiter.trs_for_slot(slot)
+            if isinstance(response, ReadyPacket):
+                ready_result = trs.handle_ready(response)
+                result.execute.extend(ready_result.execute)
+                # A freshly inserted dependence can never chain wake-ups.
+                if ready_result.chained:
+                    raise RuntimeError(
+                        "unexpected chained wake-up during task submission"
+                    )
+            else:
+                trs.handle_dependent(response)
+        return result
+
+    # ------------------------------------------------------------------
+    # finished-task path
+    # ------------------------------------------------------------------
+    def notify_finished(self, task_id: int) -> List[FinishPacket]:
+        """Process a finished-task notification (F1-F3).
+
+        Returns the finish packets the owning TRS emitted towards the DCTs;
+        the caller (the accelerator facade) routes them and collects the
+        wake-ups.
+        """
+        if task_id not in self._slot_of_task:
+            raise KeyError(f"task {task_id} is not in flight")
+        trs_id, tm_index = self._slot_of_task.pop(task_id)
+        trs = self.trs_instances[trs_id]
+        packet = FinishedTaskPacket(task_id=task_id, trs_id=trs_id, tm_index=tm_index)
+        return trs.handle_finished(packet)
+
+    def slot_of(self, task_id: int) -> Tuple[int, int]:
+        """(TRS id, TM index) of an in-flight task."""
+        return self._slot_of_task[task_id]
+
+    # ------------------------------------------------------------------
+    # routing helpers
+    # ------------------------------------------------------------------
+    def _select_trs(self) -> Optional[int]:
+        """Pick the TRS for a new task (round-robin over free instances)."""
+        for offset in range(len(self.trs_instances)):
+            candidate = (self._next_trs + offset) % len(self.trs_instances)
+            if self.trs_instances[candidate].has_free_slot:
+                self._next_trs = (candidate + 1) % len(self.trs_instances)
+                return candidate
+        return None
+
+    def _dct_index_for(self, address: int) -> int:
+        """DCT instance tracking ``address`` (stable address hash)."""
+        if len(self.dct_instances) == 1:
+            return 0
+        return self.arbiter.dct_for_address(address)

@@ -1,0 +1,114 @@
+"""Inter-module packets of the Picos hardware.
+
+Every arrow of Figure 3b is a small fixed-format packet travelling through a
+FIFO.  The dataclasses in this module name those packets after the
+operational-flow steps of Section III-B:
+
+new-task path (N1-N6)
+    :class:`NewTaskPacket` (GW -> TRS), :class:`DependencePacket`
+    (GW -> DCT), :class:`ReadyPacket` and :class:`DependentPacket`
+    (DCT -> TRS, via the Arbiter), :class:`ExecuteTaskPacket` (TRS -> TS).
+
+finished-task path (F1-F4)
+    :class:`FinishedTaskPacket` (GW -> TRS), :class:`FinishPacket`
+    (TRS -> DCT), and again :class:`ReadyPacket` for wake-ups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.runtime.task import Direction
+
+
+@dataclass(frozen=True)
+class TaskSlotRef:
+    """Reference to one dependence slot of one in-flight task.
+
+    A task lives in TM entry ``tm_index`` of TRS instance ``trs_id``; its
+    ``dep_index``-th dependence occupies one TMX slot.  The DCT identifies
+    consumers/producers by this triple (the "TRS slot" of the paper).
+    """
+
+    trs_id: int
+    tm_index: int
+    dep_index: int
+
+    def task_ref(self) -> "TaskSlotRef":
+        """The same slot with the dependence index cleared (task identity)."""
+        return TaskSlotRef(self.trs_id, self.tm_index, 0)
+
+
+@dataclass(frozen=True)
+class NewTaskPacket:
+    """GW -> TRS: a new task has been assigned TM entry ``tm_index`` (N3)."""
+
+    task_id: int
+    trs_id: int
+    tm_index: int
+    num_deps: int
+
+
+@dataclass(frozen=True)
+class DependencePacket:
+    """GW -> DCT: one dependence of a newly created task (N4)."""
+
+    slot: TaskSlotRef
+    address: int
+    direction: Direction
+
+
+@dataclass(frozen=True)
+class ReadyPacket:
+    """DCT -> TRS (via ARB): the referenced dependence slot is ready (N5/F4)."""
+
+    slot: TaskSlotRef
+    vm_index: int
+
+
+@dataclass(frozen=True)
+class DependentPacket:
+    """DCT -> TRS: the slot depends on earlier accesses and must wait (N5).
+
+    ``predecessor`` carries the consumer-chain link of Section III-D: the
+    previous consumer of the same version, which the TRS must wake after
+    this slot itself is woken (links 2 and 3 of Figure 5).  ``None`` when the
+    slot is the first consumer of its version or a producer.
+    """
+
+    slot: TaskSlotRef
+    vm_index: int
+    predecessor: Optional[TaskSlotRef] = None
+
+
+@dataclass(frozen=True)
+class FinishPacket:
+    """TRS -> DCT: one dependence of a finished task is being released (F3).
+
+    The dependence address is carried along so the Arbiter can route the
+    packet to the DCT instance that tracks the address (relevant only for
+    multi-DCT configurations).
+    """
+
+    slot: TaskSlotRef
+    vm_index: int
+    address: int = 0
+
+
+@dataclass(frozen=True)
+class ExecuteTaskPacket:
+    """TRS -> TS: the task in ``tm_index`` has all dependences ready (N6)."""
+
+    task_id: int
+    trs_id: int
+    tm_index: int
+
+
+@dataclass(frozen=True)
+class FinishedTaskPacket:
+    """GW -> TRS: the worker running ``task_id`` reported completion (F2)."""
+
+    task_id: int
+    trs_id: int
+    tm_index: int

@@ -1,0 +1,288 @@
+"""The Picos accelerator facade.
+
+:class:`PicosAccelerator` assembles the Gateway, TRS, DCT, Arbiter and Task
+Scheduler instances described in Section III and exposes the co-processor
+interface the paper describes from the software's point of view:
+
+1. it *receives task dependence information* (task id and its dependences)
+   at task-creation time -- :meth:`PicosAccelerator.submit_task`;
+2. it *sends ready-to-execute task information* to the worker threads --
+   :meth:`PicosAccelerator.pop_ready` (or the ready lists attached to each
+   result, for timing-aware drivers);
+3. it receives finished-task notifications and releases the dependences --
+   :meth:`PicosAccelerator.notify_finish`.
+
+Every operation returns both its functional effect (which tasks became
+ready) and its timing effect (pipeline occupancy and readiness latency in
+cycles), calibrated against the HW-only measurements of Table IV.  The
+Hardware-In-the-Loop driver (:mod:`repro.sim.hil`) turns those costs into a
+schedule; purely functional users may ignore them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.arbiter import Arbiter
+from repro.core.config import PicosConfig
+from repro.core.dct import DependenceChainTracker, StallReason
+from repro.core.gateway import Gateway, GatewayStatus
+from repro.core.packets import ReadyPacket
+from repro.core.scheduler import SchedulingPolicy, TaskScheduler
+from repro.core.stats import PicosStats
+from repro.core.trs import TaskReservationStation
+from repro.runtime.task import Task
+
+
+class SubmitStatus(enum.Enum):
+    """Outcome of a task submission."""
+
+    ACCEPTED = "accepted"
+    STALLED = "stalled"
+
+
+@dataclass(frozen=True)
+class ReadyTask:
+    """A task that became ready, with its readiness latency.
+
+    ``latency`` counts cycles from the start of the operation that made the
+    task ready (a submission or a finish notification) until the task is
+    visible in the Task Scheduler.
+    """
+
+    task_id: int
+    latency: int
+
+
+@dataclass
+class SubmitResult:
+    """Result of :meth:`PicosAccelerator.submit_task` (or a resume)."""
+
+    status: SubmitStatus
+    task_id: int
+    #: Cycles the Picos pipeline is occupied by this submission.
+    occupancy: int = 0
+    #: Tasks (at most the submitted one) that became ready.
+    ready: List[ReadyTask] = field(default_factory=list)
+    #: Why the submission stalled, when ``status`` is ``STALLED``.
+    stall_reason: Optional[StallReason] = None
+
+    @property
+    def accepted(self) -> bool:
+        """``True`` when the task fully entered the accelerator."""
+        return self.status is SubmitStatus.ACCEPTED
+
+
+@dataclass
+class FinishResult:
+    """Result of :meth:`PicosAccelerator.notify_finish`."""
+
+    task_id: int
+    #: Cycles the Picos pipeline is occupied by this finish notification.
+    occupancy: int = 0
+    #: Tasks woken by this finish, in wake-up order (consumer chains wake
+    #: from the last consumer backwards -- Section III-D).
+    ready: List[ReadyTask] = field(default_factory=list)
+
+
+class PicosAccelerator:
+    """Functional + timing model of the full Picos hardware."""
+
+    def __init__(
+        self,
+        config: Optional[PicosConfig] = None,
+        policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+        auto_enqueue: bool = True,
+    ) -> None:
+        self.config = config if config is not None else PicosConfig()
+        self.stats = PicosStats()
+        self.arbiter = Arbiter(self.config.num_trs, self.config.num_dct)
+        self.trs_instances = [
+            TaskReservationStation(i, self.config, self.stats)
+            for i in range(self.config.num_trs)
+        ]
+        self.dct_instances = [
+            DependenceChainTracker(i, self.config, self.stats)
+            for i in range(self.config.num_dct)
+        ]
+        self.gateway = Gateway(
+            self.config, self.trs_instances, self.dct_instances, self.arbiter, self.stats
+        )
+        self.scheduler = TaskScheduler(policy)
+        self.auto_enqueue = auto_enqueue
+        #: task_id -> number of dependences, needed for finish-cost accounting.
+        self._deps_of_task: Dict[int, int] = {}
+        self._submitted = 0
+        self._finished = 0
+
+    # ------------------------------------------------------------------
+    # co-processor interface: new tasks
+    # ------------------------------------------------------------------
+    def submit_task(self, task: Task) -> SubmitResult:
+        """Submit a new task with its dependences (packets N1-N6).
+
+        When the accelerator has no room (no free TM entry, a DM conflict or
+        a full VM), the result is ``STALLED``; the caller must wait until a
+        task finishes and then call :meth:`resume_submission`.
+        """
+        gateway_result = self.gateway.submit(task)
+        return self._submit_result_from(task, gateway_result)
+
+    def resume_submission(self) -> SubmitResult:
+        """Retry the stalled submission from the blocked dependence."""
+        pending = self.gateway.pending_submission
+        if pending is None:
+            raise RuntimeError("no stalled submission to resume")
+        task = pending.task
+        gateway_result = self.gateway.resume()
+        return self._submit_result_from(task, gateway_result)
+
+    def _submit_result_from(self, task: Task, gateway_result) -> SubmitResult:
+        if gateway_result.status is GatewayStatus.STALLED:
+            return SubmitResult(
+                status=SubmitStatus.STALLED,
+                task_id=task.task_id,
+                occupancy=0,
+                stall_reason=gateway_result.stall_reason,
+            )
+        self._deps_of_task[task.task_id] = task.num_dependences
+        self._submitted += 1
+        occupancy = self.config.new_task_occupancy(task.num_dependences)
+        occupancy += (
+            gateway_result.retries * self.config.dm_conflict_stall_cycles
+        )
+        self.stats.busy_cycles += occupancy
+        result = SubmitResult(
+            status=SubmitStatus.ACCEPTED, task_id=task.task_id, occupancy=occupancy
+        )
+        latency = self.config.new_task_ready_latency(task.num_dependences)
+        for execute in gateway_result.execute:
+            ready = ReadyTask(task_id=execute.task_id, latency=latency)
+            result.ready.append(ready)
+            if self.auto_enqueue:
+                self.scheduler.push(ready.task_id)
+        return result
+
+    @property
+    def has_pending_submission(self) -> bool:
+        """Whether a submission is stalled inside the Gateway."""
+        return self.gateway.has_pending_submission
+
+    def can_resume(self) -> bool:
+        """Whether the stalled submission would make progress if resumed."""
+        return self.gateway.can_resume()
+
+    @property
+    def pending_stall_reason(self) -> Optional[StallReason]:
+        """Reason of the current stall, or ``None``."""
+        pending = self.gateway.pending_submission
+        return None if pending is None else pending.reason
+
+    # ------------------------------------------------------------------
+    # co-processor interface: finished tasks
+    # ------------------------------------------------------------------
+    def notify_finish(self, task_id: int) -> FinishResult:
+        """Notify that a worker finished ``task_id`` (packets F1-F4)."""
+        finish_packets = self.gateway.notify_finished(task_id)
+        num_deps = self._deps_of_task.pop(task_id, len(finish_packets))
+        occupancy = self.config.finish_occupancy(num_deps)
+        self.stats.busy_cycles += occupancy
+        result = FinishResult(task_id=task_id, occupancy=occupancy)
+
+        # Route every finish packet to its DCT and collect the wake-ups,
+        # then walk consumer chains through the owning TRS instances.
+        pending_wakeups: List[tuple[ReadyPacket, int]] = []
+        for packet in finish_packets:
+            dct = self.dct_instances[self._dct_index_for_vm(packet)]
+            outcome = dct.process_finish(packet)
+            for wake in outcome.wakeups:
+                pending_wakeups.append((wake, 0))
+
+        while pending_wakeups:
+            wake, depth = pending_wakeups.pop(0)
+            trs = self.trs_instances[self.arbiter.trs_for_slot(wake.slot)]
+            ready_result = trs.handle_ready(wake)
+            latency = (
+                occupancy
+                + self.config.wake_latency
+                + depth * self.config.chain_hop_cycles
+            )
+            for execute in ready_result.execute:
+                ready = ReadyTask(task_id=execute.task_id, latency=latency)
+                result.ready.append(ready)
+                if self.auto_enqueue:
+                    self.scheduler.push(ready.task_id)
+            for chained in ready_result.chained:
+                pending_wakeups.append((chained, depth + 1))
+
+        self._finished += 1
+        return result
+
+    def _dct_index_for_vm(self, packet) -> int:
+        """DCT instance holding the version referenced by a finish packet.
+
+        The routing is a pure function of the dependence address (the same
+        mapping the Gateway used when the dependence entered), so the finish
+        packet carries the address along.
+        """
+        if len(self.dct_instances) == 1:
+            return 0
+        return self.arbiter.dct_for_address(packet.address)
+
+    # ------------------------------------------------------------------
+    # co-processor interface: ready tasks
+    # ------------------------------------------------------------------
+    def pop_ready(self) -> Optional[int]:
+        """Fetch the next ready task from the Task Scheduler, if any."""
+        return self.scheduler.try_pop()
+
+    @property
+    def ready_count(self) -> int:
+        """Number of ready tasks waiting in the Task Scheduler."""
+        return len(self.scheduler)
+
+    # ------------------------------------------------------------------
+    # aggregate status
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Number of tasks currently stored in the accelerator."""
+        return self.gateway.in_flight_tasks()
+
+    @property
+    def tasks_submitted(self) -> int:
+        """Number of tasks fully accepted so far."""
+        return self._submitted
+
+    @property
+    def tasks_finished(self) -> int:
+        """Number of finished-task notifications processed so far."""
+        return self._finished
+
+    @property
+    def dm_conflicts(self) -> int:
+        """Total DM conflicts detected (the Table II metric)."""
+        return self.stats.dm_conflicts
+
+    def is_drained(self) -> bool:
+        """``True`` when no task and no dependence state remain in flight."""
+        if self.gateway.has_pending_submission:
+            return False
+        if self.in_flight:
+            return False
+        return all(dct.is_idle() for dct in self.dct_instances)
+
+    def describe(self) -> Dict[str, object]:
+        """A summary dictionary used by reports and debugging helpers."""
+        return {
+            "design": self.config.dm_design.display_name,
+            "num_trs": self.config.num_trs,
+            "num_dct": self.config.num_dct,
+            "tasks_submitted": self._submitted,
+            "tasks_finished": self._finished,
+            "in_flight": self.in_flight,
+            "dm_conflicts": self.dm_conflicts,
+            "stats": self.stats.as_dict(),
+        }

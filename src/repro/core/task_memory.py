@@ -1,0 +1,178 @@
+"""Task Memory (TM0 and TMX) of the Task Reservation Station.
+
+Figure 3b: TM0 has 256 entries, one per in-flight task, storing the task
+identification, the number of dependences and the number of ready
+dependences.  TMX entries hold the per-dependence consumer-section
+information notified by the DCT -- in this model, the VM index of the
+version each dependence belongs to plus the consumer-chain link that makes
+the backwards wake-up of Figure 5 possible.
+
+The memories support the four actions described in the paper: read, write,
+*New Entry Request* (allocate a free entry) and *Finished Entry Request*
+(recycle an entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.packets import TaskSlotRef
+
+
+class TaskMemoryFullError(RuntimeError):
+    """Raised on a New Entry Request when every TM entry is occupied."""
+
+
+@dataclass
+class DependenceSlot:
+    """One TMX slot: the state of one dependence of an in-flight task."""
+
+    #: Index of the dependence within its task (pragma order).
+    dep_index: int
+    #: Address of the dependence (kept for bookkeeping / debug).
+    address: int
+    #: VM entry (version) this dependence was attached to by the DCT.
+    vm_index: Optional[int] = None
+    #: Whether the dependence has been marked ready.
+    ready: bool = False
+    #: Consumer-chain link: the previous consumer of the same version, to be
+    #: woken after this slot (Section III-D).
+    predecessor: Optional[TaskSlotRef] = None
+    #: Whether this dependence writes its address (producer role).
+    is_producer: bool = False
+
+
+@dataclass
+class TaskEntry:
+    """One TM0 entry plus its TMX dependence slots."""
+
+    tm_index: int
+    task_id: int
+    num_deps: int
+    ready_deps: int = 0
+    dep_slots: List[DependenceSlot] = field(default_factory=list)
+
+    @property
+    def all_ready(self) -> bool:
+        """``True`` when every dependence of the task has been marked ready."""
+        return self.ready_deps >= self.num_deps
+
+
+class TaskMemory:
+    """The TM0/TMX memory pair of one TRS instance."""
+
+    def __init__(self, entries: int = 256, max_deps_per_task: int = 15) -> None:
+        if entries < 1:
+            raise ValueError("TM needs at least one entry")
+        if max_deps_per_task < 1:
+            raise ValueError("TMX must hold at least one dependence per task")
+        self.entries = entries
+        self.max_deps_per_task = max_deps_per_task
+        self._slots: List[Optional[TaskEntry]] = [None] * entries
+        self._free: List[int] = list(range(entries - 1, -1, -1))
+        self._by_task_id: Dict[int, int] = {}
+        self._high_water = 0
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    @property
+    def occupied(self) -> int:
+        """Number of in-flight tasks currently stored."""
+        return self.entries - len(self._free)
+
+    @property
+    def full(self) -> bool:
+        """``True`` when a New Entry Request would fail."""
+        return not self._free
+
+    @property
+    def high_water(self) -> int:
+        """Maximum simultaneous occupancy observed."""
+        return self._high_water
+
+    def has_task(self, task_id: int) -> bool:
+        """Whether ``task_id`` is currently in flight in this TM."""
+        return task_id in self._by_task_id
+
+    # ------------------------------------------------------------------
+    # New Entry Request / Finished Entry Request
+    # ------------------------------------------------------------------
+    def allocate(self, task_id: int, num_deps: int) -> TaskEntry:
+        """Allocate a TM entry for a new task (New Entry Request).
+
+        Raises
+        ------
+        TaskMemoryFullError
+            when no free entry exists (the GW must hold the new task).
+        ValueError
+            when the task declares more dependences than the TMX can hold.
+        """
+        if num_deps > self.max_deps_per_task:
+            raise ValueError(
+                f"task {task_id} has {num_deps} dependences; the TMX holds at "
+                f"most {self.max_deps_per_task}"
+            )
+        if task_id in self._by_task_id:
+            raise ValueError(f"task {task_id} is already in flight")
+        if not self._free:
+            raise TaskMemoryFullError("no free TM entry")
+        tm_index = self._free.pop()
+        entry = TaskEntry(tm_index=tm_index, task_id=task_id, num_deps=num_deps)
+        self._slots[tm_index] = entry
+        self._by_task_id[task_id] = tm_index
+        self._high_water = max(self._high_water, self.occupied)
+        return entry
+
+    def release(self, tm_index: int) -> None:
+        """Recycle a TM entry after its task retired (Finished Entry Request)."""
+        entry = self._slots[tm_index]
+        if entry is None:
+            raise KeyError(f"TM entry {tm_index} is not occupied")
+        del self._by_task_id[entry.task_id]
+        self._slots[tm_index] = None
+        self._free.append(tm_index)
+
+    # ------------------------------------------------------------------
+    # reads / writes
+    # ------------------------------------------------------------------
+    def entry(self, tm_index: int) -> TaskEntry:
+        """Return the occupied entry at ``tm_index``."""
+        entry = self._slots[tm_index]
+        if entry is None:
+            raise KeyError(f"TM entry {tm_index} is not occupied")
+        return entry
+
+    def entry_for_task(self, task_id: int) -> TaskEntry:
+        """Return the entry holding ``task_id``."""
+        if task_id not in self._by_task_id:
+            raise KeyError(f"task {task_id} is not in flight")
+        return self.entry(self._by_task_id[task_id])
+
+    def add_dependence_slot(
+        self, tm_index: int, dep_index: int, address: int, is_producer: bool
+    ) -> DependenceSlot:
+        """Record a dependence of the task stored at ``tm_index`` in the TMX."""
+        entry = self.entry(tm_index)
+        if dep_index >= self.max_deps_per_task:
+            raise ValueError("dependence index exceeds TMX capacity")
+        slot = DependenceSlot(
+            dep_index=dep_index, address=address, is_producer=is_producer
+        )
+        entry.dep_slots.append(slot)
+        return slot
+
+    def dependence_slot(self, tm_index: int, dep_index: int) -> DependenceSlot:
+        """Return the TMX slot of one dependence of an in-flight task."""
+        entry = self.entry(tm_index)
+        for slot in entry.dep_slots:
+            if slot.dep_index == dep_index:
+                return slot
+        raise KeyError(
+            f"task at TM entry {tm_index} has no dependence slot {dep_index}"
+        )
+
+    def in_flight_task_ids(self) -> List[int]:
+        """Identifiers of every task currently stored, in TM-index order."""
+        return [entry.task_id for entry in self._slots if entry is not None]

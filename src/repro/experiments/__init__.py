@@ -1,0 +1,44 @@
+"""Experiment drivers: one module per table and figure of the paper.
+
+Every driver exposes two functions:
+
+* ``run_*`` -- performs the simulations and returns plain data structures
+  (dictionaries / dataclasses) so tests and benchmarks can assert on them;
+* ``render_*`` -- formats the data as the table or figure series the paper
+  reports, using :mod:`repro.analysis.report`.
+
+The :mod:`repro.experiments.cli` module (installed as the
+``picos-experiment`` console script) runs any of them from the command
+line.
+
+Scale note: the drivers accept a ``scale`` argument.  ``scale=1.0`` uses the
+paper's exact problem sizes (which can take minutes for the finest
+granularities); smaller scales shrink the problem while keeping the
+dependence structure and the granularity ratios, so the qualitative results
+are unchanged.  The defaults used by the benchmark suite are recorded in
+EXPERIMENTS.md together with the measured numbers.
+"""
+
+from repro.experiments import (
+    fig01_granularity,
+    fig08_dm_designs,
+    fig09_lu_corner,
+    fig10_nanos_overhead,
+    fig11_scalability,
+    table1_benchmarks,
+    table2_dm_conflicts,
+    table3_resources,
+    table4_synthetic,
+)
+
+__all__ = [
+    "fig01_granularity",
+    "fig08_dm_designs",
+    "fig09_lu_corner",
+    "fig10_nanos_overhead",
+    "fig11_scalability",
+    "table1_benchmarks",
+    "table2_dm_conflicts",
+    "table3_resources",
+    "table4_synthetic",
+]

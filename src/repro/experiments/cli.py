@@ -1,0 +1,145 @@
+"""Command-line interface: ``picos-experiment <experiment>``.
+
+Runs any table or figure of the paper from a terminal::
+
+    picos-experiment table4
+    picos-experiment fig8
+    picos-experiment fig11 --full
+    picos-experiment all --quick
+
+The ``--quick`` flag shrinks the problem sizes so every experiment finishes
+in seconds (useful for smoke testing); ``--full`` selects the complete
+paper matrix where a reduced default exists (Figure 11).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from repro.experiments import (
+    fig01_granularity,
+    fig08_dm_designs,
+    fig09_lu_corner,
+    fig10_nanos_overhead,
+    fig11_scalability,
+    table1_benchmarks,
+    table2_dm_conflicts,
+    table3_resources,
+    table4_synthetic,
+)
+
+#: Problem size used by ``--quick`` for the dense / sparse kernels.
+QUICK_PROBLEM_SIZE = 1024
+#: Frame count used by ``--quick`` for H264dec.
+QUICK_FRAMES = 2
+
+
+def _run_fig01(quick: bool, full: bool) -> str:
+    problem = QUICK_PROBLEM_SIZE if quick else None
+    return fig01_granularity.render_fig01(
+        fig01_granularity.run_fig01(problem_size=problem)
+    )
+
+
+def _run_fig08(quick: bool, full: bool) -> str:
+    problem = QUICK_PROBLEM_SIZE if quick else None
+    return fig08_dm_designs.render_fig08(
+        fig08_dm_designs.run_fig08(problem_size=problem)
+    )
+
+
+def _run_fig09(quick: bool, full: bool) -> str:
+    problem = QUICK_PROBLEM_SIZE if quick else None
+    return fig09_lu_corner.render_fig09(
+        fig09_lu_corner.run_fig09(problem_size=problem)
+    )
+
+
+def _run_fig10(quick: bool, full: bool) -> str:
+    return fig10_nanos_overhead.render_fig10(fig10_nanos_overhead.run_fig10())
+
+
+def _run_fig11(quick: bool, full: bool) -> str:
+    matrix = fig11_scalability.FIG11_FULL_MATRIX if full else None
+    if quick:
+        matrix = {"heat": (64,), "cholesky": (64,), "lu": (32,), "sparselu": (64,)}
+    return fig11_scalability.render_fig11(
+        fig11_scalability.run_fig11(matrix=matrix)
+    )
+
+
+def _run_table1(quick: bool, full: bool) -> str:
+    return table1_benchmarks.render_table1(table1_benchmarks.run_table1())
+
+
+def _run_table2(quick: bool, full: bool) -> str:
+    problem = QUICK_PROBLEM_SIZE if quick else None
+    return table2_dm_conflicts.render_table2(
+        table2_dm_conflicts.run_table2(problem_size=problem)
+    )
+
+
+def _run_table3(quick: bool, full: bool) -> str:
+    return table3_resources.render_table3(table3_resources.run_table3())
+
+
+def _run_table4(quick: bool, full: bool) -> str:
+    return table4_synthetic.render_table4(table4_synthetic.run_table4())
+
+
+EXPERIMENTS: Dict[str, Callable[[bool, bool], str]] = {
+    "fig1": _run_fig01,
+    "fig8": _run_fig08,
+    "fig9": _run_fig09,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "table4": _run_table4,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the command-line argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="picos-experiment",
+        description="Reproduce the tables and figures of the Picos ISPASS 2016 paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to reproduce (or 'all')",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use reduced problem sizes so every experiment finishes in seconds",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the complete paper matrix where a reduced default exists",
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Console-script entry point."""
+    args = build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        output = EXPERIMENTS[name](args.quick, args.full)
+        elapsed = time.time() - start
+        print(f"===== {name} ({elapsed:.1f}s) =====")
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Figure 1: speedup vs task granularity with the software-only runtime.
+
+The motivating figure of the paper: four OmpSs applications run with the
+Nanos++ software-only runtime on 12 cores, with a constant problem size and
+decreasing block sizes.  Speedup first grows (more parallelism becomes
+available) and then collapses once the per-task runtime overhead rivals the
+task duration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import render_series
+from repro.apps.registry import build_benchmark
+from repro.runtime.nanos import NanosRuntimeSimulator
+from repro.runtime.overhead import NanosOverheadModel
+
+#: Benchmarks and block-size sweeps of the figure.  The sweep extends one
+#: step below the Table I range for the coarse-grained kernels so the
+#: turn-over point is visible for every application, as it is in the paper.
+FIG1_SWEEPS: Dict[str, Sequence[int]] = {
+    "heat": (256, 128, 64, 32),
+    "lu": (256, 128, 64, 32, 16, 8),
+    "sparselu": (256, 128, 64, 32, 16),
+    "cholesky": (256, 128, 64, 32),
+}
+
+#: Worker count of the figure (the shared-memory machine has 12 cores).
+FIG1_WORKERS = 12
+
+
+def run_fig01(
+    num_workers: int = FIG1_WORKERS,
+    problem_size: Optional[int] = None,
+    sweeps: Optional[Dict[str, Sequence[int]]] = None,
+    overhead: Optional[NanosOverheadModel] = None,
+) -> Dict[str, Dict[int, float]]:
+    """Compute the Figure 1 curves.
+
+    Returns ``{benchmark: {block_size: speedup}}`` for the software-only
+    runtime with ``num_workers`` threads.
+    """
+    sweeps = sweeps if sweeps is not None else FIG1_SWEEPS
+    results: Dict[str, Dict[int, float]] = {}
+    for benchmark, block_sizes in sweeps.items():
+        curve: Dict[int, float] = {}
+        for block_size in block_sizes:
+            program = build_benchmark(benchmark, block_size, problem_size=problem_size)
+            simulation = NanosRuntimeSimulator(
+                program, num_threads=num_workers, overhead=overhead
+            ).run()
+            curve[block_size] = simulation.speedup
+        results[benchmark] = curve
+    return results
+
+
+def render_fig01(results: Dict[str, Dict[int, float]]) -> str:
+    """Render the Figure 1 curves as one table per benchmark."""
+    sections: List[str] = []
+    for benchmark, curve in results.items():
+        block_sizes = sorted(curve, reverse=True)
+        sections.append(
+            render_series(
+                title=f"Figure 1 -- {benchmark}: Nanos++ speedup vs block size "
+                f"({FIG1_WORKERS} cores)",
+                x_label="block size",
+                x_values=block_sizes,
+                series={"speedup": [curve[bs] for bs in block_sizes]},
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def peak_block_size(curve: Dict[int, float]) -> int:
+    """Block size at which the software-only speedup peaks."""
+    return max(curve, key=lambda block_size: curve[block_size])
+
+
+def main() -> None:
+    """Run and print Figure 1 (console entry point)."""
+    print(render_fig01(run_fig01()))
+
+
+if __name__ == "__main__":
+    main()

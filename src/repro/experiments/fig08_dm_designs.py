@@ -1,0 +1,107 @@
+"""Figure 8: speedup of the three Picos configurations (DM designs).
+
+Four real benchmarks, each with a pair of block sizes, are run under the
+HIL HW-only mode with the three DM designs (8-way, 16-way, Pearson+8-way)
+and 2 to 12 workers.  The paper's observations that this experiment should
+reproduce:
+
+* for Heat and Cholesky, the 8-way and 16-way designs do not scale while
+  the Pearson design does;
+* for Lu and SparseLu all three designs benefit from smaller blocks, with
+  16-way and Pearson close to the best;
+* Lu is a corner case where the 16-way design beats Pearson (analysed
+  further in Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import render_series
+from repro.apps.registry import build_benchmark
+from repro.core.config import DMDesign, PicosConfig
+from repro.sim.hil import HILMode, HILSimulator
+
+#: The benchmark / block-size pairs of Figure 8.
+FIG8_BENCHMARKS: Tuple[Tuple[str, int], ...] = (
+    ("heat", 128),
+    ("heat", 64),
+    ("cholesky", 256),
+    ("cholesky", 128),
+    ("lu", 64),
+    ("lu", 32),
+    ("sparselu", 128),
+    ("sparselu", 64),
+)
+
+#: Worker counts of the x-axis.
+FIG8_WORKERS: Tuple[int, ...] = (2, 4, 8, 12)
+
+
+def run_fig08(
+    benchmarks: Sequence[Tuple[str, int]] = FIG8_BENCHMARKS,
+    worker_counts: Sequence[int] = FIG8_WORKERS,
+    problem_size: Optional[int] = None,
+) -> Dict[Tuple[str, int], Dict[str, Dict[int, float]]]:
+    """Compute the Figure 8 speedup bars.
+
+    Returns ``{(benchmark, block_size): {design: {workers: speedup}}}``.
+    """
+    results: Dict[Tuple[str, int], Dict[str, Dict[int, float]]] = {}
+    for benchmark, block_size in benchmarks:
+        program = build_benchmark(benchmark, block_size, problem_size=problem_size)
+        per_design: Dict[str, Dict[int, float]] = {}
+        for design in DMDesign:
+            config = PicosConfig.paper_prototype(design)
+            curve: Dict[int, float] = {}
+            for workers in worker_counts:
+                simulation = HILSimulator(
+                    program, config=config, mode=HILMode.HW_ONLY, num_workers=workers
+                ).run()
+                curve[workers] = simulation.speedup
+            per_design[design.display_name] = curve
+        results[(benchmark, block_size)] = per_design
+    return results
+
+
+def render_fig08(
+    results: Dict[Tuple[str, int], Dict[str, Dict[int, float]]]
+) -> str:
+    """Render the Figure 8 families of bars, one table per benchmark pair."""
+    sections: List[str] = []
+    for (benchmark, block_size), per_design in results.items():
+        worker_counts = sorted(next(iter(per_design.values())))
+        series = {
+            design: [curve[w] for w in worker_counts]
+            for design, curve in per_design.items()
+        }
+        sections.append(
+            render_series(
+                title=f"Figure 8 -- {benchmark} ({block_size}x{block_size}): "
+                "speedup per DM design (HW-only)",
+                x_label="workers",
+                x_values=worker_counts,
+                series=series,
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def best_design(
+    results: Dict[Tuple[str, int], Dict[str, Dict[int, float]]],
+    benchmark: str,
+    block_size: int,
+    workers: int,
+) -> str:
+    """Name of the DM design with the highest speedup at one point."""
+    per_design = results[(benchmark, block_size)]
+    return max(per_design, key=lambda design: per_design[design][workers])
+
+
+def main() -> None:
+    """Run and print Figure 8 (console entry point)."""
+    print(render_fig08(run_fig08()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Figure 9: the Lu corner case and its two remedies.
+
+Section V-A explains why the Pearson DM design loses to the 16-way design
+on the original Lu: with no DM conflicts the dependence graph is built very
+quickly, and when a diagonal (producer) task finishes Picos wakes its
+consumers starting from the *last* one, postponing the panel task that
+feeds the next diagonal (the critical path).  The paper shows two fixes:
+
+* *MLu* (left plot): create the panel tasks in reverse order so the
+  critical consumer is the last created and therefore the first woken;
+* *LIFO* (right plot): keep the original creation order but use a LIFO
+  ready queue in the Task Scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.analysis.report import render_series
+from repro.apps.registry import build_benchmark
+from repro.core.config import DMDesign, PicosConfig
+from repro.core.scheduler import SchedulingPolicy
+from repro.sim.hil import HILMode, HILSimulator
+
+#: Block sizes of Figure 9.
+FIG9_BLOCK_SIZES: Tuple[int, ...] = (64, 32)
+#: Worker count used for the comparison.
+FIG9_WORKERS = 12
+
+#: The three experiment variants of the figure.
+FIG9_VARIANTS: Tuple[str, ...] = ("lu-fifo", "mlu-fifo", "lu-lifo")
+
+
+def run_fig09(
+    block_sizes: Sequence[int] = FIG9_BLOCK_SIZES,
+    num_workers: int = FIG9_WORKERS,
+    problem_size: Optional[int] = None,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Compute the Figure 9 speedups.
+
+    Returns ``{variant: {block_size: {design: speedup}}}`` where ``variant``
+    is one of ``lu-fifo`` (original), ``mlu-fifo`` (modified creation
+    order) and ``lu-lifo`` (original order, LIFO ready queue).
+    """
+    results: Dict[str, Dict[int, Dict[str, float]]] = {
+        variant: {} for variant in FIG9_VARIANTS
+    }
+    for block_size in block_sizes:
+        lu = build_benchmark("lu", block_size, problem_size=problem_size)
+        mlu = build_benchmark("mlu", block_size, problem_size=problem_size)
+        plans = {
+            "lu-fifo": (lu, SchedulingPolicy.FIFO),
+            "mlu-fifo": (mlu, SchedulingPolicy.FIFO),
+            "lu-lifo": (lu, SchedulingPolicy.LIFO),
+        }
+        for variant, (program, policy) in plans.items():
+            per_design: Dict[str, float] = {}
+            for design in DMDesign:
+                simulation = HILSimulator(
+                    program,
+                    config=PicosConfig.paper_prototype(design),
+                    mode=HILMode.HW_ONLY,
+                    num_workers=num_workers,
+                    policy=policy,
+                ).run()
+                per_design[design.display_name] = simulation.speedup
+            results[variant][block_size] = per_design
+    return results
+
+
+def render_fig09(results: Dict[str, Dict[int, Dict[str, float]]]) -> str:
+    """Render the Figure 9 comparison, one table per variant."""
+    sections = []
+    titles = {
+        "lu-fifo": "original Lu, FIFO Task Scheduler",
+        "mlu-fifo": "Modified Lu (reversed panel creation order), FIFO",
+        "lu-lifo": "original Lu, LIFO Task Scheduler",
+    }
+    for variant, by_block in results.items():
+        block_sizes = sorted(by_block, reverse=True)
+        designs = list(next(iter(by_block.values())))
+        series = {
+            design: [by_block[bs][design] for bs in block_sizes] for design in designs
+        }
+        sections.append(
+            render_series(
+                title=f"Figure 9 -- {titles[variant]} ({FIG9_WORKERS} workers)",
+                x_label="block size",
+                x_values=block_sizes,
+                series=series,
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def pearson_recovers(results: Dict[str, Dict[int, Dict[str, float]]]) -> bool:
+    """Whether the Pearson design becomes the best once either fix is applied.
+
+    This is the headline qualitative claim of Figure 9, used by the test
+    suite and recorded in EXPERIMENTS.md.
+    """
+    pearson = DMDesign.PEARSON8.display_name
+    for variant in ("mlu-fifo", "lu-lifo"):
+        for block_size, per_design in results[variant].items():
+            best = max(per_design, key=lambda design: per_design[design])
+            if best != pearson:
+                return False
+    return True
+
+
+def main() -> None:
+    """Run and print Figure 9 (console entry point)."""
+    print(render_fig09(run_fig09()))
+
+
+if __name__ == "__main__":
+    main()

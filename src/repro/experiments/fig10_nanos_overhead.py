@@ -1,0 +1,65 @@
+"""Figure 10: Nanos++ task creation and submission overhead per task.
+
+The figure plots, as a function of the number of runtime threads, the
+cycles the software-only runtime spends creating one task (independent of
+its dependences) and submitting it (growing with the number of dependences
+and with thread contention).  The reproduction evaluates the calibrated
+:class:`~repro.runtime.overhead.NanosOverheadModel` at the same points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import render_series
+from repro.runtime.overhead import NanosOverheadModel
+
+#: Dependence counts of the submission curves shown in the figure.
+FIG10_DEP_COUNTS: Sequence[int] = (1, 3, 5, 9, 15)
+#: Thread counts of the x-axis (the shared-memory machine has 12 cores).
+FIG10_THREADS: Sequence[int] = (1, 2, 4, 6, 8, 10, 12)
+
+
+def run_fig10(
+    dep_counts: Sequence[int] = FIG10_DEP_COUNTS,
+    thread_counts: Sequence[int] = FIG10_THREADS,
+    overhead: Optional[NanosOverheadModel] = None,
+) -> Dict[str, List[int]]:
+    """Compute the Figure 10 curves.
+
+    Returns ``{curve_label: [cycles per thread count]}``; the ``creation``
+    curve plus one ``"<x> DEPs"`` submission curve per dependence count.
+    """
+    model = overhead if overhead is not None else NanosOverheadModel()
+    return model.overhead_table(dep_counts, thread_counts)
+
+
+def render_fig10(
+    curves: Dict[str, List[int]], thread_counts: Sequence[int] = FIG10_THREADS
+) -> str:
+    """Render the Figure 10 curves as a table (threads on the x-axis)."""
+    return render_series(
+        title="Figure 10 -- Nanos++ RTS overhead for a single task (cycles)",
+        x_label="threads",
+        x_values=list(thread_counts),
+        series={label: [float(v) for v in values] for label, values in curves.items()},
+    )
+
+
+def overhead_at(
+    curves: Dict[str, List[int]],
+    label: str,
+    thread_counts: Sequence[int],
+    threads: int,
+) -> int:
+    """Value of one curve at one thread count."""
+    return curves[label][list(thread_counts).index(threads)]
+
+
+def main() -> None:
+    """Run and print Figure 10 (console entry point)."""
+    print(render_fig10(run_fig10()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,163 @@
+"""Figure 11: scalability of the real benchmarks (Picos vs Perfect vs Nanos++).
+
+The headline evaluation of the paper: the five real applications, each at
+four block sizes, are executed with the Picos prototype under the HIL
+Full-system mode, with the Perfect (roofline) simulator and with the
+Nanos++ software-only runtime, for 2 to 24 workers.  The observations the
+reproduction must preserve:
+
+* the Picos prototype reaches (nearly) the roofline for the coarse and
+  medium block sizes;
+* Nanos++ saturates around 8 workers and then degrades, while the prototype
+  keeps scaling;
+* as the block size shrinks, Nanos++ collapses while the prototype keeps
+  advancing or at least remains stable.
+
+Running the full paper matrix (five benchmarks x four block sizes x seven
+worker counts x three simulators, with programs of up to 140k tasks) takes
+tens of minutes in pure Python; the driver therefore accepts subsets and a
+problem-size override, and the defaults used by the benchmark suite are the
+medium granularities recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import render_series
+from repro.analysis.speedup import ScalabilityCurve
+from repro.apps.registry import build_benchmark
+from repro.core.config import DMDesign, PicosConfig
+from repro.runtime.nanos import NanosRuntimeSimulator
+from repro.runtime.perfect import PerfectScheduler
+from repro.sim.hil import HILMode, HILSimulator
+
+#: Worker counts of the x-axis.
+FIG11_WORKERS: Tuple[int, ...] = (2, 4, 8, 12, 16, 20, 24)
+
+#: The full benchmark matrix of the figure (benchmark -> block sizes).
+FIG11_FULL_MATRIX: Dict[str, Tuple[int, ...]] = {
+    "heat": (256, 128, 64, 32),
+    "cholesky": (256, 128, 64, 32),
+    "lu": (256, 128, 64, 32),
+    "sparselu": (256, 128, 64, 32),
+    "h264dec": (8, 4, 2, 1),
+}
+
+#: A representative subset that runs in a couple of minutes and still shows
+#: every qualitative effect (used by the benchmark suite).
+FIG11_QUICK_MATRIX: Dict[str, Tuple[int, ...]] = {
+    "heat": (128, 64),
+    "cholesky": (128, 64),
+    "lu": (64, 32),
+    "sparselu": (128, 64),
+    "h264dec": (8, 4),
+}
+
+#: The three simulators compared in each plot.
+FIG11_SIMULATORS: Tuple[str, ...] = ("picos", "perfect", "nanos")
+
+
+def run_fig11_point(
+    benchmark: str,
+    block_size: int,
+    worker_counts: Sequence[int] = FIG11_WORKERS,
+    problem_size: Optional[int] = None,
+    design: DMDesign = DMDesign.PEARSON8,
+) -> Dict[str, ScalabilityCurve]:
+    """Scalability curves of one benchmark / block-size pair.
+
+    Returns ``{"picos": curve, "perfect": curve, "nanos": curve}``.
+    """
+    program = build_benchmark(benchmark, block_size, problem_size=problem_size)
+    config = PicosConfig.paper_prototype(design)
+    curves = {
+        name: ScalabilityCurve(label=f"{benchmark}-{block_size}-{name}")
+        for name in FIG11_SIMULATORS
+    }
+    for workers in worker_counts:
+        picos = HILSimulator(
+            program, config=config, mode=HILMode.FULL_SYSTEM, num_workers=workers
+        ).run()
+        perfect = PerfectScheduler(program, num_workers=workers).run()
+        nanos = NanosRuntimeSimulator(program, num_threads=workers).run()
+        curves["picos"].add(workers, picos.speedup)
+        curves["perfect"].add(workers, perfect.speedup)
+        curves["nanos"].add(workers, nanos.speedup)
+    return curves
+
+
+def run_fig11(
+    matrix: Optional[Dict[str, Sequence[int]]] = None,
+    worker_counts: Sequence[int] = FIG11_WORKERS,
+    problem_size: Optional[int] = None,
+) -> Dict[Tuple[str, int], Dict[str, ScalabilityCurve]]:
+    """Compute the Figure 11 curves for a benchmark matrix.
+
+    ``matrix`` defaults to the quick subset; pass ``FIG11_FULL_MATRIX`` for
+    the complete paper sweep.
+    """
+    matrix = matrix if matrix is not None else FIG11_QUICK_MATRIX
+    results: Dict[Tuple[str, int], Dict[str, ScalabilityCurve]] = {}
+    for benchmark, block_sizes in matrix.items():
+        for block_size in block_sizes:
+            results[(benchmark, block_size)] = run_fig11_point(
+                benchmark,
+                block_size,
+                worker_counts=worker_counts,
+                problem_size=problem_size,
+            )
+    return results
+
+
+def render_fig11(
+    results: Dict[Tuple[str, int], Dict[str, ScalabilityCurve]]
+) -> str:
+    """Render the Figure 11 curves, one table per benchmark / block size."""
+    sections: List[str] = []
+    for (benchmark, block_size), curves in results.items():
+        worker_counts = curves["picos"].worker_counts()
+        series = {
+            "Picos full-system": curves["picos"].speedups(),
+            "Perfect simulator": curves["perfect"].speedups(),
+            "Nanos++ RTS": curves["nanos"].speedups(),
+        }
+        sections.append(
+            render_series(
+                title=f"Figure 11 -- {benchmark} (block size {block_size}): "
+                "speedup vs workers",
+                x_label="workers",
+                x_values=worker_counts,
+                series=series,
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def qualitative_checks(
+    curves: Dict[str, ScalabilityCurve]
+) -> Dict[str, bool]:
+    """The paper's qualitative claims for one benchmark / block-size point."""
+    picos = curves["picos"]
+    perfect = curves["perfect"]
+    nanos = curves["nanos"]
+    max_workers = max(picos.worker_counts())
+    return {
+        # The prototype never exceeds the roofline.
+        "picos_below_roofline": all(
+            picos.points[w] <= perfect.points[w] * 1.02 for w in picos.worker_counts()
+        ),
+        # The prototype at the largest worker count beats the software peak.
+        "picos_beats_nanos_peak": picos.points[max_workers] >= nanos.peak()[1],
+        # The software runtime saturates no later than the prototype.
+        "nanos_saturates_earlier": nanos.peak()[0] <= picos.peak()[0],
+    }
+
+
+def main() -> None:
+    """Run and print the quick Figure 11 subset (console entry point)."""
+    print(render_fig11(run_fig11()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""Table IV: processing capacity on the synthetic benchmarks.
+
+The seven synthetic benchmarks of Section IV-C are run with 12 workers in
+the three HIL modes; for each case the driver reports the latency of the
+first task (``L1st``), the per-task throughput (``thrTask``) and the
+per-dependence throughput (``thrDep``) in cycles, next to the values the
+paper measured on the Zedboard prototype.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import render_table
+from repro.core.config import PicosConfig
+from repro.sim.hil import HILMode, HILSimulator
+from repro.traces.synthetic import (
+    first_and_average_dependences,
+    synthetic_case,
+    synthetic_case_names,
+)
+
+#: Worker count used by the paper for this table.
+TABLE4_WORKERS = 12
+
+#: Table IV of the paper: ``{mode: {case: (L1st, thrTask, thrDep)}}``.
+#: A ``thrDep`` of ``None`` marks the "-" cells (cases without dependences).
+PAPER_TABLE4: Dict[str, Dict[str, Tuple[int, int, Optional[int]]]] = {
+    "hw-only": {
+        "case1": (45, 15, None),
+        "case2": (73, 24, 24),
+        "case3": (312, 243, 16),
+        "case4": (72, 24, 24),
+        "case5": (96, 35, 18),
+        "case6": (287, 38, 19),
+        "case7": (233, 178, 16),
+    },
+    "hw-comm": {
+        "case1": (1172, 740, None),
+        "case2": (1174, 740, 740),
+        "case3": (1293, 734, 49),
+        "case4": (1151, 743, 743),
+        "case5": (1158, 743, 371),
+        "case6": (1274, 743, 372),
+        "case7": (1279, 743, 68),
+    },
+    "full-system": {
+        "case1": (3879, 2729, None),
+        "case2": (4240, 3125, 3125),
+        "case3": (4710, 3413, 228),
+        "case4": (4246, 3124, 3124),
+        "case5": (4217, 3168, 1584),
+        "case6": (4531, 3165, 1583),
+        "case7": (4549, 3379, 307),
+    },
+}
+
+
+def run_table4(
+    cases: Optional[Sequence[str]] = None,
+    num_workers: int = TABLE4_WORKERS,
+    config: Optional[PicosConfig] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Measure L1st / thrTask / thrDep for every case and HIL mode.
+
+    Returns ``{mode_value: {case: {"L1st": ..., "thrTask": ..., "thrDep":
+    ..., "d1st": ..., "avg_deps": ...}}}``.
+    """
+    cases = list(cases) if cases is not None else list(synthetic_case_names())
+    config = config if config is not None else PicosConfig()
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for mode in (HILMode.HW_ONLY, HILMode.HW_COMM, HILMode.FULL_SYSTEM):
+        per_case: Dict[str, Dict[str, float]] = {}
+        for case in cases:
+            program = synthetic_case(case)
+            d1st, avg_deps = first_and_average_dependences(program)
+            simulation = HILSimulator(
+                program, config=config, mode=mode, num_workers=num_workers
+            ).run()
+            thr_task = simulation.task_throughput()
+            per_case[case] = {
+                "d1st": float(d1st),
+                "avg_deps": avg_deps,
+                "L1st": float(simulation.first_task_latency()),
+                "thrTask": thr_task,
+                "thrDep": (thr_task / avg_deps) if avg_deps > 0 else 0.0,
+            }
+        results[mode.value] = per_case
+    return results
+
+
+def render_table4(results: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    """Render the measured values next to the paper's Table IV."""
+    sections: List[str] = []
+    for mode_value, per_case in results.items():
+        rows: List[List[object]] = []
+        for case, metrics in per_case.items():
+            paper = PAPER_TABLE4.get(mode_value, {}).get(case)
+            paper_text = (
+                f"{paper[0]}/{paper[1]}/{paper[2] if paper[2] is not None else '-'}"
+                if paper
+                else "-"
+            )
+            rows.append(
+                [
+                    case,
+                    f"{int(metrics['d1st'])}/{metrics['avg_deps']:.0f}",
+                    round(metrics["L1st"]),
+                    round(metrics["thrTask"]),
+                    round(metrics["thrDep"]) if metrics["avg_deps"] > 0 else "-",
+                    paper_text,
+                ]
+            )
+        sections.append(
+            render_table(
+                headers=["case", "#d1st/avg#d", "L1st", "thrTask", "thrDep", "paper (L/thrT/thrD)"],
+                rows=rows,
+                title=f"Table IV -- {mode_value} mode ({TABLE4_WORKERS} workers)",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def relative_error(
+    results: Dict[str, Dict[str, Dict[str, float]]],
+    mode: str,
+    case: str,
+    metric: str,
+) -> float:
+    """Relative error of one measured cell against the paper's value."""
+    metric_index = {"L1st": 0, "thrTask": 1, "thrDep": 2}[metric]
+    paper_value = PAPER_TABLE4[mode][case][metric_index]
+    if paper_value is None:
+        return 0.0
+    measured = results[mode][case][metric]
+    return abs(measured - paper_value) / paper_value
+
+
+def main() -> None:
+    """Run and print Table IV (console entry point)."""
+    print(render_table4(run_table4()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""FPGA resource-cost model of the Picos prototype.
+
+:mod:`repro.hardware.resources` estimates the LUT, flip-flop and BRAM usage
+of every memory and module of the prototype on the Zynq XC7Z020 device,
+reproducing Table III of the paper and allowing what-if exploration of
+larger geometries (e.g. the 32-way DM the paper decides not to build).
+"""
+
+from repro.hardware.resources import (
+    DeviceBudget,
+    ResourceEstimate,
+    XC7Z020,
+    estimate_design,
+    table3_rows,
+)
+
+__all__ = [
+    "DeviceBudget",
+    "ResourceEstimate",
+    "XC7Z020",
+    "estimate_design",
+    "table3_rows",
+]

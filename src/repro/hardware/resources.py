@@ -1,0 +1,247 @@
+"""Structural FPGA resource-cost model (Table III).
+
+The prototype is implemented on a Zynq XC7Z020 (53,200 LUTs, 106,400
+flip-flops, 140 36-Kbit BRAMs).  Table III reports the fraction of the
+device used by each memory and module.  This module derives those costs
+structurally from the configured geometry:
+
+* memories are mapped to BRAM36 primitives, constrained both by capacity
+  (36 Kbit per primitive) and by port width (72 bits per primitive);
+* the DM match logic costs one wide comparator plus way-selection muxing
+  per way, with a priority encoder that grows with associativity;
+* the Pearson hash of the P+8way design adds four 256x8 permutation tables
+  (mapped to distributed LUT RAM) and the XOR fold;
+* module-level control logic (TRS, DCT, GW+ARB+TS) is a calibrated constant
+  taken from the prototype's synthesis results.
+
+The model is calibrated so the paper's geometries land close to the Table
+III percentages while remaining parametric, which allows the what-if
+exploration the paper mentions (e.g. a 32-way DM doubling the memory cost).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.config import DMDesign, PicosConfig
+
+#: Bits of one BRAM36 primitive.
+_BRAM_BITS = 36 * 1024
+#: Maximum data width of one BRAM36 port.
+_BRAM_MAX_WIDTH = 72
+
+
+@dataclass(frozen=True)
+class DeviceBudget:
+    """Resource budget of an FPGA device."""
+
+    name: str
+    luts: int
+    flip_flops: int
+    bram36: int
+
+
+#: The device of the Zedboard used by the paper.
+XC7Z020 = DeviceBudget(name="XC7Z020", luts=53_200, flip_flops=106_400, bram36=140)
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated resource usage of one component."""
+
+    component: str
+    luts: int
+    flip_flops: int
+    bram36: int
+
+    def as_percentages(self, device: DeviceBudget = XC7Z020) -> Dict[str, float]:
+        """Express the estimate as percentages of ``device`` (Table III form)."""
+        return {
+            "LUTs": 100.0 * self.luts / device.luts,
+            "FFs": 100.0 * self.flip_flops / device.flip_flops,
+            "BRAM": 100.0 * self.bram36 / device.bram36,
+        }
+
+    def __add__(self, other: "ResourceEstimate") -> "ResourceEstimate":
+        return ResourceEstimate(
+            component=f"{self.component}+{other.component}",
+            luts=self.luts + other.luts,
+            flip_flops=self.flip_flops + other.flip_flops,
+            bram36=self.bram36 + other.bram36,
+        )
+
+
+def _bram_for(entries: int, width_bits: int) -> int:
+    """BRAM36 primitives needed for an ``entries x width`` memory."""
+    if entries <= 0 or width_bits <= 0:
+        return 0
+    by_width = math.ceil(width_bits / _BRAM_MAX_WIDTH)
+    by_capacity = math.ceil(entries * width_bits / _BRAM_BITS)
+    return max(by_width, by_capacity)
+
+
+# ----------------------------------------------------------------------
+# memories
+# ----------------------------------------------------------------------
+def estimate_task_memory(config: PicosConfig) -> ResourceEstimate:
+    """TM0 + TMX cost of one TRS instance."""
+    # TM0: task id, dependence counters and status flags.
+    tm0_width = 48
+    brams = _bram_for(config.tm_entries, tm0_width)
+    # TMX banks: 3 dependences per entry, each holding a VM pointer, a
+    # chain reference and status bits.
+    tmx_banks = math.ceil(config.max_deps_per_task / 3)
+    dep_record_bits = 26
+    tmx_width = 3 * dep_record_bits
+    brams += tmx_banks * _bram_for(config.tm_entries, tmx_width)
+    return ResourceEstimate("TM", luts=210, flip_flops=12, bram36=brams)
+
+
+def estimate_version_memory(config: PicosConfig) -> ResourceEstimate:
+    """VM cost of one DCT instance (doubled entries for the 16-way DM)."""
+    entries = config.effective_vm_entries
+    # consumer / producer slots, counters, chain pointers.
+    width = 72
+    brams = _bram_for(entries, width)
+    name = "VM for 16way" if config.dm_design is DMDesign.WAY16 else "VM for 8way/P+8way"
+    return ResourceEstimate(name, luts=210, flip_flops=12, bram36=brams)
+
+
+def estimate_dependence_memory(config: PicosConfig) -> ResourceEstimate:
+    """DM cost for the configured design."""
+    ways = config.dm_ways
+    # Per way: a tag bank and a data bank, accessed in parallel.
+    tag_width = 64
+    data_width = 32
+    brams_per_way = _bram_for(config.dm_sets, tag_width) + _bram_for(
+        config.dm_sets, data_width
+    )
+    # Small set memories are still one primitive per bank because every way
+    # is matched in parallel; keep at least one per bank.
+    brams = ways * max(1, brams_per_way) * 3 // 4
+    # Match logic: one 64-bit comparator and way muxing per way, plus a
+    # priority encoder that grows with the square of the associativity.
+    luts = ways * 70 + 2 * ways * ways
+    flip_flops = 90 + ways
+    if config.dm_design.uses_pearson:
+        # Four 256x8 Pearson tables in LUT RAM plus the XOR fold.
+        luts += 4 * 64 + 16
+        flip_flops += 14
+        brams += 1
+    return ResourceEstimate(
+        config.dm_design.display_name, luts=luts, flip_flops=flip_flops, bram36=brams
+    )
+
+
+# ----------------------------------------------------------------------
+# modules
+# ----------------------------------------------------------------------
+def estimate_trs(config: PicosConfig) -> ResourceEstimate:
+    """One TRS instance: its Task Memory plus readiness control logic."""
+    memory = estimate_task_memory(config)
+    return ResourceEstimate(
+        "TRS",
+        luts=memory.luts + 640,
+        flip_flops=memory.flip_flops + 620,
+        bram36=memory.bram36,
+    )
+
+
+def estimate_dct(config: PicosConfig) -> ResourceEstimate:
+    """One DCT instance: DM + VM plus chain-tracking control logic."""
+    dm = estimate_dependence_memory(config)
+    vm = estimate_version_memory(config)
+    return ResourceEstimate(
+        f"DCT ({config.dm_design.display_name})",
+        luts=dm.luts + vm.luts + 420,
+        flip_flops=dm.flip_flops + vm.flip_flops + 280,
+        bram36=dm.bram36 + vm.bram36,
+    )
+
+
+def estimate_frontend(config: PicosConfig) -> ResourceEstimate:
+    """GW + ARB + TS (simple control, FIFOs in distributed RAM)."""
+    scale = max(config.num_trs, config.num_dct)
+    return ResourceEstimate(
+        "GW+ARB+TS",
+        luts=690 + 60 * (scale - 1),
+        flip_flops=420 + 40 * (scale - 1),
+        bram36=0,
+    )
+
+
+def estimate_design(config: PicosConfig) -> ResourceEstimate:
+    """Full Picos design for ``config`` (the Table III bottom row)."""
+    total = estimate_frontend(config)
+    for _ in range(config.num_trs):
+        total = total + estimate_trs(config)
+    for _ in range(config.num_dct):
+        total = total + estimate_dct(config)
+    return ResourceEstimate(
+        f"Full Picos ({config.dm_design.display_name})",
+        luts=total.luts,
+        flip_flops=total.flip_flops,
+        bram36=total.bram36,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table III
+# ----------------------------------------------------------------------
+#: Table III of the paper, in percent of the XC7Z020 (LUTs, FFs, BRAM).
+PAPER_TABLE3: Dict[str, Dict[str, float]] = {
+    "TM": {"LUTs": 0.4, "FFs": 0.01, "BRAM": 6.0},
+    "VM for 8way/P+8way": {"LUTs": 0.4, "FFs": 0.01, "BRAM": 1.0},
+    "VM for 16way": {"LUTs": 0.4, "FFs": 0.01, "BRAM": 2.0},
+    "DM 8way": {"LUTs": 1.1, "FFs": 0.1, "BRAM": 9.0},
+    "DM 16way": {"LUTs": 3.1, "FFs": 0.1, "BRAM": 17.0},
+    "DM P+8way": {"LUTs": 1.7, "FFs": 0.1, "BRAM": 10.0},
+    "TRS": {"LUTs": 1.6, "FFs": 0.6, "BRAM": 6.0},
+    "DCT (DM P+8way)": {"LUTs": 2.9, "FFs": 0.3, "BRAM": 11.0},
+    "GW+ARB+TS": {"LUTs": 1.3, "FFs": 0.4, "BRAM": 0.0},
+    "Full Picos (DM P+8way)": {"LUTs": 5.8, "FFs": 1.2, "BRAM": 17.0},
+}
+
+
+def table3_rows(device: DeviceBudget = XC7Z020) -> List[Dict[str, object]]:
+    """Model estimates for every row of Table III, with the paper values.
+
+    Each row carries the component name, the modelled percentages and the
+    percentages the paper reports, so the Table III experiment driver and
+    bench can print them side by side.
+    """
+    base8 = PicosConfig.paper_prototype(DMDesign.WAY8)
+    base16 = PicosConfig.paper_prototype(DMDesign.WAY16)
+    basep8 = PicosConfig.paper_prototype(DMDesign.PEARSON8)
+
+    estimates = [
+        estimate_task_memory(basep8),
+        estimate_version_memory(basep8),
+        estimate_version_memory(base16),
+        estimate_dependence_memory(base8),
+        estimate_dependence_memory(base16),
+        estimate_dependence_memory(basep8),
+        estimate_trs(basep8),
+        estimate_dct(basep8),
+        estimate_frontend(basep8),
+        estimate_design(basep8),
+    ]
+    rows: List[Dict[str, object]] = []
+    for estimate in estimates:
+        percentages = estimate.as_percentages(device)
+        paper = PAPER_TABLE3.get(estimate.component, {})
+        rows.append(
+            {
+                "component": estimate.component,
+                "model": percentages,
+                "paper": paper,
+                "absolute": {
+                    "LUTs": estimate.luts,
+                    "FFs": estimate.flip_flops,
+                    "BRAM": estimate.bram36,
+                },
+            }
+        )
+    return rows

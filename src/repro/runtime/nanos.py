@@ -1,0 +1,175 @@
+"""Nanos++ software-only runtime simulator (the paper's baseline).
+
+The OmpSs software-only implementation performs task creation, dependence
+analysis, scheduling and dependence release entirely in software.  Its
+per-task overhead is essentially independent of the task duration, which is
+why Figure 1 shows speedup collapsing once task granularity shrinks below
+the point where the overhead rivals the task body.
+
+The model implemented here is a discrete-event simulation with the
+structure of the Nanos++ runtime:
+
+* a *master* thread creates and submits tasks in program order, paying the
+  creation + submission overhead of :class:`~repro.runtime.overhead.
+  NanosOverheadModel` for each (this work is serial: it is the thread that
+  encounters the task pragmas);
+* the master thread is one of the ``num_threads`` threads of the team: while
+  it is creating tasks it does not execute them, and once the last task has
+  been submitted it joins the workers (this matches Nanos++ with its default
+  breadth-first creation on the benchmarks of the paper, which create all
+  their tasks from one master);
+* worker threads pick ready tasks, paying a scheduler pick-up cost, execute
+  the task body for its traced duration, and pay a dependence-release cost
+  per dependence when it finishes;
+* a task is ready when the master has submitted it *and* all its
+  predecessors (from exact dependence analysis) have finished and released
+  their dependences.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.runtime.dependence_analysis import TaskGraph, build_task_graph
+from repro.runtime.overhead import NanosOverheadModel
+from repro.runtime.task import TaskProgram
+from repro.sim.engine import EventQueue
+from repro.sim.results import SimulationResult, TaskTimeline
+
+_EV_SUBMITTED = "submitted"
+_EV_TASK_DONE = "task-done"
+_EV_MASTER_JOINS = "master-joins"
+
+
+class NanosRuntimeSimulator:
+    """Discrete-event model of the Nanos++ software-only runtime."""
+
+    def __init__(
+        self,
+        program: TaskProgram,
+        num_threads: int = 12,
+        overhead: Optional[NanosOverheadModel] = None,
+    ) -> None:
+        if num_threads < 1:
+            raise ValueError("at least one thread is required")
+        self.program = program
+        self.num_threads = num_threads
+        self.overhead = overhead if overhead is not None else NanosOverheadModel()
+        self.graph: TaskGraph = build_task_graph(program)
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the program and return the software-only result."""
+        program = self.program
+        graph = self.graph
+        queue = EventQueue()
+        timelines: Dict[int, TaskTimeline] = {
+            task.task_id: TaskTimeline(task_id=task.task_id) for task in program
+        }
+
+        # --- master thread: serial creation + submission -------------
+        creation_clock = 0
+        for task in program:
+            overhead = self.overhead.creation_and_submission(
+                task.num_dependences, self.num_threads
+            )
+            timelines[task.task_id].created = creation_clock
+            creation_clock += overhead
+            timelines[task.task_id].submitted = creation_clock
+            queue.schedule(creation_clock, _EV_SUBMITTED, task.task_id)
+        master_joins_at = creation_clock
+        queue.schedule(master_joins_at, _EV_MASTER_JOINS)
+
+        # --- worker pool ----------------------------------------------
+        # While the master is creating tasks, only num_threads - 1 threads
+        # execute; the master joins afterwards.  With a single thread the
+        # master executes everything after it finished creating.
+        initial_workers = max(self.num_threads - 1, 0)
+        idle_workers: List[int] = list(range(initial_workers))
+        if self.num_threads == 1:
+            idle_workers = []
+
+        remaining_preds: Dict[int, int] = {
+            task_id: len(preds) for task_id, preds in graph.predecessors.items()
+        }
+        submitted: Dict[int, bool] = {task.task_id: False for task in program}
+        ready_pool: Deque[int] = deque()  # FIFO by readiness
+        finished = 0
+        makespan = 0
+
+        def try_dispatch(now: int) -> None:
+            nonlocal makespan
+            while idle_workers and ready_pool:
+                worker = idle_workers.pop()
+                task_id = ready_pool.popleft()
+                task = program.task(task_id)
+                pickup = self.overhead.worker_pickup_cycles(self.num_threads)
+                release = self.overhead.release_cycles(
+                    task.num_dependences, self.num_threads
+                )
+                start = now + pickup
+                finish = start + task.duration
+                timelines[task_id].started = start
+                timelines[task_id].finished = finish
+                makespan = max(makespan, finish)
+                queue.schedule(finish + release, _EV_TASK_DONE, (worker, task_id))
+
+        def mark_ready_if_possible(task_id: int, now: int) -> None:
+            if submitted[task_id] and remaining_preds[task_id] == 0:
+                timelines[task_id].ready = now
+                ready_pool.append(task_id)
+
+        for event in queue:
+            now = event.time
+            if event.kind == _EV_SUBMITTED:
+                task_id = event.payload
+                submitted[task_id] = True
+                mark_ready_if_possible(task_id, now)
+                try_dispatch(now)
+            elif event.kind == _EV_MASTER_JOINS:
+                idle_workers.append(self.num_threads - 1)
+                try_dispatch(now)
+            elif event.kind == _EV_TASK_DONE:
+                worker, task_id = event.payload
+                finished += 1
+                idle_workers.append(worker)
+                for successor in graph.successors[task_id]:
+                    remaining_preds[successor] -= 1
+                    mark_ready_if_possible(successor, now)
+                try_dispatch(now)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {event.kind!r}")
+
+        if finished != program.num_tasks:
+            raise RuntimeError(
+                f"Nanos++ simulation finished {finished} of "
+                f"{program.num_tasks} tasks (deadlock?)"
+            )
+
+        counters = {
+            "master_creation_cycles": master_joins_at,
+            "threads": self.num_threads,
+        }
+        return SimulationResult(
+            simulator="nanos-software",
+            program_name=program.name,
+            num_workers=self.num_threads,
+            makespan=makespan,
+            sequential_cycles=program.sequential_cycles,
+            num_tasks=program.num_tasks,
+            timelines=timelines,
+            counters=counters,
+            drain_time=queue.now,
+        )
+
+
+def nanos_speedup(
+    program: TaskProgram,
+    num_threads: int,
+    overhead: Optional[NanosOverheadModel] = None,
+) -> float:
+    """Convenience helper: software-only speedup for one configuration."""
+    return NanosRuntimeSimulator(program, num_threads, overhead).run().speedup

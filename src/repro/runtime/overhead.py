@@ -1,0 +1,120 @@
+"""Nanos++ per-task overhead model (Figure 10).
+
+Figure 10 of the paper measures, on the 12-core Xeon machine, the cycles the
+Nanos++ runtime spends per task in the software-only implementation:
+
+* *Creation*: allocating and initialising the task work descriptor.  The
+  paper notes it is "the same for varied number of dependences"; it grows
+  mildly with the number of threads because of allocator and queue
+  contention.
+* *Submission with x DEPs*: registering the task's dependences in the
+  runtime's dependence hash and inserting the task in the scheduler.  This
+  grows with the number of dependences and, much faster, with the number of
+  threads, because dependence analysis is performed inside a critical
+  section that every thread contends for.
+
+The absolute constants below are calibration values chosen so the
+software-only behaviour of Figures 1 and 11 is reproduced: with 12 threads
+the per-task overhead reaches a few tens of thousands of (Xeon) cycles,
+which is what makes Nanos++ collapse when the average task size drops to
+the 10^4-10^5 cycle range (Table I, block sizes 64 and 32), while remaining
+negligible for the 10^6-10^7 cycle tasks of the large block sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class NanosOverheadModel:
+    """Analytical model of the Nanos++ task creation / submission overheads.
+
+    All values are in cycles of the machine running the runtime (the paper's
+    Xeon E5-2630L).  The model is deliberately simple -- an affine cost in
+    the number of dependences, multiplied by a contention factor that grows
+    with the number of threads -- because that is the observed shape of
+    Figure 10.
+    """
+
+    #: Task-creation cost with a single thread.
+    creation_base: int = 2500
+    #: Relative growth of the creation cost per extra thread.
+    creation_contention: float = 0.05
+    #: Dependence-independent part of the submission cost (single thread).
+    submission_base: int = 1500
+    #: Additional submission cost per dependence (single thread).
+    submission_per_dep: int = 1200
+    #: Relative growth of the submission cost per extra thread (lock and
+    #: cache-line contention on the dependence hash).
+    submission_contention: float = 0.25
+    #: Scheduler cost paid by the worker that picks the task up.
+    scheduling_cycles: int = 900
+    #: Cost of releasing the task's dependences when it finishes.
+    release_per_dep: int = 600
+
+    # ------------------------------------------------------------------
+    # Figure 10 quantities
+    # ------------------------------------------------------------------
+    def creation_cycles(self, num_threads: int) -> int:
+        """Per-task creation overhead with ``num_threads`` runtime threads."""
+        self._check_threads(num_threads)
+        factor = 1.0 + self.creation_contention * (num_threads - 1)
+        return int(round(self.creation_base * factor))
+
+    def submission_cycles(self, num_deps: int, num_threads: int) -> int:
+        """Per-task submission overhead for a task with ``num_deps`` dependences."""
+        self._check_threads(num_threads)
+        if num_deps < 0:
+            raise ValueError("num_deps must be non-negative")
+        base = self.submission_base + self.submission_per_dep * num_deps
+        factor = 1.0 + self.submission_contention * (num_threads - 1)
+        return int(round(base * factor))
+
+    def creation_and_submission(self, num_deps: int, num_threads: int) -> int:
+        """Total master-side overhead per task (creation + submission)."""
+        return self.creation_cycles(num_threads) + self.submission_cycles(
+            num_deps, num_threads
+        )
+
+    # ------------------------------------------------------------------
+    # worker-side overheads used by the Nanos++ simulator
+    # ------------------------------------------------------------------
+    def worker_pickup_cycles(self, num_threads: int) -> int:
+        """Cycles a worker spends dequeuing a ready task."""
+        self._check_threads(num_threads)
+        factor = 1.0 + 0.08 * (num_threads - 1)
+        return int(round(self.scheduling_cycles * factor))
+
+    def release_cycles(self, num_deps: int, num_threads: int) -> int:
+        """Cycles a worker spends releasing dependences after a task ends."""
+        self._check_threads(num_threads)
+        factor = 1.0 + 0.5 * self.submission_contention * (num_threads - 1)
+        return int(round(self.release_per_dep * num_deps * factor))
+
+    # ------------------------------------------------------------------
+    # reporting helpers (used by the Figure 10 experiment driver)
+    # ------------------------------------------------------------------
+    def overhead_table(
+        self, dep_counts: Sequence[int], thread_counts: Sequence[int]
+    ) -> Dict[str, List[int]]:
+        """Build the Figure 10 series: one row per curve, one column per thread count.
+
+        Returns a mapping whose key ``"creation"`` is the creation curve and
+        whose keys ``"<x> DEPs"`` are the submission curves for each entry of
+        ``dep_counts``.
+        """
+        table: Dict[str, List[int]] = {
+            "creation": [self.creation_cycles(t) for t in thread_counts]
+        }
+        for deps in dep_counts:
+            table[f"{deps} DEPs"] = [
+                self.submission_cycles(deps, t) for t in thread_counts
+            ]
+        return table
+
+    @staticmethod
+    def _check_threads(num_threads: int) -> None:
+        if num_threads < 1:
+            raise ValueError("num_threads must be at least 1")

@@ -1,0 +1,29 @@
+"""Hardware-In-the-Loop execution platform substrate.
+
+This subpackage models the embedded system of Section IV-B: the ARM
+processing system that creates tasks and exchanges AXI-stream messages with
+the Picos accelerator in the programmable logic, the worker cores that
+execute tasks, and the three operational modes the paper evaluates
+(HW-only, HW+communication and Full-system).
+
+The central entry point is :func:`repro.sim.driver.simulate_program`, which
+runs a :class:`~repro.runtime.task.TaskProgram` through a Picos
+configuration on a given number of workers and returns a
+:class:`~repro.sim.results.SimulationResult`.
+"""
+
+from repro.sim.engine import EventQueue
+from repro.sim.hil import HILMode, HILSimulator
+from repro.sim.results import SimulationResult, TaskTimeline
+from repro.sim.driver import simulate_program
+from repro.sim.worker import WorkerPool
+
+__all__ = [
+    "EventQueue",
+    "HILMode",
+    "HILSimulator",
+    "SimulationResult",
+    "TaskTimeline",
+    "simulate_program",
+    "WorkerPool",
+]

@@ -1,0 +1,88 @@
+"""High-level simulation entry points.
+
+:func:`simulate_program` is the one-call interface used by the examples,
+tests and experiment drivers: it runs a task program through the chosen
+simulator (Picos HIL in one of its three modes, the Nanos++ software-only
+runtime, or the Perfect scheduler) and returns a
+:class:`~repro.sim.results.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.config import DMDesign, PicosConfig
+from repro.core.scheduler import SchedulingPolicy
+from repro.runtime.task import TaskProgram
+from repro.sim.hil import HILMode, HILSimulator
+from repro.sim.results import SimulationResult
+
+
+def simulate_program(
+    program: TaskProgram,
+    num_workers: int = 12,
+    mode: HILMode = HILMode.FULL_SYSTEM,
+    config: Optional[PicosConfig] = None,
+    dm_design: Optional[DMDesign] = None,
+    policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+) -> SimulationResult:
+    """Simulate ``program`` on the Picos HIL platform.
+
+    Parameters
+    ----------
+    program:
+        The task program (trace) to execute.
+    num_workers:
+        Number of worker cores.
+    mode:
+        HIL operational mode (HW-only, HW+communication or Full-system).
+    config:
+        Full Picos configuration; when omitted the paper's prototype
+        configuration is used.
+    dm_design:
+        Shortcut to select a Dependence Memory design without building a
+        whole configuration (ignored when ``config`` is given).
+    policy:
+        Ready-queue policy of the Task Scheduler (FIFO by default, as in the
+        prototype).
+    """
+    if config is None:
+        if dm_design is not None:
+            config = PicosConfig.paper_prototype(dm_design)
+        else:
+            config = PicosConfig()
+    simulator = HILSimulator(
+        program=program,
+        config=config,
+        mode=mode,
+        num_workers=num_workers,
+        policy=policy,
+    )
+    return simulator.run()
+
+
+def simulate_worker_sweep(
+    program: TaskProgram,
+    worker_counts: Iterable[int],
+    mode: HILMode = HILMode.FULL_SYSTEM,
+    config: Optional[PicosConfig] = None,
+    dm_design: Optional[DMDesign] = None,
+    policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+) -> Dict[int, SimulationResult]:
+    """Run the same program for several worker counts (scalability curves)."""
+    results: Dict[int, SimulationResult] = {}
+    for workers in worker_counts:
+        results[workers] = simulate_program(
+            program,
+            num_workers=workers,
+            mode=mode,
+            config=config,
+            dm_design=dm_design,
+            policy=policy,
+        )
+    return results
+
+
+def speedup_curve(results: Dict[int, SimulationResult]) -> List[float]:
+    """Extract the speedup values of a worker sweep, in worker-count order."""
+    return [results[workers].speedup for workers in sorted(results)]

@@ -1,0 +1,103 @@
+"""A small discrete-event simulation engine.
+
+The Hardware-In-the-Loop platform and the Nanos++ software-only model are
+both driven by the same minimal engine: a time-ordered event queue with
+stable FIFO ordering for simultaneous events.  Events are plain
+``(kind, payload)`` pairs; the simulators dispatch on ``kind`` themselves,
+which keeps the engine free of any domain knowledge.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled event."""
+
+    time: int
+    kind: str
+    payload: Any = None
+
+
+class EventQueue:
+    """Time-ordered event queue with deterministic tie-breaking.
+
+    Events scheduled for the same time are delivered in scheduling order,
+    which keeps every simulation in this package fully deterministic (a
+    property the test suite relies on).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._counter = itertools.count()
+        self._now = 0
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, time: int, kind: str, payload: Any = None) -> Event:
+        """Schedule an event at absolute ``time``.
+
+        Scheduling in the past is a simulation bug; it raises immediately so
+        the offending simulator logic is easy to locate.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event {kind!r} at {time} before current time "
+                f"{self._now}"
+            )
+        event = Event(time=time, kind=kind, payload=payload)
+        heapq.heappush(self._heap, (time, next(self._counter), event))
+        return event
+
+    def schedule_in(self, delay: int, kind: str, payload: Any = None) -> Event:
+        """Schedule an event ``delay`` cycles after the current time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self._now + delay, kind, payload)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time (time of the last event popped)."""
+        return self._now
+
+    @property
+    def empty(self) -> bool:
+        """Whether any event remains to be processed."""
+        return not self._heap
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events delivered so far."""
+        return self._processed
+
+    def pop(self) -> Optional[Event]:
+        """Deliver the next event, advancing the simulation clock."""
+        if not self._heap:
+            return None
+        time, _, event = heapq.heappop(self._heap)
+        self._now = time
+        self._processed += 1
+        return event
+
+    def __iter__(self) -> Iterator[Event]:
+        """Iterate over events until the queue drains."""
+        while True:
+            event = self.pop()
+            if event is None:
+                return
+            yield event

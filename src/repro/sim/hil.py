@@ -1,0 +1,323 @@
+"""Hardware-In-the-Loop (HIL) simulation platform.
+
+This module reproduces the embedded system of Section IV-B (Figure 6): the
+Picos accelerator in the programmable logic, the ARM processing system that
+creates tasks and exchanges AXI-stream messages with it, and the worker
+cores that execute task bodies.  Three operational modes are supported,
+matching the rows of Table IV:
+
+``HW_ONLY``
+    All tasks are pushed to Picos up front, workers live next to the
+    accelerator and there is no communication cost.  This isolates the
+    processing capacity of the hardware itself.
+
+``HW_COMM``
+    Adds the AXI-stream communication latency (200-300 cycles per message)
+    for every new-task, ready-task and finished-task message, all serialised
+    through the ARM core, but no Nanos++ software cost.
+
+``FULL_SYSTEM``
+    The closed-loop system: the ARM core additionally pays the Nanos++ task
+    creation and submission cost for every task before sending it to Picos.
+
+The simulator is a discrete-event model: the Picos pipeline is a serial
+resource whose per-operation occupancy and readiness latencies come from the
+functional :class:`~repro.core.picos.PicosAccelerator`, the ARM core is a
+serial resource handling communication (and Nanos++ work in full-system
+mode), and workers execute task bodies for their traced duration.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.core.config import PicosConfig
+from repro.core.picos import PicosAccelerator, SubmitStatus
+from repro.core.scheduler import SchedulingPolicy, TaskScheduler
+from repro.runtime.task import Task, TaskProgram
+from repro.sim.engine import EventQueue
+from repro.sim.results import SimulationResult, TaskTimeline
+from repro.sim.worker import WorkerPool
+
+
+class HILMode(enum.Enum):
+    """Operational mode of the Hardware-In-the-Loop platform."""
+
+    HW_ONLY = "hw-only"
+    HW_COMM = "hw-comm"
+    FULL_SYSTEM = "full-system"
+
+    @property
+    def uses_master(self) -> bool:
+        """Whether the ARM core mediates every message in this mode."""
+        return self is not HILMode.HW_ONLY
+
+    @property
+    def display_name(self) -> str:
+        """Label used in Table IV."""
+        return {
+            HILMode.HW_ONLY: "HW-only",
+            HILMode.HW_COMM: "HW+comm.",
+            HILMode.FULL_SYSTEM: "Full-system",
+        }[self]
+
+
+# master job kinds
+_JOB_CREATE = "create"
+_JOB_DISPATCH = "dispatch"
+_JOB_FINISH = "finish"
+
+# event kinds
+_EV_TASK_VISIBLE = "task-visible"
+_EV_WORKER_DONE = "worker-done"
+_EV_MASTER_DONE = "master-done"
+
+
+class HILSimulator:
+    """Discrete-event simulation of the HIL platform running one program."""
+
+    #: Depth of the new-task FIFO between the ARM core and the Gateway; the
+    #: master stops creating ahead once this many tasks are waiting.
+    NEW_TASK_FIFO_DEPTH = 16
+
+    def __init__(
+        self,
+        program: TaskProgram,
+        config: Optional[PicosConfig] = None,
+        mode: HILMode = HILMode.FULL_SYSTEM,
+        num_workers: int = 12,
+        policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("at least one worker is required")
+        self.program = program
+        self.config = config if config is not None else PicosConfig()
+        self.mode = mode
+        self.num_workers = num_workers
+        self.policy = policy
+
+        self.accel = PicosAccelerator(self.config, policy=policy, auto_enqueue=False)
+        self.workers = WorkerPool(num_workers)
+        self.ready = TaskScheduler(policy)
+        self.queue = EventQueue()
+
+        self._timelines: Dict[int, TaskTimeline] = {}
+        self._pending_new: Deque[Task] = deque()
+        # The new-task path (GW -> TRS/DCT insertion) and the finished-task
+        # path (TRS retire -> DCT release) are separate pipelines in the
+        # prototype and overlap almost completely, so each gets its own
+        # serial resource.
+        self._picos_new_free_at = 0
+        self._picos_finish_free_at = 0
+        self._master_busy = False
+        self._master_finish_jobs: Deque[int] = deque()
+        self._master_dispatch_jobs: Deque[Tuple[int, int]] = deque()
+        self._next_create_index = 0
+        self._finished_tasks = 0
+        self._submission_blocked = False
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the program to completion and return the result."""
+        for task in self.program:
+            self._timelines[task.task_id] = TaskTimeline(task_id=task.task_id)
+
+        if self.mode is HILMode.HW_ONLY:
+            # "all the tasks are sent to Picos once" -- every task is queued
+            # at the accelerator input at time zero, in creation order.
+            for task in self.program:
+                self._pending_new.append(task)
+            self._process_submissions(0)
+        else:
+            # The ARM core pays a one-time platform start-up cost before the
+            # first task is created.
+            self._kick_master(self.config.hil_startup_cycles)
+
+        for event in self.queue:
+            if event.kind == _EV_TASK_VISIBLE:
+                self._on_task_visible(event.payload, event.time)
+            elif event.kind == _EV_WORKER_DONE:
+                self._on_worker_done(event.payload, event.time)
+            elif event.kind == _EV_MASTER_DONE:
+                self._on_master_done(event.payload, event.time)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {event.kind!r}")
+
+        return self._build_result()
+
+    # ------------------------------------------------------------------
+    # Picos pipeline
+    # ------------------------------------------------------------------
+    def _process_submissions(self, now: int) -> None:
+        """Feed the Gateway with waiting tasks while it makes progress."""
+        accepted_any = False
+        while self._pending_new:
+            head = self._pending_new[0]
+            start = max(now, self._picos_new_free_at)
+            if self.accel.has_pending_submission:
+                if not self.accel.can_resume():
+                    self._submission_blocked = True
+                    break
+                result = self.accel.resume_submission()
+            else:
+                result = self.accel.submit_task(head)
+            if result.status is SubmitStatus.STALLED:
+                self._submission_blocked = True
+                break
+            self._submission_blocked = False
+            accepted_any = True
+            self._pending_new.popleft()
+            timeline = self._timelines[head.task_id]
+            timeline.submitted = start
+            self._picos_new_free_at = start + result.occupancy
+            for ready in result.ready:
+                self.queue.schedule(start + ready.latency, _EV_TASK_VISIBLE, ready.task_id)
+        if accepted_any and self.mode.uses_master:
+            # Space may have freed in the new-task FIFO: let the master
+            # create the next task if it was throttled.
+            self._kick_master(now)
+
+    def _process_finish(self, task_id: int, now: int) -> None:
+        """Run the finished-task path through the accelerator."""
+        start = max(now, self._picos_finish_free_at)
+        result = self.accel.notify_finish(task_id)
+        self._picos_finish_free_at = start + result.occupancy
+        for ready in result.ready:
+            self.queue.schedule(start + ready.latency, _EV_TASK_VISIBLE, ready.task_id)
+        # Finishes free TM entries, DM ways and VM versions: retry any
+        # blocked submission.
+        self._process_submissions(now)
+
+    # ------------------------------------------------------------------
+    # ready tasks and workers
+    # ------------------------------------------------------------------
+    def _on_task_visible(self, task_id: int, now: int) -> None:
+        timeline = self._timelines[task_id]
+        timeline.ready = now
+        self.ready.push(task_id)
+        self._try_dispatch(now)
+
+    def _try_dispatch(self, now: int) -> None:
+        """Hand ready tasks to idle workers (directly or via the ARM core)."""
+        while self.workers.has_idle and len(self.ready):
+            task_id = self.ready.pop()
+            worker_id = self.workers.reserve(task_id)
+            if self.mode is HILMode.HW_ONLY:
+                self._start_execution(task_id, worker_id, now)
+            else:
+                self._master_dispatch_jobs.append((task_id, worker_id))
+        if self.mode.uses_master and self._master_dispatch_jobs:
+            self._kick_master(now)
+
+    def _start_execution(self, task_id: int, worker_id: int, now: int) -> None:
+        task = self.program.task(task_id)
+        end = self.workers.start_execution(worker_id, now, task.duration)
+        self._timelines[task_id].started = now
+        self.queue.schedule(end, _EV_WORKER_DONE, (worker_id, task_id))
+
+    def _on_worker_done(self, payload: Tuple[int, int], now: int) -> None:
+        worker_id, task_id = payload
+        self._timelines[task_id].finished = now
+        self.workers.release(worker_id)
+        self._finished_tasks += 1
+        if self.mode is HILMode.HW_ONLY:
+            self._process_finish(task_id, now)
+        else:
+            self._master_finish_jobs.append(task_id)
+            self._kick_master(now)
+        self._try_dispatch(now)
+
+    # ------------------------------------------------------------------
+    # the ARM core (master) in HW+comm and Full-system modes
+    # ------------------------------------------------------------------
+    def _master_can_create(self) -> bool:
+        return (
+            self._next_create_index < self.program.num_tasks
+            and len(self._pending_new) < self.NEW_TASK_FIFO_DEPTH
+        )
+
+    def _next_master_job(self) -> Optional[Tuple[str, object]]:
+        """Pick the next job for the ARM core (finish > dispatch > create)."""
+        if self._master_finish_jobs:
+            return (_JOB_FINISH, self._master_finish_jobs.popleft())
+        if self._master_dispatch_jobs:
+            return (_JOB_DISPATCH, self._master_dispatch_jobs.popleft())
+        if self._master_can_create():
+            task = self.program[self._next_create_index]
+            self._next_create_index += 1
+            return (_JOB_CREATE, task)
+        return None
+
+    def _master_job_cost(self, kind: str, payload: object) -> int:
+        if kind == _JOB_CREATE:
+            assert isinstance(payload, Task)
+            cost = self.config.comm_cycles
+            if self.mode is HILMode.FULL_SYSTEM:
+                cost += self.config.nanos_submission_cycles(payload.num_dependences)
+            return cost
+        # dispatch and finish forwarding are one AXI-stream message each.
+        return self.config.comm_cycles
+
+    def _kick_master(self, now: int) -> None:
+        if not self.mode.uses_master or self._master_busy:
+            return
+        job = self._next_master_job()
+        if job is None:
+            return
+        kind, payload = job
+        cost = self._master_job_cost(kind, payload)
+        self._master_busy = True
+        if kind == _JOB_CREATE:
+            assert isinstance(payload, Task)
+            self._timelines[payload.task_id].created = now
+        self.queue.schedule(now + cost, _EV_MASTER_DONE, job)
+
+    def _on_master_done(self, job: Tuple[str, object], now: int) -> None:
+        self._master_busy = False
+        kind, payload = job
+        if kind == _JOB_CREATE:
+            assert isinstance(payload, Task)
+            self._pending_new.append(payload)
+            self._process_submissions(now)
+        elif kind == _JOB_DISPATCH:
+            task_id, worker_id = payload  # type: ignore[misc]
+            self._start_execution(task_id, worker_id, now)
+        elif kind == _JOB_FINISH:
+            assert isinstance(payload, int)
+            self._process_finish(payload, now)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown master job {kind!r}")
+        self._kick_master(now)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def _build_result(self) -> SimulationResult:
+        if self._finished_tasks != self.program.num_tasks:
+            raise RuntimeError(
+                f"simulation ended with {self._finished_tasks} of "
+                f"{self.program.num_tasks} tasks executed (deadlock?)"
+            )
+        makespan = max(
+            (timeline.finished for timeline in self._timelines.values()), default=0
+        )
+        counters = self.accel.stats.as_dict()
+        counters["picos_new_path_busy_until"] = self._picos_new_free_at
+        counters["picos_finish_path_busy_until"] = self._picos_finish_free_at
+        counters["ready_queue_high_water"] = self.ready.max_occupancy
+        result = SimulationResult(
+            simulator=f"picos-{self.mode.value}",
+            program_name=self.program.name,
+            num_workers=self.num_workers,
+            makespan=makespan,
+            sequential_cycles=self.program.sequential_cycles,
+            num_tasks=self.program.num_tasks,
+            timelines=self._timelines,
+            counters=counters,
+            drain_time=self.queue.now,
+        )
+        return result

@@ -1,0 +1,111 @@
+"""Worker cores of the Hardware-In-the-Loop platform.
+
+Workers execute task bodies for the duration recorded in the trace.  In the
+HW-only mode they live inside the programmable logic and start a ready task
+immediately; in the other modes the ARM core must first retrieve the ready
+task over the AXI stream, so a worker is *reserved* while its dispatch
+message is in flight.  The :class:`WorkerPool` keeps track of idle, reserved
+and busy workers and collects utilisation statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class WorkerState:
+    """Bookkeeping for a single worker core."""
+
+    worker_id: int
+    busy_until: int = 0
+    tasks_executed: int = 0
+    busy_cycles: int = 0
+    #: Task currently assigned (reserved or executing), if any.
+    current_task: Optional[int] = None
+
+
+class WorkerPool:
+    """A fixed pool of worker cores."""
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError("at least one worker is required")
+        self.num_workers = num_workers
+        self._workers: Dict[int, WorkerState] = {
+            worker_id: WorkerState(worker_id) for worker_id in range(num_workers)
+        }
+        self._idle: List[int] = list(range(num_workers - 1, -1, -1))
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    @property
+    def idle_count(self) -> int:
+        """Number of workers with no task assigned."""
+        return len(self._idle)
+
+    @property
+    def has_idle(self) -> bool:
+        """Whether at least one worker can accept a task."""
+        return bool(self._idle)
+
+    @property
+    def busy_count(self) -> int:
+        """Number of workers currently reserved or executing."""
+        return self.num_workers - len(self._idle)
+
+    def state(self, worker_id: int) -> WorkerState:
+        """Bookkeeping record of one worker."""
+        return self._workers[worker_id]
+
+    # ------------------------------------------------------------------
+    # assignment
+    # ------------------------------------------------------------------
+    def reserve(self, task_id: int) -> int:
+        """Reserve an idle worker for ``task_id`` and return its id."""
+        if not self._idle:
+            raise RuntimeError("no idle worker available")
+        worker_id = self._idle.pop()
+        state = self._workers[worker_id]
+        state.current_task = task_id
+        return worker_id
+
+    def start_execution(self, worker_id: int, start: int, duration: int) -> int:
+        """Record that a reserved worker starts executing; returns end time."""
+        state = self._workers[worker_id]
+        if state.current_task is None:
+            raise RuntimeError(f"worker {worker_id} has no task assigned")
+        state.busy_until = start + duration
+        state.busy_cycles += duration
+        state.tasks_executed += 1
+        return state.busy_until
+
+    def release(self, worker_id: int) -> None:
+        """Return a worker to the idle pool after its task finished."""
+        state = self._workers[worker_id]
+        if state.current_task is None:
+            raise RuntimeError(f"worker {worker_id} was not assigned a task")
+        state.current_task = None
+        self._idle.append(worker_id)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def total_busy_cycles(self) -> int:
+        """Sum of execution cycles across all workers."""
+        return sum(state.busy_cycles for state in self._workers.values())
+
+    def tasks_per_worker(self) -> Dict[int, int]:
+        """Number of tasks executed by each worker."""
+        return {
+            worker_id: state.tasks_executed
+            for worker_id, state in self._workers.items()
+        }
+
+    def utilisation(self, makespan: int) -> float:
+        """Average fraction of the makespan each worker spent executing."""
+        if makespan <= 0:
+            return 0.0
+        return self.total_busy_cycles() / (makespan * self.num_workers)

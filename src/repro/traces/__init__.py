@@ -1,0 +1,27 @@
+"""Trace format and synthetic workloads.
+
+The paper's methodology (Section IV-A) is trace driven: the real
+applications are instrumented on a shared-memory machine to obtain, per
+task, its identification, dependence addresses and directions and its
+execution time in cycles; those traces then feed the Picos prototype, the
+Perfect Simulator and the Nanos++ analysis.  :mod:`repro.traces.trace`
+implements that trace format (with a plain-text serialisation), and
+:mod:`repro.traces.synthetic` builds the seven synthetic benchmarks of
+Section IV-C used for the latency/throughput study of Table IV.
+"""
+
+from repro.traces.trace import TaskTrace, load_trace, save_trace
+from repro.traces.synthetic import (
+    SYNTHETIC_CASES,
+    synthetic_case,
+    synthetic_case_names,
+)
+
+__all__ = [
+    "TaskTrace",
+    "load_trace",
+    "save_trace",
+    "SYNTHETIC_CASES",
+    "synthetic_case",
+    "synthetic_case_names",
+]

@@ -1,0 +1,102 @@
+"""Exporting benchmark workloads as portable trace files.
+
+The paper's methodology is trace driven: the instrumented applications are
+captured once and replayed against every runtime.  This module provides the
+equivalent tooling for the reproduction -- any generated workload (real
+benchmark or synthetic case) can be written to the plain-text trace format
+of :mod:`repro.traces.trace`, inspected, diffed, versioned, and replayed
+later without regenerating it.
+
+It doubles as a small command-line tool::
+
+    python -m repro.traces.export cholesky 128 /tmp/cholesky-128.trace
+    python -m repro.traces.export case4 - | head
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.apps.registry import PAPER_BENCHMARKS, build_benchmark
+from repro.runtime.task import TaskProgram
+from repro.traces.synthetic import SYNTHETIC_CASES, synthetic_case
+from repro.traces.trace import TaskTrace, save_trace
+
+
+def export_program(program: TaskProgram, destination: Union[str, Path]) -> Path:
+    """Write ``program`` as a trace file and return the path."""
+    return save_trace(TaskTrace(program), destination)
+
+
+def export_benchmark_trace(
+    benchmark: str,
+    block_size: int,
+    destination: Union[str, Path],
+    problem_size: Optional[int] = None,
+) -> Path:
+    """Generate one real benchmark and write it as a trace file.
+
+    ``benchmark`` and ``block_size`` follow the registry conventions of
+    :func:`repro.apps.registry.build_benchmark`.
+    """
+    program = build_benchmark(benchmark, block_size, problem_size=problem_size)
+    return export_program(program, destination)
+
+
+def export_synthetic_trace(case: str, destination: Union[str, Path]) -> Path:
+    """Generate one synthetic case (``case1`` .. ``case7``) as a trace file."""
+    return export_program(synthetic_case(case), destination)
+
+
+def available_workloads() -> dict:
+    """Names accepted by the command-line tool, grouped by kind."""
+    return {
+        "benchmarks": sorted(PAPER_BENCHMARKS),
+        "synthetic": sorted(SYNTHETIC_CASES),
+    }
+
+
+def _emit(program: TaskProgram, destination: str) -> None:
+    if destination == "-":
+        TaskTrace(program).dump(sys.stdout)
+    else:
+        export_program(program, destination)
+        print(f"wrote {program.num_tasks} tasks to {destination}")
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Command-line entry point (``python -m repro.traces.export``)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        names = available_workloads()
+        print(__doc__)
+        print("benchmarks:", ", ".join(names["benchmarks"]))
+        print("synthetic cases:", ", ".join(names["synthetic"]))
+        return 0
+
+    workload = argv[0]
+    if workload in SYNTHETIC_CASES:
+        if len(argv) != 2:
+            print("usage: export <caseN> <path|->", file=sys.stderr)
+            return 2
+        _emit(synthetic_case(workload), argv[1])
+        return 0
+
+    if workload in PAPER_BENCHMARKS:
+        if len(argv) not in (3, 4):
+            print("usage: export <benchmark> <block_size> <path|-> [problem_size]", file=sys.stderr)
+            return 2
+        block_size = int(argv[1])
+        problem_size = int(argv[3]) if len(argv) == 4 else None
+        program = build_benchmark(workload, block_size, problem_size=problem_size)
+        _emit(program, argv[2])
+        return 0
+
+    print(f"unknown workload {workload!r}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() tests
+    sys.exit(main())

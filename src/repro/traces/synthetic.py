@@ -1,0 +1,208 @@
+"""The seven synthetic benchmarks of Section IV-C.
+
+Each test case is a sequence of 100 tasks of length 1 cycle, issued as fast
+as possible, so the processing capacity of the accelerator itself can be
+measured (Table IV).  Three cases use independent tasks and four use
+dependent tasks with the patterns of Figure 7:
+
+=========  =====================================================  ======  =====
+case       pattern                                                #d1st   avg#d
+=========  =====================================================  ======  =====
+``case1``  independent tasks, no dependences                      0       0
+``case2``  independent tasks, 1 private dependence each           1       1
+``case3``  independent tasks, 15 private dependences each         15      15
+``case4``  one chain of 100 ``inout`` dependences (C4)            1       1
+``case5``  10 sets of consumers fanning out of one producer (C5)  2       2
+``case6``  10 sets of producers fanning into one consumer (C6)    11      2
+``case7``  10 sets of mixed producers/consumers (C7)              11      11
+=========  =====================================================  ======  =====
+
+Addresses are spaced one 64-byte line apart so the direct-hash DM designs
+behave the same way they do for real block-aligned traces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.runtime.task import Dependence, Direction, Task, TaskProgram
+
+#: Number of tasks in every synthetic case.
+TASKS_PER_CASE = 100
+#: Duration (in cycles) of every synthetic task.
+TASK_LENGTH = 1
+#: Base of the synthetic address space.
+_BASE_ADDRESS = 0x1000_0000
+#: Spacing between distinct synthetic addresses (one cache line).
+_ADDRESS_STRIDE = 64
+
+
+def _address(index: int) -> int:
+    """The ``index``-th synthetic dependence address."""
+    return _BASE_ADDRESS + index * _ADDRESS_STRIDE
+
+
+def _independent_case(name: str, deps_per_task: int) -> TaskProgram:
+    """Cases 1-3: independent tasks with private dependences."""
+    program = TaskProgram(name=name)
+    next_address = 0
+    for _ in range(TASKS_PER_CASE):
+        deps: List[Dependence] = []
+        for _ in range(deps_per_task):
+            deps.append(Dependence(_address(next_address), Direction.IN))
+            next_address += 1
+        program.create_task(deps, duration=TASK_LENGTH, label="independent")
+    return program
+
+
+def case1() -> TaskProgram:
+    """Case1: 100 independent tasks with no dependences."""
+    return _independent_case("case1", 0)
+
+
+def case2() -> TaskProgram:
+    """Case2: 100 independent tasks with one dependence each."""
+    return _independent_case("case2", 1)
+
+
+def case3() -> TaskProgram:
+    """Case3: 100 independent tasks with fifteen dependences each."""
+    return _independent_case("case3", 15)
+
+
+def case4() -> TaskProgram:
+    """Case4: a single chain of 100 ``inout`` dependences (Figure 7a)."""
+    program = TaskProgram(name="case4")
+    shared = _address(0)
+    for _ in range(TASKS_PER_CASE):
+        program.create_task(
+            [Dependence(shared, Direction.INOUT)],
+            duration=TASK_LENGTH,
+            label="chain",
+        )
+    return program
+
+
+def case5() -> TaskProgram:
+    """Case5: 10 sets of 10 consumers of the same producer (Figure 7b)."""
+    program = TaskProgram(name="case5")
+    tasks_per_set = 10
+    for set_index in range(TASKS_PER_CASE // tasks_per_set):
+        shared = _address(1000 + set_index)
+        # The producer writes the shared datum and reads a private input.
+        program.create_task(
+            [
+                Dependence(shared, Direction.OUT),
+                Dependence(_address(2000 + set_index), Direction.IN),
+            ],
+            duration=TASK_LENGTH,
+            label="producer",
+        )
+        # Nine consumers read the shared datum and write a private output.
+        for consumer in range(tasks_per_set - 1):
+            program.create_task(
+                [
+                    Dependence(shared, Direction.IN),
+                    Dependence(
+                        _address(3000 + set_index * tasks_per_set + consumer),
+                        Direction.OUT,
+                    ),
+                ],
+                duration=TASK_LENGTH,
+                label="consumer",
+            )
+    return program
+
+
+def case6() -> TaskProgram:
+    """Case6: 10 sets of producers fanning into one consumer (Figure 7c).
+
+    Each set starts with the fan-in consumer (11 dependences: it gathers the
+    nine data produced by the *previous* set plus two private operands), so
+    the first task of the sequence carries 11 dependences as reported in
+    Table IV, followed by the nine producers of the set.
+    """
+    program = TaskProgram(name="case6")
+    tasks_per_set = 10
+    num_sets = TASKS_PER_CASE // tasks_per_set
+
+    def produced_address(set_index: int, producer: int) -> int:
+        return _address(4000 + set_index * tasks_per_set + producer)
+
+    for set_index in range(num_sets):
+        gather_from = set_index - 1
+        deps = [
+            Dependence(produced_address(gather_from, producer), Direction.IN)
+            for producer in range(tasks_per_set - 1)
+        ]
+        deps.append(Dependence(_address(6000 + set_index), Direction.IN))
+        deps.append(Dependence(_address(7000 + set_index), Direction.OUT))
+        program.create_task(deps, duration=TASK_LENGTH, label="consumer")
+        for producer in range(tasks_per_set - 1):
+            program.create_task(
+                [Dependence(produced_address(set_index, producer), Direction.OUT)],
+                duration=TASK_LENGTH,
+                label="producer",
+            )
+    return program
+
+
+def case7() -> TaskProgram:
+    """Case7: 10 sets of 10 mixed producers/consumers (Figure 7d).
+
+    Every task carries eleven dependences on the shared data of its set,
+    alternating ``inout`` and ``in`` directions so producer-consumer and
+    producer-producer chains interleave inside each set.
+    """
+    program = TaskProgram(name="case7")
+    tasks_per_set = 10
+    deps_per_task = 11
+    for set_index in range(TASKS_PER_CASE // tasks_per_set):
+        addresses = [
+            _address(8000 + set_index * deps_per_task + slot)
+            for slot in range(deps_per_task)
+        ]
+        for position in range(tasks_per_set):
+            deps = []
+            for slot, address in enumerate(addresses):
+                if (position + slot) % 3 == 0:
+                    direction = Direction.INOUT
+                else:
+                    direction = Direction.IN
+                deps.append(Dependence(address, direction))
+            program.create_task(deps, duration=TASK_LENGTH, label="mixed")
+    return program
+
+
+#: Registry of every synthetic case, in paper order.
+SYNTHETIC_CASES: Dict[str, Callable[[], TaskProgram]] = {
+    "case1": case1,
+    "case2": case2,
+    "case3": case3,
+    "case4": case4,
+    "case5": case5,
+    "case6": case6,
+    "case7": case7,
+}
+
+
+def synthetic_case_names() -> Tuple[str, ...]:
+    """Names of the seven synthetic cases, in paper order."""
+    return tuple(SYNTHETIC_CASES)
+
+
+def synthetic_case(name: str) -> TaskProgram:
+    """Build one synthetic case by name (``"case1"`` ... ``"case7"``)."""
+    if name not in SYNTHETIC_CASES:
+        raise KeyError(
+            f"unknown synthetic case {name!r}; choose from {synthetic_case_names()}"
+        )
+    return SYNTHETIC_CASES[name]()
+
+
+def first_and_average_dependences(program: TaskProgram) -> Tuple[int, float]:
+    """The ``#d1st`` / ``avg#d`` row of Table IV for one case."""
+    if program.num_tasks == 0:
+        return (0, 0.0)
+    first = program[0].num_dependences
+    return first, program.average_dependences

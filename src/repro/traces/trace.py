@@ -1,0 +1,191 @@
+"""Task-trace format.
+
+A trace records, for every task of an instrumented sequential execution:
+
+* the task identification,
+* its dependences (memory address and direction),
+* the task-creation latency in cycles,
+* the task execution time in cycles.
+
+That is exactly the information the paper's traces carry (Section IV-A).
+:class:`TaskTrace` is a thin, serialisable view over a
+:class:`~repro.runtime.task.TaskProgram`; the plain-text format makes it
+easy to persist generated workloads, diff them and feed them back into any
+of the simulators.
+
+Text format (one line per record)::
+
+    # picos-trace v1 name=<program name>
+    task <id> dur=<cycles> create=<cycles> label=<label>
+    dep <address-hex> <in|out|inout>
+    ...
+
+``dep`` lines always follow the ``task`` line they belong to.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, List, TextIO, Union
+
+from repro.runtime.task import Dependence, Direction, Task, TaskProgram
+
+_HEADER_PREFIX = "# picos-trace v1"
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file does not follow the expected format."""
+
+
+class TaskTrace:
+    """A serialisable task trace wrapping a :class:`TaskProgram`."""
+
+    def __init__(self, program: TaskProgram) -> None:
+        self.program = program
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Name of the traced program."""
+        return self.program.name
+
+    def __len__(self) -> int:
+        return self.program.num_tasks
+
+    @classmethod
+    def from_tasks(cls, tasks: Iterable[Task], name: str = "") -> "TaskTrace":
+        """Build a trace directly from an iterable of tasks."""
+        return cls(TaskProgram(tasks, name=name))
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def dump(self, stream: TextIO) -> None:
+        """Write the trace to a text stream."""
+        stream.write(f"{_HEADER_PREFIX} name={self.program.name}\n")
+        for task in self.program:
+            stream.write(
+                f"task {task.task_id} dur={task.duration} "
+                f"create={task.creation_cycles} label={task.label}\n"
+            )
+            for dep in task.dependences:
+                stream.write(f"dep {dep.address:#x} {dep.direction.value}\n")
+
+    def dumps(self) -> str:
+        """Serialise the trace to a string."""
+        buffer = io.StringIO()
+        self.dump(buffer)
+        return buffer.getvalue()
+
+    @classmethod
+    def parse(cls, stream: TextIO) -> "TaskTrace":
+        """Parse a trace from a text stream."""
+        header = stream.readline()
+        if not header.startswith(_HEADER_PREFIX):
+            raise TraceFormatError("missing picos-trace header")
+        name = ""
+        if "name=" in header:
+            name = header.split("name=", 1)[1].strip()
+        program = TaskProgram(name=name)
+        current: List[Dependence] = []
+        pending_task: dict | None = None
+
+        def flush() -> None:
+            nonlocal pending_task, current
+            if pending_task is None:
+                return
+            program.add_task(
+                Task(
+                    task_id=pending_task["task_id"],
+                    dependences=list(current),
+                    duration=pending_task["duration"],
+                    creation_cycles=pending_task["creation"],
+                    label=pending_task["label"],
+                )
+            )
+            pending_task = None
+            current = []
+
+        for line_number, raw in enumerate(stream, start=2):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if fields[0] == "task":
+                flush()
+                pending_task = _parse_task_line(fields, line_number)
+            elif fields[0] == "dep":
+                if pending_task is None:
+                    raise TraceFormatError(
+                        f"line {line_number}: dependence before any task"
+                    )
+                current.append(_parse_dep_line(fields, line_number))
+            else:
+                raise TraceFormatError(
+                    f"line {line_number}: unknown record {fields[0]!r}"
+                )
+        flush()
+        return cls(program)
+
+    @classmethod
+    def parses(cls, text: str) -> "TaskTrace":
+        """Parse a trace from a string."""
+        return cls.parse(io.StringIO(text))
+
+
+def _parse_task_line(fields: List[str], line_number: int) -> dict:
+    if len(fields) < 2:
+        raise TraceFormatError(f"line {line_number}: malformed task record")
+    try:
+        task_id = int(fields[1])
+    except ValueError as exc:
+        raise TraceFormatError(f"line {line_number}: bad task id") from exc
+    record = {"task_id": task_id, "duration": 1, "creation": 0, "label": ""}
+    for field in fields[2:]:
+        if "=" not in field:
+            raise TraceFormatError(f"line {line_number}: bad task field {field!r}")
+        key, value = field.split("=", 1)
+        if key == "dur":
+            record["duration"] = int(value)
+        elif key == "create":
+            record["creation"] = int(value)
+        elif key == "label":
+            record["label"] = value
+        else:
+            raise TraceFormatError(f"line {line_number}: unknown task field {key!r}")
+    return record
+
+
+def _parse_dep_line(fields: List[str], line_number: int) -> Dependence:
+    if len(fields) != 3:
+        raise TraceFormatError(f"line {line_number}: malformed dep record")
+    try:
+        address = int(fields[1], 0)
+    except ValueError as exc:
+        raise TraceFormatError(f"line {line_number}: bad dep address") from exc
+    try:
+        direction = Direction.parse(fields[2])
+    except ValueError as exc:
+        raise TraceFormatError(f"line {line_number}: {exc}") from exc
+    return Dependence(address=address, direction=direction)
+
+
+# ----------------------------------------------------------------------
+# file helpers
+# ----------------------------------------------------------------------
+def save_trace(trace: TaskTrace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` and return the path."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as stream:
+        trace.dump(stream)
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> TaskTrace:
+    """Read a trace previously written with :func:`save_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as stream:
+        return TaskTrace.parse(stream)

@@ -1,0 +1,120 @@
+"""Tests for the analysis helpers (speedup metrics and report rendering)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import Table, render_bar_chart, render_series, render_table
+from repro.analysis.speedup import (
+    ScalabilityCurve,
+    crossover_block_size,
+    geometric_mean,
+    relative_improvement,
+    speedup_ratio_summary,
+)
+
+
+class TestSpeedupHelpers:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)
+
+    def test_relative_improvement(self):
+        assert relative_improvement(3.0, 1.5) == 2.0
+        assert relative_improvement(3.0, 0.0) == float("inf")
+        assert relative_improvement(0.0, 0.0) == 0.0
+
+    def test_crossover_block_size(self):
+        picos = {256: 3.0, 128: 5.0, 64: 7.0, 32: 7.5}
+        nanos = {256: 3.5, 128: 5.5, 64: 4.0, 32: 1.5}
+        assert crossover_block_size(picos, nanos) == 64
+
+    def test_crossover_none_when_never_winning(self):
+        assert crossover_block_size({64: 1.0}, {64: 2.0}) is None
+
+    def test_speedup_ratio_summary(self):
+        candidate = {1: 2.0, 2: 4.0}
+        baseline = {1: 1.0, 2: 1.0}
+        summary = speedup_ratio_summary(candidate, baseline)
+        assert summary["min"] == 2.0
+        assert summary["max"] == 4.0
+        assert summary["geomean"] == pytest.approx(2.8284, rel=1e-3)
+        assert speedup_ratio_summary({}, {})["geomean"] == 0.0
+
+
+class TestScalabilityCurve:
+    def _curve(self, points):
+        curve = ScalabilityCurve(label="c")
+        for workers, speedup in points.items():
+            curve.add(workers, speedup)
+        return curve
+
+    def test_ordering_and_peak(self):
+        curve = self._curve({8: 5.0, 2: 2.0, 4: 3.5})
+        assert curve.worker_counts() == [2, 4, 8]
+        assert curve.speedups() == [2.0, 3.5, 5.0]
+        assert curve.peak() == (8, 5.0)
+
+    def test_saturation_workers(self):
+        saturating = self._curve({2: 2.0, 4: 3.9, 8: 4.0, 16: 4.0})
+        assert saturating.saturation_workers() <= 8
+        scaling = self._curve({2: 2.0, 4: 4.0, 8: 7.8, 16: 15.0})
+        assert scaling.saturation_workers() == 16
+
+    def test_dominates(self):
+        fast = self._curve({2: 2.0, 4: 4.0})
+        slow = self._curve({2: 1.5, 4: 3.0})
+        assert fast.dominates(slow)
+        assert not slow.dominates(fast)
+        assert not fast.dominates(ScalabilityCurve(label="empty"))
+
+    def test_empty_curve(self):
+        curve = ScalabilityCurve(label="empty")
+        assert curve.peak() == (0, 0.0)
+        assert curve.saturation_workers() == 0
+
+
+class TestReportRendering:
+    def test_table_alignment_and_title(self):
+        table = Table(headers=["name", "value"], title="demo")
+        table.add_row("alpha", 1)
+        table.add_row("b", 123456)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_length_validation(self):
+        table = Table(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[1.23456], [1.2e9], [0.0004]], precision=2)
+        assert "1.23" in text
+        assert "1.20e+09" in text
+        assert "4.00e-04" in text
+
+    def test_render_series_builds_one_column_per_curve(self):
+        text = render_series(
+            title="fig",
+            x_label="workers",
+            x_values=[1, 2],
+            series={"a": [1.0, 2.0], "b": [3.0, 4.0]},
+        )
+        assert "workers" in text and "a" in text and "b" in text
+        assert len(text.splitlines()) == 5
+
+    def test_render_series_pads_missing_points(self):
+        text = render_series("t", "x", [1, 2, 3], {"short": [1.0]})
+        assert len(text.splitlines()) == 6
+
+    def test_render_bar_chart(self):
+        text = render_bar_chart("chart", {"one": 1.0, "two": 2.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0] == "chart"
+        assert lines[2].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert render_bar_chart("empty", {}) == "empty"

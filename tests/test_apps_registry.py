@@ -1,0 +1,103 @@
+"""Tests for the benchmark registry and Table I calibration data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.registry import (
+    PAPER_BENCHMARKS,
+    TABLE1,
+    benchmark_names,
+    build_benchmark,
+    reference_task_size,
+    table1_reference,
+)
+
+
+class TestRegistryContents:
+    def test_all_paper_benchmarks_present(self):
+        names = benchmark_names()
+        for expected in ("heat", "lu", "sparselu", "cholesky", "h264dec", "mlu"):
+            assert expected in names
+
+    def test_every_spec_has_four_block_sizes(self):
+        for spec in PAPER_BENCHMARKS.values():
+            assert len(spec.block_sizes) == 4
+            for block_size in spec.block_sizes:
+                assert block_size in spec.table1
+
+    def test_table1_reference_lookup(self):
+        row = table1_reference("cholesky", 64)
+        assert row.num_tasks == 5984
+        assert row.dep_range == (1, 3)
+        assert row.average_task_size == pytest.approx(1.47e5)
+
+    def test_unknown_benchmark_and_block_size_rejected(self):
+        with pytest.raises(KeyError):
+            table1_reference("fft", 64)
+        with pytest.raises(KeyError):
+            table1_reference("heat", 48)
+        with pytest.raises(KeyError):
+            build_benchmark("fft", 64)
+
+    def test_table1_transcription_is_complete(self):
+        assert sum(len(rows) for rows in TABLE1.values()) == 20
+
+
+class TestBuildBenchmark:
+    @pytest.mark.parametrize("bench_name", ["heat", "lu", "cholesky"])
+    def test_exact_task_counts_for_dense_kernels(self, bench_name):
+        for block_size in PAPER_BENCHMARKS[bench_name].block_sizes[:2]:
+            program = build_benchmark(bench_name, block_size)
+            assert program.num_tasks == table1_reference(bench_name, block_size).num_tasks
+
+    def test_duration_scaling_matches_table1_mean(self):
+        program = build_benchmark("heat", 128)
+        reference = table1_reference("heat", 128)
+        assert program.average_task_size == pytest.approx(
+            reference.average_task_size, rel=0.02
+        )
+
+    def test_duration_scaling_can_be_disabled(self):
+        raw = build_benchmark("heat", 128, scale_to_table1=False)
+        scaled = build_benchmark("heat", 128, scale_to_table1=True)
+        assert raw.average_task_size < scaled.average_task_size
+
+    def test_problem_size_override_shrinks_program(self):
+        small = build_benchmark("cholesky", 128, problem_size=1024)
+        full = build_benchmark("cholesky", 128)
+        assert small.num_tasks < full.num_tasks
+        # Mean task size still follows Table I (it depends on the block size).
+        assert small.average_task_size == pytest.approx(
+            full.average_task_size, rel=0.02
+        )
+
+    def test_h264dec_uses_frames_as_problem_size(self):
+        two_frames = build_benchmark("h264dec", 8, problem_size=2)
+        ten_frames = build_benchmark("h264dec", 8)
+        assert ten_frames.num_tasks == pytest.approx(5 * two_frames.num_tasks, rel=0.01)
+
+    def test_mlu_matches_lu_characteristics(self):
+        lu = build_benchmark("lu", 64)
+        mlu = build_benchmark("mlu", 64)
+        assert lu.num_tasks == mlu.num_tasks
+        assert lu.sequential_cycles == pytest.approx(mlu.sequential_cycles, rel=1e-6)
+
+
+class TestReferenceTaskSize:
+    def test_measured_block_sizes_use_table1(self):
+        assert reference_task_size("lu", 64) == pytest.approx(4.13e6)
+
+    def test_unmeasured_block_sizes_extrapolate_downwards(self):
+        extrapolated = reference_task_size("lu", 16)
+        assert extrapolated < reference_task_size("lu", 32)
+        assert extrapolated > 0
+
+    def test_extrapolation_follows_work_law(self):
+        # Cubic law for the factorisations: halving the block size divides
+        # the task size by about eight.
+        ratio = reference_task_size("cholesky", 16) / reference_task_size("cholesky", 32)
+        assert ratio == pytest.approx(1 / 8, rel=0.2)
+        # Quadratic law for the stencil.
+        ratio = reference_task_size("heat", 16) / reference_task_size("heat", 32)
+        assert ratio == pytest.approx(1 / 4, rel=0.2)

@@ -1,0 +1,110 @@
+"""Unit tests for the Picos configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DMDesign, PicosConfig
+
+
+class TestDMDesign:
+    def test_ways(self):
+        assert DMDesign.WAY8.ways == 8
+        assert DMDesign.WAY16.ways == 16
+        assert DMDesign.PEARSON8.ways == 8
+
+    def test_pearson_flag(self):
+        assert DMDesign.PEARSON8.uses_pearson
+        assert not DMDesign.WAY8.uses_pearson
+        assert not DMDesign.WAY16.uses_pearson
+
+    def test_display_names_match_paper(self):
+        assert DMDesign.WAY8.display_name == "DM 8way"
+        assert DMDesign.WAY16.display_name == "DM 16way"
+        assert DMDesign.PEARSON8.display_name == "DM P+8way"
+
+
+class TestPicosConfigGeometry:
+    def test_paper_prototype_defaults(self):
+        config = PicosConfig.paper_prototype()
+        assert config.dm_design is DMDesign.PEARSON8
+        assert config.num_trs == 1 and config.num_dct == 1
+        assert config.tm_entries == 256
+        assert config.max_deps_per_task == 15
+        assert config.vm_entries == 512
+        assert config.dm_sets == 64
+
+    def test_dm_capacity(self):
+        assert PicosConfig.paper_prototype(DMDesign.WAY8).dm_capacity == 512
+        assert PicosConfig.paper_prototype(DMDesign.WAY16).dm_capacity == 1024
+
+    def test_vm_doubles_for_16way(self):
+        assert PicosConfig.paper_prototype(DMDesign.WAY8).effective_vm_entries == 512
+        assert PicosConfig.paper_prototype(DMDesign.WAY16).effective_vm_entries == 1024
+        assert PicosConfig.paper_prototype(DMDesign.PEARSON8).effective_vm_entries == 512
+
+    def test_explicit_vm_size_is_not_overridden(self):
+        config = PicosConfig(dm_design=DMDesign.WAY16, vm_entries=256)
+        assert config.effective_vm_entries == 256
+
+    def test_max_in_flight_tasks_scales_with_trs(self):
+        assert PicosConfig().max_in_flight_tasks == 256
+        assert PicosConfig(num_trs=4, num_dct=4).max_in_flight_tasks == 1024
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            PicosConfig(num_trs=0)
+        with pytest.raises(ValueError):
+            PicosConfig(tm_entries=0)
+        with pytest.raises(ValueError):
+            PicosConfig(max_deps_per_task=0)
+        with pytest.raises(ValueError):
+            PicosConfig(vm_entries=0)
+
+    def test_with_design_returns_new_config(self):
+        base = PicosConfig()
+        other = base.with_design(DMDesign.WAY16)
+        assert other.dm_design is DMDesign.WAY16
+        assert base.dm_design is DMDesign.PEARSON8
+
+    def test_all_designs_enumerates_three(self):
+        designs = PicosConfig.all_designs()
+        assert set(designs) == set(DMDesign)
+
+
+class TestCalibratedLatencies:
+    """The cost helpers must match the HW-only rows of Table IV."""
+
+    def test_new_task_occupancy_matches_table4(self):
+        config = PicosConfig()
+        assert config.new_task_occupancy(0) == 15
+        assert config.new_task_occupancy(1) == 24
+        assert config.new_task_occupancy(15) == pytest.approx(243, abs=10)
+
+    def test_ready_latency_matches_table4(self):
+        config = PicosConfig()
+        assert config.ready_latency_base == config.new_task_ready_latency(0) == 45
+        assert config.new_task_ready_latency(1) == pytest.approx(73, abs=2)
+        assert config.new_task_ready_latency(15) == pytest.approx(312, abs=10)
+
+    def test_occupancy_monotonic_in_dependences(self):
+        config = PicosConfig()
+        costs = [config.new_task_occupancy(n) for n in range(16)]
+        assert all(b >= a for a, b in zip(costs, costs[1:]))
+
+    def test_finish_occupancy_grows_with_dependences(self):
+        config = PicosConfig()
+        assert config.finish_occupancy(0) < config.finish_occupancy(5)
+
+    def test_nanos_submission_cycles_matches_full_system_calibration(self):
+        config = PicosConfig()
+        # Full-system thrTask of Table IV is roughly the Nanos cost plus
+        # three AXI messages.
+        loop = 3 * config.comm_cycles
+        assert config.nanos_submission_cycles(0) + loop == pytest.approx(2729, rel=0.02)
+        assert config.nanos_submission_cycles(1) + loop == pytest.approx(3125, rel=0.02)
+        assert config.nanos_submission_cycles(15) + loop == pytest.approx(3413, rel=0.02)
+
+    def test_comm_cycles_in_paper_range(self):
+        config = PicosConfig()
+        assert 200 <= config.comm_cycles <= 300

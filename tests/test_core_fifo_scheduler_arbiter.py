@@ -1,0 +1,144 @@
+"""Unit tests for the FIFO channels, the Task Scheduler and the Arbiter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.arbiter import Arbiter
+from repro.core.fifo import BoundedFifo, FifoEmptyError, FifoFullError
+from repro.core.packets import TaskSlotRef
+from repro.core.scheduler import SchedulingPolicy, TaskScheduler
+
+
+class TestBoundedFifo:
+    def test_push_pop_order(self):
+        fifo = BoundedFifo(name="t")
+        for value in (1, 2, 3):
+            fifo.push(value)
+        assert [fifo.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_empty_and_full_status(self):
+        fifo = BoundedFifo(capacity=2)
+        assert fifo.empty and not fifo.full
+        fifo.push("a")
+        fifo.push("b")
+        assert fifo.full and not fifo.empty
+
+    def test_push_to_full_raises(self):
+        fifo = BoundedFifo(capacity=1)
+        fifo.push(1)
+        with pytest.raises(FifoFullError):
+            fifo.push(2)
+
+    def test_try_push_returns_false_when_full(self):
+        fifo = BoundedFifo(capacity=1)
+        assert fifo.try_push(1)
+        assert not fifo.try_push(2)
+
+    def test_pop_empty_raises(self):
+        fifo = BoundedFifo()
+        with pytest.raises(FifoEmptyError):
+            fifo.pop()
+        with pytest.raises(FifoEmptyError):
+            fifo.peek()
+
+    def test_peek_does_not_remove(self):
+        fifo = BoundedFifo()
+        fifo.push(42)
+        assert fifo.peek() == 42
+        assert len(fifo) == 1
+
+    def test_drain_empties_in_order(self):
+        fifo = BoundedFifo()
+        for value in range(5):
+            fifo.push(value)
+        assert fifo.drain() == list(range(5))
+        assert fifo.empty
+
+    def test_statistics(self):
+        fifo = BoundedFifo(capacity=4)
+        for value in range(3):
+            fifo.push(value)
+        fifo.pop()
+        fifo.push(3)
+        assert fifo.total_pushed == 4
+        assert fifo.max_occupancy == 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedFifo(capacity=0)
+
+    def test_iteration_and_bool(self):
+        fifo = BoundedFifo()
+        assert not fifo
+        fifo.push(1)
+        fifo.push(2)
+        assert list(fifo) == [1, 2]
+        assert fifo
+
+
+class TestTaskScheduler:
+    def test_fifo_policy_order(self):
+        scheduler = TaskScheduler(SchedulingPolicy.FIFO)
+        for task in (10, 11, 12):
+            scheduler.push(task)
+        assert [scheduler.pop() for _ in range(3)] == [10, 11, 12]
+
+    def test_lifo_policy_order(self):
+        scheduler = TaskScheduler(SchedulingPolicy.LIFO)
+        for task in (10, 11, 12):
+            scheduler.push(task)
+        assert [scheduler.pop() for _ in range(3)] == [12, 11, 10]
+
+    def test_pop_empty_raises_and_try_pop_returns_none(self):
+        scheduler = TaskScheduler()
+        with pytest.raises(IndexError):
+            scheduler.pop()
+        assert scheduler.try_pop() is None
+
+    def test_statistics_and_clear(self):
+        scheduler = TaskScheduler()
+        for task in range(4):
+            scheduler.push(task)
+        assert scheduler.total_scheduled == 4
+        assert scheduler.max_occupancy == 4
+        assert scheduler.peek_all() == [0, 1, 2, 3]
+        scheduler.clear()
+        assert scheduler.empty
+
+
+class TestArbiter:
+    def test_single_instance_routing(self):
+        arbiter = Arbiter(num_trs=1, num_dct=1)
+        assert arbiter.dct_for_address(0x1234) == 0
+        slot = TaskSlotRef(trs_id=0, tm_index=3, dep_index=1)
+        assert arbiter.trs_for_slot(slot) == 0
+
+    def test_address_routing_is_stable(self):
+        arbiter = Arbiter(num_trs=2, num_dct=4)
+        address = 0xDEAD_BEEF
+        first = arbiter.dct_for_address(address)
+        assert all(arbiter.dct_for_address(address) == first for _ in range(5))
+
+    def test_address_routing_spreads_over_instances(self):
+        arbiter = Arbiter(num_trs=1, num_dct=4)
+        targets = {arbiter.dct_for_address(0x4000_0000 + i * 0x10_0000) for i in range(64)}
+        assert len(targets) >= 3
+
+    def test_slot_routing_validates_instance(self):
+        arbiter = Arbiter(num_trs=2, num_dct=1)
+        with pytest.raises(ValueError):
+            arbiter.trs_for_slot(TaskSlotRef(trs_id=5, tm_index=0, dep_index=0))
+
+    def test_traffic_counters(self):
+        arbiter = Arbiter(num_trs=1, num_dct=2)
+        arbiter.dct_for_address(0x100)
+        arbiter.dct_for_address(0x200)
+        arbiter.trs_for_slot(TaskSlotRef(0, 0, 0))
+        assert arbiter.messages_to_dct == 2
+        assert arbiter.messages_to_trs == 1
+        assert sum(arbiter.dct_load().values()) == 2
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Arbiter(num_trs=0, num_dct=1)

@@ -1,0 +1,93 @@
+"""Unit tests for the DM set-index hashing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hashing import (
+    PEARSON_TABLE,
+    direct_index,
+    index_for,
+    pearson_fold,
+    pearson_hash_byte,
+    pearson_index,
+)
+
+
+class TestPearsonTable:
+    def test_table_is_a_permutation_of_bytes(self):
+        assert sorted(PEARSON_TABLE) == list(range(256))
+
+    def test_table_is_not_identity(self):
+        assert list(PEARSON_TABLE) != list(range(256))
+
+    def test_byte_hash_uses_low_byte_only(self):
+        assert pearson_hash_byte(0x1FF) == pearson_hash_byte(0xFF)
+
+
+class TestPearsonFold:
+    def test_fold_is_deterministic(self):
+        assert pearson_fold(0x1234_5678) == pearson_fold(0x1234_5678)
+
+    def test_fold_only_depends_on_low_32_bits(self):
+        assert pearson_fold(0x1_0000_0000 + 42) == pearson_fold(42)
+
+    def test_fold_range(self):
+        for address in range(0, 4096, 17):
+            assert 0 <= pearson_fold(address) <= 255
+
+
+class TestIndexFunctions:
+    def test_direct_index_is_low_bits(self):
+        assert direct_index(0x12345, 64) == 0x12345 % 64
+        assert direct_index(64, 64) == 0
+        assert direct_index(63, 64) == 63
+
+    def test_direct_index_rejects_bad_set_count(self):
+        with pytest.raises(ValueError):
+            direct_index(0x100, 0)
+        with pytest.raises(ValueError):
+            pearson_index(0x100, 0)
+
+    def test_index_for_dispatch(self):
+        address = 0x8_0000
+        assert index_for(address, use_pearson=False) == direct_index(address)
+        assert index_for(address, use_pearson=True) == pearson_index(address)
+
+    def test_pearson_index_in_range(self):
+        for address in range(0, 1 << 16, 997):
+            assert 0 <= pearson_index(address, 64) < 64
+
+
+class TestClusteredAddresses:
+    """The property Section III-C relies on: block-aligned addresses
+    collapse onto very few sets with the direct hash but spread with
+    Pearson hashing."""
+
+    @staticmethod
+    def _block_addresses(count: int = 256, stride: int = 512 * 1024) -> list:
+        base = 0x4000_0000
+        return [base + i * stride for i in range(count)]
+
+    def test_direct_hash_collapses_block_aligned_addresses(self):
+        addresses = self._block_addresses()
+        sets = {direct_index(a, 64) for a in addresses}
+        assert len(sets) == 1
+
+    def test_pearson_hash_spreads_block_aligned_addresses(self):
+        addresses = self._block_addresses()
+        sets = {pearson_index(a, 64) for a in addresses}
+        # With 256 aligned addresses over 64 sets a good hash should touch
+        # most of the sets.
+        assert len(sets) >= 48
+
+    def test_pearson_balance_is_reasonable(self):
+        addresses = self._block_addresses(count=1024)
+        histogram = {}
+        for address in addresses:
+            histogram[pearson_index(address, 64)] = (
+                histogram.get(pearson_index(address, 64), 0) + 1
+            )
+        # Perfect balance would be 16 per set; allow generous slack but rule
+        # out pathological clustering.
+        assert max(histogram.values()) <= 64

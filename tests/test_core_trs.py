@@ -1,0 +1,142 @@
+"""Unit tests for the Task Reservation Station."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PicosConfig
+from repro.core.packets import (
+    DependentPacket,
+    FinishedTaskPacket,
+    NewTaskPacket,
+    ReadyPacket,
+    TaskSlotRef,
+)
+from repro.core.trs import TaskReservationStation
+
+
+@pytest.fixture
+def trs() -> TaskReservationStation:
+    return TaskReservationStation(0, PicosConfig())
+
+
+def new_task(task_id: int, num_deps: int) -> NewTaskPacket:
+    return NewTaskPacket(task_id=task_id, trs_id=0, tm_index=0, num_deps=num_deps)
+
+
+class TestNewTaskPath:
+    def test_task_without_dependences_is_ready_immediately(self, trs):
+        entry, execute = trs.accept_new_task(new_task(7, 0))
+        assert execute is not None
+        assert execute.task_id == 7
+        assert entry.all_ready
+        assert trs.stats.tasks_without_deps == 1
+
+    def test_task_with_dependences_waits(self, trs):
+        entry, execute = trs.accept_new_task(new_task(7, 2))
+        assert execute is None
+        assert not entry.all_ready
+
+    def test_record_dependence_returns_slot_reference(self, trs):
+        entry, _ = trs.accept_new_task(new_task(3, 1))
+        slot = trs.record_dependence(entry.tm_index, 0, 0x100, is_producer=True)
+        assert slot == TaskSlotRef(trs_id=0, tm_index=entry.tm_index, dep_index=0)
+
+    def test_capacity_status(self, trs):
+        assert trs.has_free_slot
+        assert trs.in_flight == 0
+        trs.accept_new_task(new_task(0, 0))
+        assert trs.in_flight == 1
+
+
+class TestReadiness:
+    def _prepare_task(self, trs, task_id=0, num_deps=2):
+        entry, _ = trs.accept_new_task(new_task(task_id, num_deps))
+        slots = [
+            trs.record_dependence(entry.tm_index, i, 0x100 * (i + 1), is_producer=False)
+            for i in range(num_deps)
+        ]
+        return entry, slots
+
+    def test_task_ready_only_after_all_dependences(self, trs):
+        entry, slots = self._prepare_task(trs)
+        first = trs.handle_ready(ReadyPacket(slot=slots[0], vm_index=0))
+        assert first.execute == []
+        second = trs.handle_ready(ReadyPacket(slot=slots[1], vm_index=1))
+        assert len(second.execute) == 1
+        assert second.execute[0].task_id == 0
+
+    def test_duplicate_ready_notifications_are_ignored(self, trs):
+        entry, slots = self._prepare_task(trs, num_deps=1)
+        trs.handle_ready(ReadyPacket(slot=slots[0], vm_index=0))
+        result = trs.handle_ready(ReadyPacket(slot=slots[0], vm_index=0))
+        assert result.execute == []
+        assert entry.ready_deps == 1
+
+    def test_dependent_notification_stores_chain_link(self, trs):
+        entry, slots = self._prepare_task(trs, num_deps=1)
+        predecessor = TaskSlotRef(trs_id=0, tm_index=99, dep_index=0)
+        trs.handle_dependent(
+            DependentPacket(slot=slots[0], vm_index=5, predecessor=predecessor)
+        )
+        stored = trs.task_memory.dependence_slot(entry.tm_index, 0)
+        assert stored.vm_index == 5
+        assert stored.predecessor == predecessor
+
+    def test_ready_walks_consumer_chain_backwards(self, trs):
+        # Two single-dependence tasks; the second chains the first behind it.
+        first_entry, _ = trs.accept_new_task(new_task(0, 1))
+        first_slot = trs.record_dependence(first_entry.tm_index, 0, 0x100, False)
+        second_entry, _ = trs.accept_new_task(new_task(1, 1))
+        second_slot = trs.record_dependence(second_entry.tm_index, 0, 0x100, False)
+        trs.handle_dependent(DependentPacket(slot=first_slot, vm_index=0, predecessor=None))
+        trs.handle_dependent(
+            DependentPacket(slot=second_slot, vm_index=0, predecessor=first_slot)
+        )
+        result = trs.handle_ready(ReadyPacket(slot=second_slot, vm_index=0))
+        assert [p.task_id for p in result.execute] == [1]
+        assert [c.slot for c in result.chained] == [first_slot]
+        assert trs.stats.chain_hops == 1
+        # Delivering the chained packet wakes the first task as well.
+        chained_result = trs.handle_ready(result.chained[0])
+        assert [p.task_id for p in chained_result.execute] == [0]
+
+
+class TestFinishPath:
+    def test_finish_emits_one_packet_per_dependence(self, trs):
+        entry, _ = trs.accept_new_task(new_task(4, 2))
+        slots = [
+            trs.record_dependence(entry.tm_index, i, 0x100 * (i + 1), is_producer=(i == 0))
+            for i in range(2)
+        ]
+        for index, slot in enumerate(slots):
+            trs.handle_ready(ReadyPacket(slot=slot, vm_index=index))
+        packets = trs.handle_finished(
+            FinishedTaskPacket(task_id=4, trs_id=0, tm_index=entry.tm_index)
+        )
+        assert len(packets) == 2
+        assert {p.vm_index for p in packets} == {0, 1}
+        assert {p.address for p in packets} == {0x100, 0x200}
+        assert trs.in_flight == 0
+        assert trs.stats.tasks_retired == 1
+
+    def test_finish_of_unready_task_is_rejected(self, trs):
+        entry, _ = trs.accept_new_task(new_task(4, 1))
+        trs.record_dependence(entry.tm_index, 0, 0x100, is_producer=False)
+        with pytest.raises(RuntimeError):
+            trs.handle_finished(
+                FinishedTaskPacket(task_id=4, trs_id=0, tm_index=entry.tm_index)
+            )
+
+    def test_finish_with_mismatched_task_id_is_rejected(self, trs):
+        entry, _ = trs.accept_new_task(new_task(4, 0))
+        with pytest.raises(ValueError):
+            trs.handle_finished(
+                FinishedTaskPacket(task_id=99, trs_id=0, tm_index=entry.tm_index)
+            )
+
+    def test_lookup_helpers(self, trs):
+        entry, _ = trs.accept_new_task(new_task(11, 0))
+        assert trs.holds_task(11)
+        assert trs.tm_index_of(11) == entry.tm_index
+        assert not trs.holds_task(12)

@@ -1,0 +1,148 @@
+"""Failure-injection and edge-case tests.
+
+The paper stresses that the accelerator must stay functional under resource
+exhaustion (the Task Superscalar predecessor deadlocked under queue and
+memory saturation; Picos was designed to avoid that).  These tests push the
+model into every capacity corner and feed it malformed inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DMDesign, PicosConfig
+from repro.core.picos import PicosAccelerator, SubmitStatus
+from repro.runtime.dependence_analysis import ready_order_is_valid
+from repro.runtime.task import Dependence, Direction, Task, TaskProgram
+from repro.sim.hil import HILMode, HILSimulator
+from repro.traces.trace import TaskTrace, TraceFormatError
+
+from conftest import drain_functional, make_program, make_task
+
+
+class TestCapacityExhaustion:
+    def test_tm_exhaustion_with_single_entry(self):
+        """A one-entry Task Memory degenerates to serial execution but must
+        still complete any program."""
+        config = PicosConfig(tm_entries=1)
+        program = make_program(
+            [[(0x1000, Direction.INOUT)]] * 10 + [[]] * 5, name="tiny-tm"
+        )
+        result = HILSimulator(program, config=config, mode=HILMode.HW_ONLY, num_workers=4).run()
+        assert result.completed_all()
+        assert result.counters["tm_full_stalls"] > 0
+
+    def test_vm_exhaustion_with_long_version_chain(self):
+        config = PicosConfig(vm_entries=2)
+        program = make_program([[(0x2000, Direction.OUT)]] * 20, name="tiny-vm")
+        accelerator = PicosAccelerator(config)
+        order = drain_functional(accelerator, program)
+        assert ready_order_is_valid(program, order)
+        assert accelerator.is_drained()
+
+    def test_dm_single_set_forces_conflicts_but_completes(self):
+        config = PicosConfig(dm_sets=1, dm_design=DMDesign.WAY8)
+        spec = [[(0x1000 * (i + 1), Direction.INOUT)] for i in range(30)]
+        program = make_program(spec, name="tiny-dm")
+        result = HILSimulator(program, config=config, mode=HILMode.HW_ONLY, num_workers=2).run()
+        assert result.completed_all()
+        assert result.counters["dm_conflicts"] > 0
+
+    def test_every_capacity_tiny_at_once(self):
+        config = PicosConfig(tm_entries=2, vm_entries=3, dm_sets=1, max_deps_per_task=3)
+        spec = []
+        for i in range(25):
+            spec.append(
+                [
+                    (0x1000 * ((i % 5) + 1), Direction.INOUT),
+                    (0x1000 * ((i % 3) + 6), Direction.IN),
+                ]
+            )
+        program = make_program(spec, name="tiny-everything")
+        accelerator = PicosAccelerator(config)
+        order = drain_functional(accelerator, program)
+        assert sorted(order) == list(range(25))
+        assert accelerator.is_drained()
+
+    def test_more_in_flight_tasks_than_tm_entries_in_full_system(self):
+        config = PicosConfig(tm_entries=4)
+        program = make_program([[]] * 64, durations=[40_000] * 64, name="burst")
+        result = HILSimulator(
+            program, config=config, mode=HILMode.FULL_SYSTEM, num_workers=2
+        ).run()
+        assert result.completed_all()
+
+
+class TestMalformedInputs:
+    def test_task_with_more_dependences_than_tmx_rejected(self, accelerator):
+        deps = [(0x100 * (i + 1), Direction.IN) for i in range(16)]
+        with pytest.raises(ValueError):
+            accelerator.submit_task(make_task(0, deps))
+
+    def test_duplicate_in_flight_task_id_rejected(self, accelerator):
+        accelerator.submit_task(make_task(0))
+        with pytest.raises(ValueError):
+            accelerator.submit_task(make_task(0))
+
+    def test_finish_before_submit_rejected(self, accelerator):
+        with pytest.raises(KeyError):
+            accelerator.notify_finish(3)
+
+    def test_double_finish_rejected(self, accelerator):
+        accelerator.submit_task(make_task(0))
+        accelerator.notify_finish(0)
+        with pytest.raises(KeyError):
+            accelerator.notify_finish(0)
+
+    def test_malformed_trace_lines_raise_with_line_numbers(self):
+        text = "# picos-trace v1 name=x\ntask 0 dur=1\ndep zzz in\n"
+        with pytest.raises(TraceFormatError) as excinfo:
+            TaskTrace.parses(text)
+        assert "line 3" in str(excinfo.value)
+
+    def test_negative_duration_rejected_at_task_level(self):
+        with pytest.raises(ValueError):
+            Task(task_id=0, duration=-5)
+
+    def test_simulator_rejects_invalid_worker_counts(self):
+        program = make_program([[]])
+        with pytest.raises(ValueError):
+            HILSimulator(program, num_workers=0)
+
+
+class TestDegenerateWorkloads:
+    def test_zero_duration_tasks(self):
+        program = make_program([[], [], []], durations=[0, 0, 0], name="zero")
+        result = HILSimulator(program, mode=HILMode.HW_ONLY, num_workers=2).run()
+        assert result.completed_all()
+
+    def test_single_task_program(self):
+        program = make_program([[(0x1000, Direction.INOUT)]], durations=[100])
+        for mode in HILMode:
+            result = HILSimulator(program, mode=mode, num_workers=1).run()
+            assert result.completed_all()
+            assert result.makespan >= 100
+
+    def test_huge_fanout_from_single_producer(self):
+        spec = [[(0x1000, Direction.OUT)]] + [[(0x1000, Direction.IN)] for _ in range(200)]
+        program = make_program(spec, durations=[10] * 201, name="fanout")
+        result = HILSimulator(program, mode=HILMode.HW_ONLY, num_workers=16).run()
+        assert result.completed_all()
+        producer_finish = result.timelines[0].finished
+        assert all(
+            result.timelines[i].started >= producer_finish for i in range(1, 201)
+        )
+
+    def test_task_with_maximum_dependences(self, accelerator):
+        deps = [(0x100 * (i + 1), Direction.IN) for i in range(15)]
+        result = accelerator.submit_task(make_task(0, deps))
+        assert result.status is SubmitStatus.ACCEPTED
+
+    def test_all_tasks_share_every_address(self):
+        addresses = [0x1000, 0x2000, 0x3000]
+        spec = [[(a, Direction.INOUT) for a in addresses] for _ in range(15)]
+        program = make_program(spec, name="dense-sharing")
+        accelerator = PicosAccelerator()
+        order = drain_functional(accelerator, program)
+        assert order == sorted(order)  # fully serialised chain
+        assert accelerator.is_drained()

@@ -1,0 +1,124 @@
+"""Tests for the FPGA resource-cost model (Table III)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DMDesign, PicosConfig
+from repro.hardware.resources import (
+    PAPER_TABLE3,
+    XC7Z020,
+    DeviceBudget,
+    ResourceEstimate,
+    estimate_dct,
+    estimate_dependence_memory,
+    estimate_design,
+    estimate_frontend,
+    estimate_task_memory,
+    estimate_trs,
+    estimate_version_memory,
+    table3_rows,
+)
+
+
+class TestResourceEstimate:
+    def test_percentages(self):
+        estimate = ResourceEstimate("x", luts=532, flip_flops=1064, bram36=14)
+        pct = estimate.as_percentages(XC7Z020)
+        assert pct["LUTs"] == pytest.approx(1.0)
+        assert pct["FFs"] == pytest.approx(1.0)
+        assert pct["BRAM"] == pytest.approx(10.0)
+
+    def test_addition(self):
+        total = ResourceEstimate("a", 10, 20, 1) + ResourceEstimate("b", 5, 5, 2)
+        assert (total.luts, total.flip_flops, total.bram36) == (15, 25, 3)
+
+
+class TestMemoryEstimates:
+    def test_vm_for_16way_costs_more_bram_than_8way(self):
+        small = estimate_version_memory(PicosConfig.paper_prototype(DMDesign.PEARSON8))
+        large = estimate_version_memory(PicosConfig.paper_prototype(DMDesign.WAY16))
+        assert large.bram36 > small.bram36
+
+    def test_dm_cost_ordering_matches_table3(self):
+        """8-way < P+8way < 16-way, both in logic and in BRAM."""
+        dm8 = estimate_dependence_memory(PicosConfig.paper_prototype(DMDesign.WAY8))
+        dmp = estimate_dependence_memory(PicosConfig.paper_prototype(DMDesign.PEARSON8))
+        dm16 = estimate_dependence_memory(PicosConfig.paper_prototype(DMDesign.WAY16))
+        assert dm8.bram36 <= dmp.bram36 < dm16.bram36
+        assert dm8.luts < dmp.luts < dm16.luts
+
+    def test_task_memory_scales_with_entries(self):
+        small = estimate_task_memory(PicosConfig(tm_entries=64))
+        large = estimate_task_memory(PicosConfig(tm_entries=1024))
+        assert large.bram36 > small.bram36
+
+
+class TestModuleEstimates:
+    def test_full_design_is_sum_of_modules(self):
+        config = PicosConfig.paper_prototype(DMDesign.PEARSON8)
+        full = estimate_design(config)
+        parts = estimate_frontend(config)
+        parts = parts + estimate_trs(config)
+        parts = parts + estimate_dct(config)
+        assert full.luts == parts.luts
+        assert full.flip_flops == parts.flip_flops
+        assert full.bram36 == parts.bram36
+
+    def test_multi_instance_design_costs_more(self):
+        single = estimate_design(PicosConfig())
+        quad = estimate_design(PicosConfig(num_trs=4, num_dct=4))
+        assert quad.luts > 2 * single.luts
+        assert quad.bram36 > 2 * single.bram36
+
+    def test_all_designs_fit_the_device(self):
+        for design in DMDesign:
+            estimate = estimate_design(PicosConfig.paper_prototype(design))
+            assert estimate.luts < XC7Z020.luts
+            assert estimate.flip_flops < XC7Z020.flip_flops
+            assert estimate.bram36 < XC7Z020.bram36
+
+
+class TestTable3Agreement:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row["component"]: row for row in table3_rows()}
+
+    def test_every_paper_row_is_modelled(self, rows):
+        for component in PAPER_TABLE3:
+            assert component in rows
+
+    @pytest.mark.parametrize(
+        "component",
+        ["DM 8way", "DM 16way", "DM P+8way", "TRS", "DCT (DM P+8way)",
+         "GW+ARB+TS", "Full Picos (DM P+8way)"],
+    )
+    def test_lut_percentages_close_to_paper(self, rows, component):
+        model = rows[component]["model"]["LUTs"]
+        paper = PAPER_TABLE3[component]["LUTs"]
+        assert model == pytest.approx(paper, rel=0.35, abs=0.3)
+
+    @pytest.mark.parametrize(
+        "component",
+        ["DM 8way", "DM 16way", "DM P+8way", "Full Picos (DM P+8way)"],
+    )
+    def test_bram_percentages_close_to_paper(self, rows, component):
+        model = rows[component]["model"]["BRAM"]
+        paper = PAPER_TABLE3[component]["BRAM"]
+        assert model == pytest.approx(paper, rel=0.35, abs=2.0)
+
+    def test_full_design_below_20_percent_of_device(self, rows):
+        """The headline of Table III: the whole accelerator is a small
+        fraction of a mid-range device."""
+        full = rows["Full Picos (DM P+8way)"]["model"]
+        assert full["LUTs"] < 10.0
+        assert full["BRAM"] < 25.0
+
+    def test_custom_device_changes_percentages(self):
+        bigger = DeviceBudget(name="big", luts=106_400, flip_flops=212_800, bram36=280)
+        rows_default = {r["component"]: r for r in table3_rows()}
+        rows_big = {r["component"]: r for r in table3_rows(bigger)}
+        component = "Full Picos (DM P+8way)"
+        assert rows_big[component]["model"]["LUTs"] == pytest.approx(
+            rows_default[component]["model"]["LUTs"] / 2, rel=0.01
+        )

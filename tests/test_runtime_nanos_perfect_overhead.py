@@ -1,0 +1,198 @@
+"""Tests for the Nanos++ model, the Perfect scheduler and the overhead model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.dependence_analysis import build_task_graph, ready_order_is_valid
+from repro.runtime.nanos import NanosRuntimeSimulator, nanos_speedup
+from repro.runtime.overhead import NanosOverheadModel
+from repro.runtime.perfect import PerfectScheduler, perfect_speedup
+from repro.runtime.task import Direction, TaskProgram
+
+from conftest import make_program
+
+
+A, B = 0x1000, 0x2000
+
+
+def wide_program(count: int = 32, duration: int = 100_000) -> TaskProgram:
+    return make_program([[]] * count, durations=[duration] * count, name="wide")
+
+
+def chain(length: int = 10, duration: int = 1000) -> TaskProgram:
+    return make_program(
+        [[(A, Direction.INOUT)]] * length, durations=[duration] * length, name="chain"
+    )
+
+
+class TestNanosOverheadModel:
+    def test_creation_independent_of_dependences(self):
+        model = NanosOverheadModel()
+        assert model.creation_cycles(4) == model.creation_cycles(4)
+
+    def test_creation_grows_with_threads(self):
+        model = NanosOverheadModel()
+        values = [model.creation_cycles(t) for t in (1, 4, 8, 12)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_submission_grows_with_dependences_and_threads(self):
+        model = NanosOverheadModel()
+        assert model.submission_cycles(5, 1) > model.submission_cycles(1, 1)
+        assert model.submission_cycles(5, 12) > model.submission_cycles(5, 1)
+
+    def test_submission_contention_dominates_at_high_thread_counts(self):
+        """Figure 10's key shape: the 12-thread submission cost is several
+        times the single-thread cost."""
+        model = NanosOverheadModel()
+        assert model.submission_cycles(5, 12) >= 3 * model.submission_cycles(5, 1)
+
+    def test_total_overhead_is_tens_of_thousands_of_cycles_at_12_threads(self):
+        model = NanosOverheadModel()
+        total = model.creation_and_submission(5, 12)
+        assert 10_000 <= total <= 100_000
+
+    def test_worker_side_overheads(self):
+        model = NanosOverheadModel()
+        assert model.worker_pickup_cycles(12) > model.worker_pickup_cycles(1)
+        assert model.release_cycles(3, 4) > model.release_cycles(1, 4)
+        assert model.release_cycles(0, 4) == 0
+
+    def test_overhead_table_structure(self):
+        model = NanosOverheadModel()
+        table = model.overhead_table([1, 5], [1, 2, 4])
+        assert set(table) == {"creation", "1 DEPs", "5 DEPs"}
+        assert all(len(values) == 3 for values in table.values())
+
+    def test_invalid_arguments(self):
+        model = NanosOverheadModel()
+        with pytest.raises(ValueError):
+            model.creation_cycles(0)
+        with pytest.raises(ValueError):
+            model.submission_cycles(-1, 4)
+
+
+class TestPerfectScheduler:
+    def test_independent_tasks_scale_linearly(self):
+        program = wide_program(count=32)
+        for workers in (1, 2, 4, 8):
+            assert perfect_speedup(program, workers) == pytest.approx(workers, rel=1e-6)
+
+    def test_chain_never_exceeds_speedup_one(self):
+        program = chain(length=12)
+        result = PerfectScheduler(program, num_workers=8).run()
+        assert result.speedup == pytest.approx(1.0)
+        assert result.makespan == program.sequential_cycles
+
+    def test_speedup_bounded_by_graph_parallelism(self):
+        program = make_program(
+            [
+                [(A, Direction.OUT)],
+                [(A, Direction.IN)],
+                [(A, Direction.IN)],
+                [(A, Direction.IN)],
+            ],
+            durations=[100, 100, 100, 100],
+        )
+        scheduler = PerfectScheduler(program, num_workers=16)
+        result = scheduler.run()
+        assert result.speedup <= scheduler.roofline_speedup() + 1e-9
+        assert scheduler.critical_path() == 200
+
+    def test_respects_dependences(self):
+        program = make_program(
+            [
+                [(A, Direction.OUT)],
+                [(B, Direction.OUT)],
+                [(A, Direction.IN), (B, Direction.IN)],
+                [(A, Direction.INOUT)],
+            ],
+            durations=[10, 20, 30, 40],
+        )
+        result = PerfectScheduler(program, num_workers=2).run()
+        assert ready_order_is_valid(program, result.start_order())
+        graph = build_task_graph(program)
+        for task_id, preds in graph.predecessors.items():
+            for pred in preds:
+                assert result.timelines[task_id].started >= result.timelines[pred].finished
+
+    def test_zero_overhead_means_no_management_latency(self):
+        program = wide_program(count=4)
+        result = PerfectScheduler(program, num_workers=4).run()
+        for timeline in result.timelines.values():
+            assert timeline.ready == 0
+            assert timeline.started == 0
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            PerfectScheduler(wide_program(), num_workers=0)
+
+
+class TestNanosSimulator:
+    def test_all_tasks_complete_and_order_is_valid(self):
+        program = make_program(
+            [
+                [(A, Direction.OUT)],
+                [(A, Direction.IN)],
+                [(B, Direction.OUT)],
+                [(A, Direction.INOUT), (B, Direction.IN)],
+            ],
+            durations=[5000] * 4,
+        )
+        result = NanosRuntimeSimulator(program, num_threads=2).run()
+        assert result.completed_all()
+        assert ready_order_is_valid(program, result.start_order())
+
+    def test_speedup_below_perfect(self):
+        program = wide_program(count=64, duration=50_000)
+        for workers in (2, 4, 8):
+            assert nanos_speedup(program, workers) <= perfect_speedup(program, workers)
+
+    def test_coarse_tasks_scale_well(self):
+        program = wide_program(count=64, duration=5_000_000)
+        assert nanos_speedup(program, 8) > 6.0
+
+    def test_fine_tasks_collapse(self):
+        """The Figure 1 effect: once task duration approaches the runtime
+        overhead the software-only speedup collapses."""
+        coarse = wide_program(count=64, duration=1_000_000)
+        fine = wide_program(count=64, duration=10_000)
+        assert nanos_speedup(fine, 12) < 0.6 * nanos_speedup(coarse, 12)
+
+    def test_serial_creation_limits_throughput(self):
+        model = NanosOverheadModel()
+        program = wide_program(count=50, duration=1000)
+        result = NanosRuntimeSimulator(program, num_threads=8, overhead=model).run()
+        minimum_creation = 50 * model.creation_and_submission(0, 8)
+        assert result.makespan >= minimum_creation
+
+    def test_single_thread_still_completes(self):
+        program = wide_program(count=10, duration=1000)
+        result = NanosRuntimeSimulator(program, num_threads=1).run()
+        assert result.completed_all()
+        assert result.speedup < 1.0  # overhead makes it slower than sequential
+
+    def test_counters_present(self):
+        program = wide_program(count=4)
+        result = NanosRuntimeSimulator(program, num_threads=4).run()
+        assert result.counters["threads"] == 4
+        assert result.counters["master_creation_cycles"] > 0
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            NanosRuntimeSimulator(wide_program(), num_threads=0)
+
+    def test_custom_overhead_model_is_used(self):
+        cheap = NanosOverheadModel(
+            creation_base=1,
+            submission_base=1,
+            submission_per_dep=1,
+            scheduling_cycles=1,
+            release_per_dep=1,
+            creation_contention=0.0,
+            submission_contention=0.0,
+        )
+        program = wide_program(count=32, duration=10_000)
+        cheap_speedup = nanos_speedup(program, 8, cheap)
+        default_speedup = nanos_speedup(program, 8)
+        assert cheap_speedup > default_speedup

@@ -1,0 +1,157 @@
+"""Unit tests for the event engine, the worker pool and the result objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import EventQueue
+from repro.sim.results import SimulationResult, TaskTimeline
+from repro.sim.worker import WorkerPool
+
+
+class TestEventQueue:
+    def test_events_delivered_in_time_order(self):
+        queue = EventQueue()
+        queue.schedule(30, "c")
+        queue.schedule(10, "a")
+        queue.schedule(20, "b")
+        kinds = [event.kind for event in queue]
+        assert kinds == ["a", "b", "c"]
+        assert queue.now == 30
+
+    def test_simultaneous_events_keep_scheduling_order(self):
+        queue = EventQueue()
+        for index in range(5):
+            queue.schedule(7, "tick", index)
+        payloads = [event.payload for event in queue]
+        assert payloads == [0, 1, 2, 3, 4]
+
+    def test_schedule_in_uses_current_time(self):
+        queue = EventQueue()
+        queue.schedule(5, "first")
+        queue.pop()
+        event = queue.schedule_in(10, "second")
+        assert event.time == 15
+
+    def test_scheduling_in_the_past_raises(self):
+        queue = EventQueue()
+        queue.schedule(5, "first")
+        queue.pop()
+        with pytest.raises(ValueError):
+            queue.schedule(2, "late")
+        with pytest.raises(ValueError):
+            queue.schedule_in(-1, "negative")
+
+    def test_counters_and_empty(self):
+        queue = EventQueue()
+        assert queue.empty
+        queue.schedule(1, "x")
+        queue.schedule(2, "y")
+        assert queue.pending == 2
+        queue.pop()
+        assert queue.processed == 1
+        assert not queue.empty
+
+    def test_pop_on_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+
+class TestWorkerPool:
+    def test_reserve_and_release_cycle(self):
+        pool = WorkerPool(2)
+        assert pool.idle_count == 2
+        worker = pool.reserve(task_id=5)
+        assert pool.idle_count == 1
+        assert pool.busy_count == 1
+        end = pool.start_execution(worker, start=100, duration=50)
+        assert end == 150
+        pool.release(worker)
+        assert pool.idle_count == 2
+
+    def test_reserve_exhaustion_raises(self):
+        pool = WorkerPool(1)
+        pool.reserve(0)
+        with pytest.raises(RuntimeError):
+            pool.reserve(1)
+
+    def test_start_without_reservation_raises(self):
+        pool = WorkerPool(1)
+        with pytest.raises(RuntimeError):
+            pool.start_execution(0, start=0, duration=1)
+
+    def test_release_without_reservation_raises(self):
+        pool = WorkerPool(1)
+        with pytest.raises(RuntimeError):
+            pool.release(0)
+
+    def test_statistics(self):
+        pool = WorkerPool(2)
+        first = pool.reserve(0)
+        pool.start_execution(first, 0, 10)
+        pool.release(first)
+        second = pool.reserve(1)
+        pool.start_execution(second, 10, 30)
+        pool.release(second)
+        assert pool.total_busy_cycles() == 40
+        assert sum(pool.tasks_per_worker().values()) == 2
+        assert pool.utilisation(makespan=40) == pytest.approx(0.5)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+
+def _result_with_two_tasks() -> SimulationResult:
+    timelines = {
+        0: TaskTimeline(task_id=0, submitted=0, ready=10, started=12, finished=112),
+        1: TaskTimeline(task_id=1, submitted=24, ready=40, started=50, finished=150),
+    }
+    return SimulationResult(
+        simulator="test",
+        program_name="prog",
+        num_workers=2,
+        makespan=150,
+        sequential_cycles=200,
+        num_tasks=2,
+        timelines=timelines,
+    )
+
+
+class TestSimulationResult:
+    def test_speedup_and_efficiency(self):
+        result = _result_with_two_tasks()
+        assert result.speedup == pytest.approx(200 / 150)
+        assert result.efficiency == pytest.approx(200 / 150 / 2)
+
+    def test_zero_makespan_guards(self):
+        result = SimulationResult(
+            simulator="t", program_name="p", num_workers=0, makespan=0,
+            sequential_cycles=0, num_tasks=0,
+        )
+        assert result.speedup == 0.0
+        assert result.efficiency == 0.0
+
+    def test_first_task_latency_and_throughputs(self):
+        result = _result_with_two_tasks()
+        assert result.first_task_latency() == 10
+        assert result.task_throughput() == pytest.approx(24.0)
+        assert result.completion_throughput() == pytest.approx(38.0)
+        assert result.dependence_throughput(avg_deps=2) == pytest.approx(12.0)
+        assert result.dependence_throughput(avg_deps=0) == 0.0
+
+    def test_timeline_latencies(self):
+        timeline = TaskTimeline(task_id=0, submitted=5, ready=20, started=30, finished=90)
+        assert timeline.management_latency == 15
+        assert timeline.queue_latency == 10
+
+    def test_start_order_and_completion(self):
+        result = _result_with_two_tasks()
+        assert result.start_order() == [0, 1]
+        assert result.completed_all()
+        assert 0.0 < result.worker_busy_fraction() <= 1.0
+
+    def test_summary_round_numbers(self):
+        summary = _result_with_two_tasks().summary()
+        assert summary["workers"] == 2
+        assert summary["tasks"] == 2
+        assert isinstance(summary["speedup"], float)

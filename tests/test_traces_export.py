@@ -1,0 +1,70 @@
+"""Tests for the trace-export tooling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.dependence_analysis import build_task_graph
+from repro.traces.export import (
+    available_workloads,
+    export_benchmark_trace,
+    export_program,
+    export_synthetic_trace,
+    main,
+)
+from repro.traces.trace import load_trace
+
+from conftest import make_program
+
+
+class TestExportFunctions:
+    def test_export_program_round_trip(self, tmp_path):
+        program = make_program([[(0x1000, "out")], [(0x1000, "in")]], durations=[7, 9])
+        path = export_program(program, tmp_path / "p.trace")
+        restored = load_trace(path).program
+        assert restored.num_tasks == 2
+        assert [t.duration for t in restored] == [7, 9]
+
+    def test_export_benchmark_preserves_dependence_structure(self, tmp_path):
+        path = export_benchmark_trace("cholesky", 256, tmp_path / "chol.trace", problem_size=1024)
+        restored = load_trace(path).program
+        from repro.apps.registry import build_benchmark
+
+        original = build_benchmark("cholesky", 256, problem_size=1024)
+        assert restored.num_tasks == original.num_tasks
+        assert build_task_graph(restored).num_edges == build_task_graph(original).num_edges
+
+    def test_export_synthetic_case(self, tmp_path):
+        path = export_synthetic_trace("case4", tmp_path / "case4.trace")
+        restored = load_trace(path).program
+        assert restored.num_tasks == 100
+        assert build_task_graph(restored).max_parallelism() == pytest.approx(1.0)
+
+    def test_available_workloads(self):
+        names = available_workloads()
+        assert "cholesky" in names["benchmarks"]
+        assert "case7" in names["synthetic"]
+
+
+class TestExportCli:
+    def test_help(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "case1" in out and "cholesky" in out
+
+    def test_synthetic_to_stdout(self, capsys):
+        assert main(["case1", "-"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# picos-trace v1")
+        assert out.count("task ") == 100
+
+    def test_benchmark_to_file(self, tmp_path, capsys):
+        destination = tmp_path / "heat.trace"
+        assert main(["heat", "128", str(destination), "1024"]) == 0
+        assert destination.exists()
+        assert load_trace(destination).program.num_tasks == 64
+
+    def test_bad_arguments(self, capsys):
+        assert main(["case1"]) == 2
+        assert main(["heat"]) == 2
+        assert main(["nonsense", "1", "-"]) == 2

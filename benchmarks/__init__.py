@@ -1,0 +1,7 @@
+"""Benchmark harness package.
+
+The ``__init__`` marker gives the benchmark modules (and
+``benchmarks/conftest.py``) unique package-qualified import names, so
+collecting ``tests/`` and ``benchmarks/`` in one pytest session never
+collides.
+"""

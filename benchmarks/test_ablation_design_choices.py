@@ -24,7 +24,7 @@ from repro.core.config import DMDesign, PicosConfig
 from repro.core.scheduler import SchedulingPolicy
 from repro.sim.hil import HILMode, HILSimulator
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 
 def _speedup(program, config, workers=12, mode=HILMode.HW_ONLY, policy=SchedulingPolicy.FIFO):

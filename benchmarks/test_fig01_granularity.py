@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.experiments import fig01_granularity
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 
 def test_fig01_granularity_curves(benchmark, bench_problem_size):

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from repro.experiments import fig08_dm_designs
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 BENCHMARKS = (
     ("heat", 64),

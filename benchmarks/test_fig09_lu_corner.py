@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.experiments import fig09_lu_corner
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 
 def test_fig09_lu_corner_case(benchmark, bench_problem_size):

@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.experiments import fig10_nanos_overhead
 from repro.runtime.overhead import NanosOverheadModel
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 
 def test_fig10_overhead_curves(benchmark):

@@ -16,7 +16,7 @@ import pytest
 
 from repro.experiments import fig11_scalability
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 WORKERS = (2, 4, 8, 12, 16, 24)
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.experiments import table1_benchmarks
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 
 def test_table1_benchmark_characteristics(benchmark):

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.experiments import table2_dm_conflicts
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 BENCHMARKS = (
     ("heat", 128),

@@ -13,7 +13,7 @@ import pytest
 from repro.experiments import table3_resources
 from repro.hardware.resources import PAPER_TABLE3
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 
 def test_table3_resource_model(benchmark):

@@ -14,7 +14,7 @@ import pytest
 
 from repro.experiments import table4_synthetic
 
-from conftest import run_once
+from benchmarks.conftest import run_once
 
 
 def test_table4_synthetic_capacity(benchmark):

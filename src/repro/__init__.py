@@ -41,6 +41,12 @@ The package is organised around the subsystems the paper builds or relies on:
 from repro.core.config import DMDesign, PicosConfig
 from repro.core.picos import PicosAccelerator
 from repro.runtime.task import Dependence, Direction, Task, TaskProgram
+from repro.sim.backend import (
+    SimulatorBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from repro.sim.driver import simulate_program
 from repro.sim.hil import HILMode
 
@@ -53,7 +59,11 @@ __all__ = [
     "Task",
     "TaskProgram",
     "HILMode",
+    "SimulatorBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "simulate_program",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

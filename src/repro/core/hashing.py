@@ -1,4 +1,4 @@
-"""Set-index hashing for the Dependence Memory.
+"""Hash functions: DM set indexing plus stable content fingerprints.
 
 Two index functions are used by the DM designs of Section III-C:
 
@@ -17,6 +17,7 @@ Two index functions are used by the DM designs of Section III-C:
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Sequence
 
 #: Number of index bits used by the 64-set DM (2**6 == 64).
@@ -86,3 +87,35 @@ def index_for(address: int, use_pearson: bool, num_sets: int = 64) -> int:
     if use_pearson:
         return pearson_index(address, num_sets)
     return direct_index(address, num_sets)
+
+
+# ----------------------------------------------------------------------
+# stable content fingerprints (experiment-result cache keys)
+# ----------------------------------------------------------------------
+def stable_digest(*parts: object, length: int = 24) -> str:
+    """Deterministic hexadecimal digest of an ordered sequence of parts.
+
+    Unlike Python's built-in ``hash`` (salted per process), the digest is
+    stable across runs, platforms and Python versions, which is what makes
+    it usable as an on-disk cache key.  Each part is rendered to text
+    (bytes are hashed as-is) and length-prefixed before hashing, so
+    ``("ab", "c")`` and ``("a", "bc")`` never collide.
+    """
+    if length < 8 or length > 64:
+        raise ValueError("digest length must be between 8 and 64 hex digits")
+    digest = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, bytes):
+            blob = part
+        else:
+            blob = repr(part).encode("utf-8") if not isinstance(part, str) else part.encode("utf-8")
+        digest.update(str(len(blob)).encode("ascii"))
+        digest.update(b":")
+        digest.update(blob)
+        digest.update(b";")
+    return digest.hexdigest()[:length]
+
+
+def fingerprint_mapping(mapping: "dict") -> str:
+    """Stable digest of a flat mapping (key order does not matter)."""
+    return stable_digest(*(f"{key}={mapping[key]!r}" for key in sorted(mapping)))

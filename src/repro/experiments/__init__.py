@@ -25,13 +25,29 @@ from repro.experiments import (
     fig09_lu_corner,
     fig10_nanos_overhead,
     fig11_scalability,
+    runner,
     table1_benchmarks,
     table2_dm_conflicts,
     table3_resources,
     table4_synthetic,
 )
+from repro.experiments.runner import (
+    ExperimentSpec,
+    JobResult,
+    RunnerOptions,
+    SweepPoint,
+    run_points,
+    run_sweep,
+)
 
 __all__ = [
+    "ExperimentSpec",
+    "JobResult",
+    "RunnerOptions",
+    "SweepPoint",
+    "run_points",
+    "run_sweep",
+    "runner",
     "fig01_granularity",
     "fig08_dm_designs",
     "fig09_lu_corner",

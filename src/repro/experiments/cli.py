@@ -3,18 +3,26 @@
 Runs any table or figure of the paper from a terminal::
 
     picos-experiment table4
-    picos-experiment fig8
-    picos-experiment fig11 --full
+    picos-experiment fig8 --jobs 8
+    picos-experiment fig11 --full --cache-dir /tmp/picos-cache
     picos-experiment all --quick
 
 The ``--quick`` flag shrinks the problem sizes so every experiment finishes
 in seconds (useful for smoke testing); ``--full`` selects the complete
 paper matrix where a reduced default exists (Figure 11).
+
+Simulations fan out over a process pool (``--jobs``, defaulting to every
+CPU) and memoize their results in an on-disk cache (``--cache-dir``,
+defaulting to ``$PICOS_CACHE_DIR`` or ``.picos-cache``), so re-rendering an
+experiment is instant.  ``--backend`` re-targets an experiment's primary
+sweep at any registered simulator backend; ``picos-experiment backends``
+lists them.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, Optional
@@ -30,67 +38,128 @@ from repro.experiments import (
     table3_resources,
     table4_synthetic,
 )
+from repro.experiments.runner import RunnerOptions, default_cache_dir
+from repro.sim.backend import describe_backends
+from repro.sim.hil import HILMode
 
 #: Problem size used by ``--quick`` for the dense / sparse kernels.
 QUICK_PROBLEM_SIZE = 1024
 #: Frame count used by ``--quick`` for H264dec.
 QUICK_FRAMES = 2
 
+#: Signature of every experiment entry: (quick, full, options, backend).
+ExperimentRunner = Callable[[bool, bool, RunnerOptions, Optional[str]], str]
 
-def _run_fig01(quick: bool, full: bool) -> str:
+
+def _run_fig01(
+    quick: bool, full: bool, options: RunnerOptions, backend: Optional[str]
+) -> str:
     problem = QUICK_PROBLEM_SIZE if quick else None
+    kwargs = {"backend": backend} if backend else {}
     return fig01_granularity.render_fig01(
-        fig01_granularity.run_fig01(problem_size=problem)
+        fig01_granularity.run_fig01(problem_size=problem, options=options, **kwargs)
     )
 
 
-def _run_fig08(quick: bool, full: bool) -> str:
+def _run_fig08(
+    quick: bool, full: bool, options: RunnerOptions, backend: Optional[str]
+) -> str:
     problem = QUICK_PROBLEM_SIZE if quick else None
+    kwargs = {"backend": backend} if backend else {}
     return fig08_dm_designs.render_fig08(
-        fig08_dm_designs.run_fig08(problem_size=problem)
+        fig08_dm_designs.run_fig08(problem_size=problem, options=options, **kwargs)
     )
 
 
-def _run_fig09(quick: bool, full: bool) -> str:
+def _run_fig09(
+    quick: bool, full: bool, options: RunnerOptions, backend: Optional[str]
+) -> str:
     problem = QUICK_PROBLEM_SIZE if quick else None
+    kwargs = {"backend": backend} if backend else {}
     return fig09_lu_corner.render_fig09(
-        fig09_lu_corner.run_fig09(problem_size=problem)
+        fig09_lu_corner.run_fig09(problem_size=problem, options=options, **kwargs)
     )
 
 
-def _run_fig10(quick: bool, full: bool) -> str:
-    return fig10_nanos_overhead.render_fig10(fig10_nanos_overhead.run_fig10())
+def _run_fig10(
+    quick: bool, full: bool, options: RunnerOptions, backend: Optional[str]
+) -> str:
+    return fig10_nanos_overhead.render_fig10(
+        fig10_nanos_overhead.run_fig10(options=options)
+    )
 
 
-def _run_fig11(quick: bool, full: bool) -> str:
+def _run_fig11(
+    quick: bool, full: bool, options: RunnerOptions, backend: Optional[str]
+) -> str:
     matrix = fig11_scalability.FIG11_FULL_MATRIX if full else None
     if quick:
         matrix = {"heat": (64,), "cholesky": (64,), "lu": (32,), "sparselu": (64,)}
+    simulators = fig11_scalability.FIG11_SIMULATORS
+    if backend:
+        simulators = tuple(
+            label
+            for label, name in fig11_scalability.FIG11_BACKENDS.items()
+            if name == backend
+        )
+        if not simulators:
+            comparands = ", ".join(fig11_scalability.FIG11_BACKENDS.values())
+            raise SystemExit(
+                f"fig11 compares {comparands}; --backend {backend!r} is not one of them"
+            )
     return fig11_scalability.render_fig11(
-        fig11_scalability.run_fig11(matrix=matrix)
+        fig11_scalability.run_fig11(
+            matrix=matrix, simulators=simulators, options=options
+        )
     )
 
 
-def _run_table1(quick: bool, full: bool) -> str:
-    return table1_benchmarks.render_table1(table1_benchmarks.run_table1())
+def _run_table1(
+    quick: bool, full: bool, options: RunnerOptions, backend: Optional[str]
+) -> str:
+    return table1_benchmarks.render_table1(table1_benchmarks.run_table1(options=options))
 
 
-def _run_table2(quick: bool, full: bool) -> str:
+def _run_table2(
+    quick: bool, full: bool, options: RunnerOptions, backend: Optional[str]
+) -> str:
     problem = QUICK_PROBLEM_SIZE if quick else None
+    hil_backends = tuple(mode.backend_name for mode in HILMode)
+    if backend and backend not in hil_backends:
+        raise SystemExit(
+            "table2 counts Dependence Memory conflicts, a Picos hardware "
+            f"counter; --backend {backend!r} must be one of "
+            + ", ".join(hil_backends)
+        )
+    kwargs = {"backend": backend} if backend else {}
     return table2_dm_conflicts.render_table2(
-        table2_dm_conflicts.run_table2(problem_size=problem)
+        table2_dm_conflicts.run_table2(problem_size=problem, options=options, **kwargs)
     )
 
 
-def _run_table3(quick: bool, full: bool) -> str:
-    return table3_resources.render_table3(table3_resources.run_table3())
+def _run_table3(
+    quick: bool, full: bool, options: RunnerOptions, backend: Optional[str]
+) -> str:
+    return table3_resources.render_table3(table3_resources.run_table3(options=options))
 
 
-def _run_table4(quick: bool, full: bool) -> str:
-    return table4_synthetic.render_table4(table4_synthetic.run_table4())
+def _run_table4(
+    quick: bool, full: bool, options: RunnerOptions, backend: Optional[str]
+) -> str:
+    modes = table4_synthetic.TABLE4_MODES
+    if backend:
+        modes = tuple(mode for mode in modes if mode.backend_name == backend)
+        if not modes:
+            comparands = ", ".join(m.backend_name for m in table4_synthetic.TABLE4_MODES)
+            raise SystemExit(
+                f"table4 compares {comparands}; --backend {backend!r} is not one of them"
+            )
+    return table4_synthetic.render_table4(
+        table4_synthetic.run_table4(modes=modes, options=options)
+    )
 
 
-EXPERIMENTS: Dict[str, Callable[[bool, bool], str]] = {
+EXPERIMENTS: Dict[str, ExperimentRunner] = {
     "fig1": _run_fig01,
     "fig8": _run_fig08,
     "fig9": _run_fig09,
@@ -103,6 +172,14 @@ EXPERIMENTS: Dict[str, Callable[[bool, bool], str]] = {
 }
 
 
+def render_backends() -> str:
+    """One line per registered simulator backend."""
+    lines = ["registered simulator backends:"]
+    for name, description in describe_backends().items():
+        lines.append(f"  {name:<10} {description}")
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the command-line argument parser."""
     parser = argparse.ArgumentParser(
@@ -111,8 +188,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which table/figure to reproduce (or 'all')",
+        choices=sorted(EXPERIMENTS) + ["all", "backends"],
+        help="which table/figure to reproduce ('all' for every one, "
+        "'backends' to list the simulator backends)",
     )
     parser.add_argument(
         "--quick",
@@ -124,16 +202,77 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the complete paper matrix where a reduced default exists",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulation jobs to run in parallel (default: all CPUs)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="re-target the experiment's sweep at one simulator backend "
+        "(hil-full, hil-hw, hil-comm, nanos, perfect, or a plug-in); "
+        "ignored by the purely analytic experiments (fig10, table1, table3)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="directory of the on-disk result cache "
+        "(default: $PICOS_CACHE_DIR or .picos-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this run",
+    )
     return parser
+
+
+def runner_options_from_args(args: argparse.Namespace) -> RunnerOptions:
+    """Translate parsed CLI arguments into runner options."""
+    jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
+    if jobs < 1:
+        raise SystemExit("--jobs must be at least 1")
+    if args.no_cache:
+        cache_dir = None
+    elif args.cache_dir is not None:
+        cache_dir = args.cache_dir
+    else:
+        cache_dir = default_cache_dir()
+    return RunnerOptions(jobs=jobs, cache_dir=cache_dir)
 
 
 def main(argv: Optional[list] = None) -> int:
     """Console-script entry point."""
     args = build_parser().parse_args(argv)
+    if args.experiment == "backends":
+        print(render_backends())
+        return 0
+    if args.backend is not None and args.backend not in describe_backends():
+        print(f"unknown backend {args.backend!r}", file=sys.stderr)
+        print(render_backends(), file=sys.stderr)
+        return 2
+    options = runner_options_from_args(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.time()
-        output = EXPERIMENTS[name](args.quick, args.full)
+        try:
+            output = EXPERIMENTS[name](args.quick, args.full, options, args.backend)
+        except (SystemExit, ValueError) as exc:
+            # An experiment that cannot honour --backend aborts with a
+            # message (SystemExit from a wrapper, ValueError from the
+            # library specs); under "all" that one is skipped instead of
+            # killing the remaining experiments.
+            if args.experiment != "all":
+                raise SystemExit(str(exc)) from None
+            print(f"===== {name} (skipped) =====")
+            print(exc)
+            print()
+            continue
         elapsed = time.time() - start
         print(f"===== {name} ({elapsed:.1f}s) =====")
         print(output)

@@ -5,6 +5,10 @@ Nanos++ software-only runtime on 12 cores, with a constant problem size and
 decreasing block sizes.  Speedup first grows (more parallelism becomes
 available) and then collapses once the per-task runtime overhead rivals the
 task duration.
+
+The sweep is declared as an :class:`~repro.experiments.runner.ExperimentSpec`
+and executed through the shared runner, so it parallelises and caches like
+every other figure.
 """
 
 from __future__ import annotations
@@ -12,9 +16,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import render_series
-from repro.apps.registry import build_benchmark
-from repro.runtime.nanos import NanosRuntimeSimulator
+from repro.experiments.runner import (
+    ExperimentSpec,
+    RunnerOptions,
+    overhead_extra,
+    run_sweep,
+)
 from repro.runtime.overhead import NanosOverheadModel
+from repro.sim.backend import BACKEND_NANOS
 
 #: Benchmarks and block-size sweeps of the figure.  The sweep extends one
 #: step below the Table I range for the coarse-grained kernels so the
@@ -30,28 +39,49 @@ FIG1_SWEEPS: Dict[str, Sequence[int]] = {
 FIG1_WORKERS = 12
 
 
+def fig01_spec(
+    num_workers: int = FIG1_WORKERS,
+    problem_size: Optional[int] = None,
+    sweeps: Optional[Dict[str, Sequence[int]]] = None,
+    overhead: Optional[NanosOverheadModel] = None,
+    backend: str = BACKEND_NANOS,
+) -> ExperimentSpec:
+    """Declare the Figure 1 sweep (benchmarks x block sizes, one backend)."""
+    sweeps = sweeps if sweeps is not None else FIG1_SWEEPS
+    workloads = tuple(
+        (benchmark, block_size)
+        for benchmark, block_sizes in sweeps.items()
+        for block_size in block_sizes
+    )
+    return ExperimentSpec(
+        name="fig01",
+        workloads=workloads,
+        backends=(backend,),
+        worker_counts=(num_workers,),
+        problem_size=problem_size,
+        extra=overhead_extra(overhead),
+    )
+
+
 def run_fig01(
     num_workers: int = FIG1_WORKERS,
     problem_size: Optional[int] = None,
     sweeps: Optional[Dict[str, Sequence[int]]] = None,
     overhead: Optional[NanosOverheadModel] = None,
+    backend: str = BACKEND_NANOS,
+    options: Optional[RunnerOptions] = None,
 ) -> Dict[str, Dict[int, float]]:
     """Compute the Figure 1 curves.
 
     Returns ``{benchmark: {block_size: speedup}}`` for the software-only
-    runtime with ``num_workers`` threads.
+    runtime with ``num_workers`` threads (or for ``backend`` when
+    overridden).
     """
-    sweeps = sweeps if sweeps is not None else FIG1_SWEEPS
+    spec = fig01_spec(num_workers, problem_size, sweeps, overhead, backend)
     results: Dict[str, Dict[int, float]] = {}
-    for benchmark, block_sizes in sweeps.items():
-        curve: Dict[int, float] = {}
-        for block_size in block_sizes:
-            program = build_benchmark(benchmark, block_size, problem_size=problem_size)
-            simulation = NanosRuntimeSimulator(
-                program, num_threads=num_workers, overhead=overhead
-            ).run()
-            curve[block_size] = simulation.speedup
-        results[benchmark] = curve
+    for point, job in run_sweep(spec, options).items():
+        assert point.block_size is not None
+        results.setdefault(point.workload, {})[point.block_size] = job.speedup
     return results
 
 

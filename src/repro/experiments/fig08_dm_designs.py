@@ -11,6 +11,10 @@ reproduce:
   16-way and Pearson close to the best;
 * Lu is a corner case where the 16-way design beats Pearson (analysed
   further in Figure 9).
+
+The 8 benchmarks x 3 designs x 4 worker counts = 96 independent
+simulations are declared as one spec and dispatched through the shared
+runner.
 """
 
 from __future__ import annotations
@@ -18,9 +22,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import render_series
-from repro.apps.registry import build_benchmark
-from repro.core.config import DMDesign, PicosConfig
-from repro.sim.hil import HILMode, HILSimulator
+from repro.core.config import DMDesign
+from repro.experiments.runner import (
+    ExperimentSpec,
+    RunnerOptions,
+    require_config_sensitive_backend,
+    run_sweep,
+)
+from repro.sim.backend import BACKEND_HIL_HW
 
 #: The benchmark / block-size pairs of Figure 8.
 FIG8_BENCHMARKS: Tuple[Tuple[str, int], ...] = (
@@ -38,29 +47,42 @@ FIG8_BENCHMARKS: Tuple[Tuple[str, int], ...] = (
 FIG8_WORKERS: Tuple[int, ...] = (2, 4, 8, 12)
 
 
+def fig08_spec(
+    benchmarks: Sequence[Tuple[str, int]] = FIG8_BENCHMARKS,
+    worker_counts: Sequence[int] = FIG8_WORKERS,
+    problem_size: Optional[int] = None,
+    backend: str = BACKEND_HIL_HW,
+) -> ExperimentSpec:
+    """Declare the Figure 8 sweep (benchmarks x DM designs x workers)."""
+    require_config_sensitive_backend("fig08", backend)
+    return ExperimentSpec(
+        name="fig08",
+        workloads=tuple(benchmarks),
+        backends=(backend,),
+        dm_designs=tuple(design.value for design in DMDesign),
+        worker_counts=tuple(worker_counts),
+        problem_size=problem_size,
+    )
+
+
 def run_fig08(
     benchmarks: Sequence[Tuple[str, int]] = FIG8_BENCHMARKS,
     worker_counts: Sequence[int] = FIG8_WORKERS,
     problem_size: Optional[int] = None,
+    backend: str = BACKEND_HIL_HW,
+    options: Optional[RunnerOptions] = None,
 ) -> Dict[Tuple[str, int], Dict[str, Dict[int, float]]]:
     """Compute the Figure 8 speedup bars.
 
     Returns ``{(benchmark, block_size): {design: {workers: speedup}}}``.
     """
+    spec = fig08_spec(benchmarks, worker_counts, problem_size, backend)
     results: Dict[Tuple[str, int], Dict[str, Dict[int, float]]] = {}
-    for benchmark, block_size in benchmarks:
-        program = build_benchmark(benchmark, block_size, problem_size=problem_size)
-        per_design: Dict[str, Dict[int, float]] = {}
-        for design in DMDesign:
-            config = PicosConfig.paper_prototype(design)
-            curve: Dict[int, float] = {}
-            for workers in worker_counts:
-                simulation = HILSimulator(
-                    program, config=config, mode=HILMode.HW_ONLY, num_workers=workers
-                ).run()
-                curve[workers] = simulation.speedup
-            per_design[design.display_name] = curve
-        results[(benchmark, block_size)] = per_design
+    for point, job in run_sweep(spec, options).items():
+        assert point.block_size is not None and point.dm_design is not None
+        design = DMDesign(point.dm_design).display_name
+        per_design = results.setdefault((point.workload, point.block_size), {})
+        per_design.setdefault(design, {})[point.num_workers] = job.speedup
     return results
 
 

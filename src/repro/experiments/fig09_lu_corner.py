@@ -10,6 +10,10 @@ feeds the next diagonal (the critical path).  The paper shows two fixes:
   critical consumer is the last created and therefore the first woken;
 * *LIFO* (right plot): keep the original creation order but use a LIFO
   ready queue in the Task Scheduler.
+
+Each variant is one declarative spec (the ``mlu`` workload and the LIFO
+policy are first-class sweep axes); the three specs run through the shared
+runner as a single batch of jobs.
 """
 
 from __future__ import annotations
@@ -17,24 +21,62 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.analysis.report import render_series
-from repro.apps.registry import build_benchmark
-from repro.core.config import DMDesign, PicosConfig
+from repro.core.config import DMDesign
 from repro.core.scheduler import SchedulingPolicy
-from repro.sim.hil import HILMode, HILSimulator
+from repro.experiments.runner import (
+    ExperimentSpec,
+    RunnerOptions,
+    SweepPoint,
+    require_config_sensitive_backend,
+    run_points,
+)
+from repro.sim.backend import BACKEND_HIL_HW
 
 #: Block sizes of Figure 9.
 FIG9_BLOCK_SIZES: Tuple[int, ...] = (64, 32)
 #: Worker count used for the comparison.
 FIG9_WORKERS = 12
 
+#: The three experiment variants of the figure, each a (workload, policy)
+#: pair: original Lu with FIFO, Modified Lu with FIFO, original Lu with LIFO.
+FIG9_VARIANT_PLANS: Dict[str, Tuple[str, str]] = {
+    "lu-fifo": ("lu", SchedulingPolicy.FIFO.value),
+    "mlu-fifo": ("mlu", SchedulingPolicy.FIFO.value),
+    "lu-lifo": ("lu", SchedulingPolicy.LIFO.value),
+}
+
 #: The three experiment variants of the figure.
-FIG9_VARIANTS: Tuple[str, ...] = ("lu-fifo", "mlu-fifo", "lu-lifo")
+FIG9_VARIANTS: Tuple[str, ...] = tuple(FIG9_VARIANT_PLANS)
+
+
+def fig09_specs(
+    block_sizes: Sequence[int] = FIG9_BLOCK_SIZES,
+    num_workers: int = FIG9_WORKERS,
+    problem_size: Optional[int] = None,
+    backend: str = BACKEND_HIL_HW,
+) -> Dict[str, ExperimentSpec]:
+    """Declare one sweep per Figure 9 variant."""
+    require_config_sensitive_backend("fig09", backend)
+    specs: Dict[str, ExperimentSpec] = {}
+    for variant, (workload, policy) in FIG9_VARIANT_PLANS.items():
+        specs[variant] = ExperimentSpec(
+            name=f"fig09-{variant}",
+            workloads=tuple((workload, block_size) for block_size in block_sizes),
+            backends=(backend,),
+            dm_designs=tuple(design.value for design in DMDesign),
+            worker_counts=(num_workers,),
+            policies=(policy,),
+            problem_size=problem_size,
+        )
+    return specs
 
 
 def run_fig09(
     block_sizes: Sequence[int] = FIG9_BLOCK_SIZES,
     num_workers: int = FIG9_WORKERS,
     problem_size: Optional[int] = None,
+    backend: str = BACKEND_HIL_HW,
+    options: Optional[RunnerOptions] = None,
 ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Compute the Figure 9 speedups.
 
@@ -42,29 +84,23 @@ def run_fig09(
     is one of ``lu-fifo`` (original), ``mlu-fifo`` (modified creation
     order) and ``lu-lifo`` (original order, LIFO ready queue).
     """
-    results: Dict[str, Dict[int, Dict[str, float]]] = {
-        variant: {} for variant in FIG9_VARIANTS
+    specs = fig09_specs(block_sizes, num_workers, problem_size, backend)
+    expanded: Dict[str, Tuple[SweepPoint, ...]] = {
+        variant: tuple(spec.expand()) for variant, spec in specs.items()
     }
-    for block_size in block_sizes:
-        lu = build_benchmark("lu", block_size, problem_size=problem_size)
-        mlu = build_benchmark("mlu", block_size, problem_size=problem_size)
-        plans = {
-            "lu-fifo": (lu, SchedulingPolicy.FIFO),
-            "mlu-fifo": (mlu, SchedulingPolicy.FIFO),
-            "lu-lifo": (lu, SchedulingPolicy.LIFO),
-        }
-        for variant, (program, policy) in plans.items():
-            per_design: Dict[str, float] = {}
-            for design in DMDesign:
-                simulation = HILSimulator(
-                    program,
-                    config=PicosConfig.paper_prototype(design),
-                    mode=HILMode.HW_ONLY,
-                    num_workers=num_workers,
-                    policy=policy,
-                ).run()
-                per_design[design.display_name] = simulation.speedup
-            results[variant][block_size] = per_design
+    all_points = [point for points in expanded.values() for point in points]
+    job_results = run_points(all_points, options)
+
+    results: Dict[str, Dict[int, Dict[str, float]]] = {
+        variant: {} for variant in specs
+    }
+    for variant, points in expanded.items():
+        for point in points:
+            assert point.block_size is not None and point.dm_design is not None
+            design = DMDesign(point.dm_design).display_name
+            results[variant].setdefault(point.block_size, {})[design] = job_results[
+                point
+            ].speedup
     return results
 
 

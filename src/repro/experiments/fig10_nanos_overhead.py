@@ -5,6 +5,11 @@ cycles the software-only runtime spends creating one task (independent of
 its dependences) and submitting it (growing with the number of dependences
 and with thread contention).  The reproduction evaluates the calibrated
 :class:`~repro.runtime.overhead.NanosOverheadModel` at the same points.
+
+There is no simulation behind this figure -- it is the overhead model
+itself -- but the evaluation is still declared as a (single-point) sweep
+and dispatched through the shared runner so it caches and composes like
+every other artefact.
 """
 
 from __future__ import annotations
@@ -12,6 +17,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.report import render_series
+from repro.experiments.runner import (
+    KIND_OVERHEAD,
+    ExperimentSpec,
+    RunnerOptions,
+    overhead_extra,
+    run_sweep,
+)
 from repro.runtime.overhead import NanosOverheadModel
 
 #: Dependence counts of the submission curves shown in the figure.
@@ -20,18 +32,42 @@ FIG10_DEP_COUNTS: Sequence[int] = (1, 3, 5, 9, 15)
 FIG10_THREADS: Sequence[int] = (1, 2, 4, 6, 8, 10, 12)
 
 
+def fig10_spec(
+    dep_counts: Sequence[int] = FIG10_DEP_COUNTS,
+    thread_counts: Sequence[int] = FIG10_THREADS,
+    overhead: Optional[NanosOverheadModel] = None,
+) -> ExperimentSpec:
+    """Declare the Figure 10 evaluation as a one-point overhead sweep."""
+    extra = (
+        ("dep_counts", tuple(int(d) for d in dep_counts)),
+        ("thread_counts", tuple(int(t) for t in thread_counts)),
+    ) + overhead_extra(overhead)
+    return ExperimentSpec(
+        name="fig10",
+        kind=KIND_OVERHEAD,
+        workloads=(("nanos-overhead", None),),
+        extra=tuple(sorted(extra)),
+    )
+
+
 def run_fig10(
     dep_counts: Sequence[int] = FIG10_DEP_COUNTS,
     thread_counts: Sequence[int] = FIG10_THREADS,
     overhead: Optional[NanosOverheadModel] = None,
+    options: Optional[RunnerOptions] = None,
 ) -> Dict[str, List[int]]:
     """Compute the Figure 10 curves.
 
     Returns ``{curve_label: [cycles per thread count]}``; the ``creation``
     curve plus one ``"<x> DEPs"`` submission curve per dependence count.
     """
-    model = overhead if overhead is not None else NanosOverheadModel()
-    return model.overhead_table(dep_counts, thread_counts)
+    spec = fig10_spec(dep_counts, thread_counts, overhead)
+    (job,) = run_sweep(spec, options).values()
+    curves: Dict[str, List[int]] = job.payload["curves"]  # type: ignore[assignment]
+    # Restore the figure's curve order (creation first, then by dependence
+    # count); the cache stores JSON objects with sorted keys.
+    labels = ["creation"] + [f"{deps} DEPs" for deps in dep_counts]
+    return {label: curves[label] for label in labels}
 
 
 def render_fig10(

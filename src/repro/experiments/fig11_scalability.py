@@ -13,11 +13,12 @@ reproduction must preserve:
 * as the block size shrinks, Nanos++ collapses while the prototype keeps
   advancing or at least remains stable.
 
-Running the full paper matrix (five benchmarks x four block sizes x seven
-worker counts x three simulators, with programs of up to 140k tasks) takes
-tens of minutes in pure Python; the driver therefore accepts subsets and a
-problem-size override, and the defaults used by the benchmark suite are the
-medium granularities recorded in EXPERIMENTS.md.
+The full paper matrix (five benchmarks x four block sizes x seven worker
+counts x three simulators, with programs of up to 140k tasks) is exactly
+the kind of embarrassingly parallel sweep the shared runner exists for:
+every (benchmark, block size, workers, simulator) cell is one independent
+job, all of them are submitted in a single batch, and the on-disk cache
+makes re-rendering the figure free.
 """
 
 from __future__ import annotations
@@ -26,11 +27,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import render_series
 from repro.analysis.speedup import ScalabilityCurve
-from repro.apps.registry import build_benchmark
-from repro.core.config import DMDesign, PicosConfig
-from repro.runtime.nanos import NanosRuntimeSimulator
-from repro.runtime.perfect import PerfectScheduler
-from repro.sim.hil import HILMode, HILSimulator
+from repro.core.config import DMDesign
+from repro.experiments.runner import (
+    RunnerOptions,
+    SweepPoint,
+    run_points,
+)
+from repro.sim.backend import BACKEND_HIL_FULL, BACKEND_NANOS, BACKEND_PERFECT
 
 #: Worker counts of the x-axis.
 FIG11_WORKERS: Tuple[int, ...] = (2, 4, 8, 12, 16, 20, 24)
@@ -54,8 +57,86 @@ FIG11_QUICK_MATRIX: Dict[str, Tuple[int, ...]] = {
     "h264dec": (8, 4),
 }
 
+#: Curve label -> simulator backend of the three comparison points.
+FIG11_BACKENDS: Dict[str, str] = {
+    "picos": BACKEND_HIL_FULL,
+    "perfect": BACKEND_PERFECT,
+    "nanos": BACKEND_NANOS,
+}
+
 #: The three simulators compared in each plot.
-FIG11_SIMULATORS: Tuple[str, ...] = ("picos", "perfect", "nanos")
+FIG11_SIMULATORS: Tuple[str, ...] = tuple(FIG11_BACKENDS)
+
+#: Display labels of the rendered series.
+FIG11_SERIES_LABELS: Dict[str, str] = {
+    "picos": "Picos full-system",
+    "perfect": "Perfect simulator",
+    "nanos": "Nanos++ RTS",
+}
+
+
+def fig11_points(
+    matrix: Dict[str, Sequence[int]],
+    worker_counts: Sequence[int] = FIG11_WORKERS,
+    problem_size: Optional[int] = None,
+    design: DMDesign = DMDesign.PEARSON8,
+    simulators: Sequence[str] = FIG11_SIMULATORS,
+) -> Dict[Tuple[str, int, str], SweepPoint]:
+    """Declare every Figure 11 job, keyed by (benchmark, block, simulator).
+
+    The DM design only parameterises the Picos backend; the software
+    runtime and the roofline scheduler have no Picos configuration, so
+    their points carry none (and therefore share cache entries across
+    designs).
+    """
+    points: Dict[Tuple[str, int, str], SweepPoint] = {}
+    for benchmark, block_sizes in matrix.items():
+        for block_size in block_sizes:
+            for workers in worker_counts:
+                for simulator in simulators:
+                    backend = FIG11_BACKENDS[simulator]
+                    points[(benchmark, block_size, f"{simulator}@{workers}")] = SweepPoint(
+                        experiment="fig11",
+                        workload=benchmark,
+                        block_size=block_size,
+                        problem_size=problem_size,
+                        backend=backend,
+                        dm_design=design.value if backend == BACKEND_HIL_FULL else None,
+                        num_workers=workers,
+                    )
+    return points
+
+
+def run_fig11(
+    matrix: Optional[Dict[str, Sequence[int]]] = None,
+    worker_counts: Sequence[int] = FIG11_WORKERS,
+    problem_size: Optional[int] = None,
+    design: DMDesign = DMDesign.PEARSON8,
+    simulators: Sequence[str] = FIG11_SIMULATORS,
+    options: Optional[RunnerOptions] = None,
+) -> Dict[Tuple[str, int], Dict[str, ScalabilityCurve]]:
+    """Compute the Figure 11 curves for a benchmark matrix.
+
+    ``matrix`` defaults to the quick subset; pass ``FIG11_FULL_MATRIX`` for
+    the complete paper sweep.  Every cell of the matrix is submitted as one
+    batch so a parallel runner saturates all cores.
+    """
+    matrix = matrix if matrix is not None else FIG11_QUICK_MATRIX
+    points = fig11_points(matrix, worker_counts, problem_size, design, simulators)
+    job_results = run_points(list(points.values()), options)
+
+    results: Dict[Tuple[str, int], Dict[str, ScalabilityCurve]] = {}
+    for (benchmark, block_size, tag), point in points.items():
+        simulator = tag.split("@", 1)[0]
+        curves = results.setdefault(
+            (benchmark, block_size),
+            {
+                name: ScalabilityCurve(label=f"{benchmark}-{block_size}-{name}")
+                for name in simulators
+            },
+        )
+        curves[simulator].add(point.num_workers, job_results[point].speedup)
+    return results
 
 
 def run_fig11_point(
@@ -64,50 +145,22 @@ def run_fig11_point(
     worker_counts: Sequence[int] = FIG11_WORKERS,
     problem_size: Optional[int] = None,
     design: DMDesign = DMDesign.PEARSON8,
+    simulators: Sequence[str] = FIG11_SIMULATORS,
+    options: Optional[RunnerOptions] = None,
 ) -> Dict[str, ScalabilityCurve]:
     """Scalability curves of one benchmark / block-size pair.
 
     Returns ``{"picos": curve, "perfect": curve, "nanos": curve}``.
     """
-    program = build_benchmark(benchmark, block_size, problem_size=problem_size)
-    config = PicosConfig.paper_prototype(design)
-    curves = {
-        name: ScalabilityCurve(label=f"{benchmark}-{block_size}-{name}")
-        for name in FIG11_SIMULATORS
-    }
-    for workers in worker_counts:
-        picos = HILSimulator(
-            program, config=config, mode=HILMode.FULL_SYSTEM, num_workers=workers
-        ).run()
-        perfect = PerfectScheduler(program, num_workers=workers).run()
-        nanos = NanosRuntimeSimulator(program, num_threads=workers).run()
-        curves["picos"].add(workers, picos.speedup)
-        curves["perfect"].add(workers, perfect.speedup)
-        curves["nanos"].add(workers, nanos.speedup)
-    return curves
-
-
-def run_fig11(
-    matrix: Optional[Dict[str, Sequence[int]]] = None,
-    worker_counts: Sequence[int] = FIG11_WORKERS,
-    problem_size: Optional[int] = None,
-) -> Dict[Tuple[str, int], Dict[str, ScalabilityCurve]]:
-    """Compute the Figure 11 curves for a benchmark matrix.
-
-    ``matrix`` defaults to the quick subset; pass ``FIG11_FULL_MATRIX`` for
-    the complete paper sweep.
-    """
-    matrix = matrix if matrix is not None else FIG11_QUICK_MATRIX
-    results: Dict[Tuple[str, int], Dict[str, ScalabilityCurve]] = {}
-    for benchmark, block_sizes in matrix.items():
-        for block_size in block_sizes:
-            results[(benchmark, block_size)] = run_fig11_point(
-                benchmark,
-                block_size,
-                worker_counts=worker_counts,
-                problem_size=problem_size,
-            )
-    return results
+    results = run_fig11(
+        matrix={benchmark: (block_size,)},
+        worker_counts=worker_counts,
+        problem_size=problem_size,
+        design=design,
+        simulators=simulators,
+        options=options,
+    )
+    return results[(benchmark, block_size)]
 
 
 def render_fig11(
@@ -116,11 +169,10 @@ def render_fig11(
     """Render the Figure 11 curves, one table per benchmark / block size."""
     sections: List[str] = []
     for (benchmark, block_size), curves in results.items():
-        worker_counts = curves["picos"].worker_counts()
+        present = [name for name in FIG11_SERIES_LABELS if name in curves]
+        worker_counts = curves[present[0]].worker_counts()
         series = {
-            "Picos full-system": curves["picos"].speedups(),
-            "Perfect simulator": curves["perfect"].speedups(),
-            "Nanos++ RTS": curves["nanos"].speedups(),
+            FIG11_SERIES_LABELS[name]: curves[name].speedups() for name in present
         }
         sections.append(
             render_series(

@@ -5,6 +5,12 @@ the generators of :mod:`repro.apps` and reports the number of tasks, the
 dependence range, the average task size and the sequential execution time
 next to the values of Table I, so the fidelity of the workload substitution
 is visible at a glance.
+
+No simulation is involved, but workload characterisation is still a sweep
+(benchmarks x block sizes), so it is declared as a spec of ``characterize``
+jobs and dispatched through the shared runner -- building the 140k-task
+H264dec programs is exactly the kind of work worth caching and
+parallelising.
 """
 
 from __future__ import annotations
@@ -12,10 +18,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import render_table
-from repro.apps.registry import (
-    PAPER_BENCHMARKS,
-    build_benchmark,
-    table1_reference,
+from repro.apps.registry import PAPER_BENCHMARKS, table1_reference
+from repro.experiments.runner import (
+    KIND_CHARACTERIZE,
+    ExperimentSpec,
+    RunnerOptions,
+    run_sweep,
 )
 
 #: Benchmarks of Table I (the ``mlu`` variant is excluded: it is a
@@ -23,36 +31,53 @@ from repro.apps.registry import (
 TABLE1_BENCHMARKS: Tuple[str, ...] = ("heat", "lu", "sparselu", "cholesky", "h264dec")
 
 
+def table1_spec(
+    benchmarks: Sequence[str] = TABLE1_BENCHMARKS,
+    problem_size: Optional[int] = None,
+) -> ExperimentSpec:
+    """Declare the Table I characterisation sweep."""
+    workloads = tuple(
+        (benchmark, block_size)
+        for benchmark in benchmarks
+        for block_size in PAPER_BENCHMARKS[benchmark].block_sizes
+    )
+    return ExperimentSpec(
+        name="table1",
+        kind=KIND_CHARACTERIZE,
+        workloads=workloads,
+        problem_size=problem_size,
+    )
+
+
 def run_table1(
     benchmarks: Sequence[str] = TABLE1_BENCHMARKS,
     problem_size: Optional[int] = None,
+    options: Optional[RunnerOptions] = None,
 ) -> List[Dict[str, object]]:
     """Build every benchmark of Table I and collect its characteristics.
 
     Each returned row contains the generated values and the paper's
     reference values.
     """
+    spec = table1_spec(benchmarks, problem_size)
     rows: List[Dict[str, object]] = []
-    for benchmark in benchmarks:
-        spec = PAPER_BENCHMARKS[benchmark]
-        for block_size in spec.block_sizes:
-            program = build_benchmark(benchmark, block_size, problem_size=problem_size)
-            reference = table1_reference(benchmark, block_size)
-            lo, hi = program.dependence_count_range
-            rows.append(
-                {
-                    "benchmark": benchmark,
-                    "block_size": block_size,
-                    "num_tasks": program.num_tasks,
-                    "paper_num_tasks": reference.num_tasks,
-                    "dep_range": (lo, hi),
-                    "paper_dep_range": reference.dep_range,
-                    "avg_task_size": program.average_task_size,
-                    "paper_avg_task_size": reference.average_task_size,
-                    "sequential_cycles": float(program.sequential_cycles),
-                    "paper_sequential_cycles": reference.sequential_cycles,
-                }
-            )
+    for point, job in run_sweep(spec, options).items():
+        assert point.block_size is not None
+        reference = table1_reference(point.workload, point.block_size)
+        rows.append(
+            {
+                "benchmark": point.workload,
+                "block_size": point.block_size,
+                "num_tasks": int(job.metrics["num_tasks"]),
+                "paper_num_tasks": reference.num_tasks,
+                "dep_range": (int(job.metrics["dep_lo"]), int(job.metrics["dep_hi"])),
+                "paper_dep_range": reference.dep_range,
+                "avg_task_size": float(job.metrics["avg_task_size"]),
+                "paper_avg_task_size": reference.average_task_size,
+                "sequential_cycles": float(job.metrics["sequential_cycles"]),
+                "paper_sequential_cycles": reference.sequential_cycles,
+            }
+        )
     return rows
 
 

@@ -12,9 +12,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import render_table
-from repro.apps.registry import build_benchmark
-from repro.core.config import DMDesign, PicosConfig
-from repro.sim.hil import HILMode, HILSimulator
+from repro.core.config import DMDesign
+from repro.experiments.runner import (
+    ExperimentSpec,
+    RunnerOptions,
+    require_config_sensitive_backend,
+    run_sweep,
+)
+from repro.sim.backend import BACKEND_HIL_HW
 
 #: Benchmark / block-size pairs of Table II.
 TABLE2_BENCHMARKS: Tuple[Tuple[str, int], ...] = (
@@ -44,28 +49,48 @@ PAPER_TABLE2: Dict[Tuple[str, int], Tuple[int, int, int]] = {
 }
 
 
+def table2_spec(
+    benchmarks: Sequence[Tuple[str, int]] = TABLE2_BENCHMARKS,
+    num_workers: int = TABLE2_WORKERS,
+    problem_size: Optional[int] = None,
+    backend: str = BACKEND_HIL_HW,
+) -> ExperimentSpec:
+    """Declare the Table II sweep (benchmarks x DM designs)."""
+    require_config_sensitive_backend("table2", backend)
+    return ExperimentSpec(
+        name="table2",
+        workloads=tuple(benchmarks),
+        backends=(backend,),
+        dm_designs=tuple(design.value for design in DMDesign),
+        worker_counts=(num_workers,),
+        problem_size=problem_size,
+    )
+
+
 def run_table2(
     benchmarks: Sequence[Tuple[str, int]] = TABLE2_BENCHMARKS,
     num_workers: int = TABLE2_WORKERS,
     problem_size: Optional[int] = None,
+    backend: str = BACKEND_HIL_HW,
+    options: Optional[RunnerOptions] = None,
 ) -> Dict[Tuple[str, int], Dict[str, int]]:
     """Count DM conflicts per benchmark and design.
 
     Returns ``{(benchmark, block_size): {design_name: conflicts}}``.
     """
+    spec = table2_spec(benchmarks, num_workers, problem_size, backend)
     results: Dict[Tuple[str, int], Dict[str, int]] = {}
-    for benchmark, block_size in benchmarks:
-        program = build_benchmark(benchmark, block_size, problem_size=problem_size)
-        per_design: Dict[str, int] = {}
-        for design in DMDesign:
-            simulation = HILSimulator(
-                program,
-                config=PicosConfig.paper_prototype(design),
-                mode=HILMode.HW_ONLY,
-                num_workers=num_workers,
-            ).run()
-            per_design[design.display_name] = int(simulation.counters["dm_conflicts"])
-        results[(benchmark, block_size)] = per_design
+    for point, job in run_sweep(spec, options).items():
+        assert point.block_size is not None and point.dm_design is not None
+        design = DMDesign(point.dm_design).display_name
+        per_design = results.setdefault((point.workload, point.block_size), {})
+        conflicts = job.counters.get("dm_conflicts")
+        if conflicts is None:
+            raise ValueError(
+                f"backend {point.backend!r} reports no 'dm_conflicts' counter; "
+                "table2 requires a Picos hardware backend (hil-*)"
+            )
+        per_design[design] = int(conflicts)
     return results
 
 

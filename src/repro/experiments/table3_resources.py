@@ -8,11 +8,18 @@ the memory cost).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import replace
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.report import render_table
 from repro.core.config import DMDesign, PicosConfig
+from repro.experiments.runner import (
+    KIND_RESOURCES,
+    ExperimentSpec,
+    RunnerOptions,
+    run_sweep,
+)
 from repro.hardware.resources import (
     DeviceBudget,
     XC7Z020,
@@ -22,9 +29,24 @@ from repro.hardware.resources import (
 )
 
 
-def run_table3(device: DeviceBudget = XC7Z020) -> List[Dict[str, object]]:
+def table3_spec(device: DeviceBudget = XC7Z020) -> ExperimentSpec:
+    """Declare the Table III estimate as a one-point resources sweep."""
+    device_fields = tuple(sorted(dataclasses.asdict(device).items()))
+    return ExperimentSpec(
+        name="table3",
+        kind=KIND_RESOURCES,
+        workloads=(("resource-model", None),),
+        extra=(("device", device_fields),),
+    )
+
+
+def run_table3(
+    device: DeviceBudget = XC7Z020,
+    options: Optional[RunnerOptions] = None,
+) -> List[Dict[str, object]]:
     """Model every Table III row (plus absolute LUT/FF/BRAM counts)."""
-    return table3_rows(device)
+    (job,) = run_sweep(table3_spec(device), options).values()
+    return job.payload["rows"]  # type: ignore[return-value]
 
 
 def render_table3(rows: List[Dict[str, object]], device: DeviceBudget = XC7Z020) -> str:

@@ -13,12 +13,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import render_table
 from repro.core.config import PicosConfig
-from repro.sim.hil import HILMode, HILSimulator
-from repro.traces.synthetic import (
-    first_and_average_dependences,
-    synthetic_case,
-    synthetic_case_names,
+from repro.experiments.runner import (
+    ExperimentSpec,
+    RunnerOptions,
+    SweepPoint,
+    config_extra,
+    run_points,
 )
+from repro.sim.hil import HILMode
+from repro.traces.synthetic import synthetic_case_names
 
 #: Worker count used by the paper for this table.
 TABLE4_WORKERS = 12
@@ -56,36 +59,72 @@ PAPER_TABLE4: Dict[str, Dict[str, Tuple[int, int, Optional[int]]]] = {
 }
 
 
+#: The three HIL modes of the table, in paper (row) order.
+TABLE4_MODES: Tuple[HILMode, ...] = (
+    HILMode.HW_ONLY,
+    HILMode.HW_COMM,
+    HILMode.FULL_SYSTEM,
+)
+
+
+def table4_specs(
+    cases: Optional[Sequence[str]] = None,
+    num_workers: int = TABLE4_WORKERS,
+    config: Optional[PicosConfig] = None,
+    modes: Sequence[HILMode] = TABLE4_MODES,
+) -> Dict[str, ExperimentSpec]:
+    """Declare one sweep per HIL mode (synthetic cases x one backend).
+
+    A custom :class:`PicosConfig` travels through the spec's ``extra``
+    encoding, so even calibration studies hit the cache coherently.
+    """
+    cases = tuple(cases) if cases is not None else synthetic_case_names()
+    specs: Dict[str, ExperimentSpec] = {}
+    for mode in modes:
+        specs[mode.value] = ExperimentSpec(
+            name=f"table4-{mode.value}",
+            workloads=tuple((case, None) for case in cases),
+            backends=(mode.backend_name,),
+            worker_counts=(num_workers,),
+            extra=config_extra(config),
+        )
+    return specs
+
+
 def run_table4(
     cases: Optional[Sequence[str]] = None,
     num_workers: int = TABLE4_WORKERS,
     config: Optional[PicosConfig] = None,
+    modes: Sequence[HILMode] = TABLE4_MODES,
+    options: Optional[RunnerOptions] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Measure L1st / thrTask / thrDep for every case and HIL mode.
 
     Returns ``{mode_value: {case: {"L1st": ..., "thrTask": ..., "thrDep":
     ..., "d1st": ..., "avg_deps": ...}}}``.
     """
-    cases = list(cases) if cases is not None else list(synthetic_case_names())
-    config = config if config is not None else PicosConfig()
+    specs = table4_specs(cases, num_workers, config, modes)
+    expanded: Dict[str, Tuple[SweepPoint, ...]] = {
+        mode_value: tuple(spec.expand()) for mode_value, spec in specs.items()
+    }
+    all_points = [point for points in expanded.values() for point in points]
+    job_results = run_points(all_points, options)
+
     results: Dict[str, Dict[str, Dict[str, float]]] = {}
-    for mode in (HILMode.HW_ONLY, HILMode.HW_COMM, HILMode.FULL_SYSTEM):
+    for mode_value, points in expanded.items():
         per_case: Dict[str, Dict[str, float]] = {}
-        for case in cases:
-            program = synthetic_case(case)
-            d1st, avg_deps = first_and_average_dependences(program)
-            simulation = HILSimulator(
-                program, config=config, mode=mode, num_workers=num_workers
-            ).run()
-            thr_task = simulation.task_throughput()
-            per_case[case] = {
-                "d1st": float(d1st),
+        for point in points:
+            job = job_results[point]
+            avg_deps = float(job.metrics["avg_deps"])
+            thr_task = float(job.metrics["task_throughput"])
+            per_case[point.workload] = {
+                "d1st": float(job.metrics["d1st"]),
                 "avg_deps": avg_deps,
-                "L1st": float(simulation.first_task_latency()),
+                "L1st": float(job.metrics["first_task_latency"]),
                 "thrTask": thr_task,
                 "thrDep": (thr_task / avg_deps) if avg_deps > 0 else 0.0,
             }
-        results[mode.value] = per_case
+        results[mode_value] = per_case
     return results
 
 

@@ -34,6 +34,7 @@ from typing import Deque, Dict, List, Optional
 from repro.runtime.dependence_analysis import TaskGraph, build_task_graph
 from repro.runtime.overhead import NanosOverheadModel
 from repro.runtime.task import TaskProgram
+from repro.sim.backend import BACKEND_NANOS, register_backend
 from repro.sim.engine import EventQueue
 from repro.sim.results import SimulationResult, TaskTimeline
 
@@ -173,3 +174,33 @@ def nanos_speedup(
 ) -> float:
     """Convenience helper: software-only speedup for one configuration."""
     return NanosRuntimeSimulator(program, num_threads, overhead).run().speedup
+
+
+# ----------------------------------------------------------------------
+# backend registration
+# ----------------------------------------------------------------------
+class NanosBackend:
+    """Simulator backend wrapping :class:`NanosRuntimeSimulator`.
+
+    ``num_workers`` maps to the runtime's thread-team size; the Picos
+    configuration and scheduling policy are ignored (the software runtime
+    has neither).
+    """
+
+    name = BACKEND_NANOS
+    description = "Nanos++ software-only runtime (the paper's baseline)"
+
+    def simulate(
+        self,
+        program: TaskProgram,
+        *,
+        num_workers: int = 12,
+        overhead: Optional[NanosOverheadModel] = None,
+        **kwargs: object,
+    ) -> SimulationResult:
+        return NanosRuntimeSimulator(
+            program, num_threads=num_workers, overhead=overhead
+        ).run()
+
+
+register_backend(NanosBackend(), replace=True)

@@ -17,6 +17,7 @@ from typing import Dict, List, Tuple
 
 from repro.runtime.dependence_analysis import TaskGraph, build_task_graph
 from repro.runtime.task import TaskProgram
+from repro.sim.backend import BACKEND_PERFECT, register_backend
 from repro.sim.results import SimulationResult, TaskTimeline
 
 
@@ -131,3 +132,29 @@ class PerfectScheduler:
 def perfect_speedup(program: TaskProgram, num_workers: int) -> float:
     """Convenience helper: the Perfect-Simulator speedup for one point."""
     return PerfectScheduler(program, num_workers).run().speedup
+
+
+# ----------------------------------------------------------------------
+# backend registration
+# ----------------------------------------------------------------------
+class PerfectBackend:
+    """Simulator backend wrapping :class:`PerfectScheduler`.
+
+    Configuration, policy and overhead parameters are ignored: the roofline
+    scheduler has zero management overhead by definition.
+    """
+
+    name = BACKEND_PERFECT
+    description = "Perfect scheduler (zero-overhead roofline upper bound)"
+
+    def simulate(
+        self,
+        program: TaskProgram,
+        *,
+        num_workers: int = 12,
+        **kwargs: object,
+    ) -> SimulationResult:
+        return PerfectScheduler(program, num_workers=num_workers).run()
+
+
+register_backend(PerfectBackend(), replace=True)

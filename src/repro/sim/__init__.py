@@ -12,18 +12,37 @@ configuration on a given number of workers and returns a
 :class:`~repro.sim.results.SimulationResult`.
 """
 
+from repro.sim.backend import (
+    BUILTIN_BACKENDS,
+    SimulatorBackend,
+    UnknownBackendError,
+    backend_names,
+    describe_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
 from repro.sim.engine import EventQueue
 from repro.sim.hil import HILMode, HILSimulator
 from repro.sim.results import SimulationResult, TaskTimeline
-from repro.sim.driver import simulate_program
+from repro.sim.driver import simulate_program, simulate_worker_sweep
 from repro.sim.worker import WorkerPool
 
 __all__ = [
+    "BUILTIN_BACKENDS",
     "EventQueue",
     "HILMode",
     "HILSimulator",
     "SimulationResult",
+    "SimulatorBackend",
     "TaskTimeline",
+    "UnknownBackendError",
+    "backend_names",
+    "describe_backends",
+    "get_backend",
+    "register_backend",
     "simulate_program",
+    "simulate_worker_sweep",
+    "unregister_backend",
     "WorkerPool",
 ]

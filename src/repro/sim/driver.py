@@ -1,10 +1,15 @@
 """High-level simulation entry points.
 
 :func:`simulate_program` is the one-call interface used by the examples,
-tests and experiment drivers: it runs a task program through the chosen
-simulator (Picos HIL in one of its three modes, the Nanos++ software-only
-runtime, or the Perfect scheduler) and returns a
+tests and experiment drivers.  It is a thin dispatcher over the simulator
+backend registry of :mod:`repro.sim.backend`: give it a backend name
+(``"hil-full"``, ``"hil-hw"``, ``"hil-comm"``, ``"nanos"`` or
+``"perfect"`` -- or any name registered by a plug-in) and it runs the task
+program through that implementation and returns a
 :class:`~repro.sim.results.SimulationResult`.
+
+The historical ``mode=HILMode...`` keyword is still accepted as a synonym
+for the three ``hil-*`` backends, so existing call sites keep working.
 """
 
 from __future__ import annotations
@@ -13,61 +18,83 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.core.config import DMDesign, PicosConfig
 from repro.core.scheduler import SchedulingPolicy
+from repro.runtime.overhead import NanosOverheadModel
 from repro.runtime.task import TaskProgram
-from repro.sim.hil import HILMode, HILSimulator
+from repro.sim.backend import get_backend
+from repro.sim.hil import HILMode
 from repro.sim.results import SimulationResult
+
+
+def resolve_backend_name(
+    backend: Optional[str] = None, mode: Optional[HILMode] = None
+) -> str:
+    """Turn a ``backend`` / ``mode`` pair into a registry name.
+
+    ``backend`` wins when both are given; ``mode`` alone selects the
+    corresponding ``hil-*`` backend; neither selects the Full-system HIL
+    platform, the closed-loop configuration the paper evaluates end to end.
+    """
+    if backend is not None:
+        return backend
+    if mode is not None:
+        return mode.backend_name
+    return HILMode.FULL_SYSTEM.backend_name
 
 
 def simulate_program(
     program: TaskProgram,
     num_workers: int = 12,
-    mode: HILMode = HILMode.FULL_SYSTEM,
+    mode: Optional[HILMode] = None,
     config: Optional[PicosConfig] = None,
     dm_design: Optional[DMDesign] = None,
     policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+    backend: Optional[str] = None,
+    overhead: Optional[NanosOverheadModel] = None,
 ) -> SimulationResult:
-    """Simulate ``program`` on the Picos HIL platform.
+    """Simulate ``program`` on one of the registered simulator backends.
 
     Parameters
     ----------
     program:
         The task program (trace) to execute.
     num_workers:
-        Number of worker cores.
+        Number of worker cores (threads, for the software runtime).
     mode:
-        HIL operational mode (HW-only, HW+communication or Full-system).
+        HIL operational mode; legacy synonym for ``backend="hil-*"``.
     config:
         Full Picos configuration; when omitted the paper's prototype
-        configuration is used.
+        configuration is used.  Ignored by non-HIL backends.
     dm_design:
         Shortcut to select a Dependence Memory design without building a
         whole configuration (ignored when ``config`` is given).
     policy:
         Ready-queue policy of the Task Scheduler (FIFO by default, as in the
-        prototype).
+        prototype).  Ignored by non-HIL backends.
+    backend:
+        Name of the simulator backend to dispatch to.  Defaults to the
+        Full-system HIL platform (or to ``mode`` when that is given).
+    overhead:
+        Nanos++ overhead model override, consumed by the ``nanos`` backend.
     """
-    if config is None:
-        if dm_design is not None:
-            config = PicosConfig.paper_prototype(dm_design)
-        else:
-            config = PicosConfig()
-    simulator = HILSimulator(
-        program=program,
-        config=config,
-        mode=mode,
+    name = resolve_backend_name(backend, mode)
+    return get_backend(name).simulate(
+        program,
         num_workers=num_workers,
+        config=config,
+        dm_design=dm_design,
         policy=policy,
+        overhead=overhead,
     )
-    return simulator.run()
 
 
 def simulate_worker_sweep(
     program: TaskProgram,
     worker_counts: Iterable[int],
-    mode: HILMode = HILMode.FULL_SYSTEM,
+    mode: Optional[HILMode] = None,
     config: Optional[PicosConfig] = None,
     dm_design: Optional[DMDesign] = None,
     policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+    backend: Optional[str] = None,
 ) -> Dict[int, SimulationResult]:
     """Run the same program for several worker counts (scalability curves)."""
     results: Dict[int, SimulationResult] = {}
@@ -79,6 +106,7 @@ def simulate_worker_sweep(
             config=config,
             dm_design=dm_design,
             policy=policy,
+            backend=backend,
         )
     return results
 

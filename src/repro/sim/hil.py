@@ -33,10 +33,16 @@ import enum
 from collections import deque
 from typing import Deque, Dict, Optional, Tuple
 
-from repro.core.config import PicosConfig
+from repro.core.config import DMDesign, PicosConfig
 from repro.core.picos import PicosAccelerator, SubmitStatus
 from repro.core.scheduler import SchedulingPolicy, TaskScheduler
 from repro.runtime.task import Task, TaskProgram
+from repro.sim.backend import (
+    BACKEND_HIL_COMM,
+    BACKEND_HIL_FULL,
+    BACKEND_HIL_HW,
+    register_backend,
+)
 from repro.sim.engine import EventQueue
 from repro.sim.results import SimulationResult, TaskTimeline
 from repro.sim.worker import WorkerPool
@@ -62,6 +68,23 @@ class HILMode(enum.Enum):
             HILMode.HW_COMM: "HW+comm.",
             HILMode.FULL_SYSTEM: "Full-system",
         }[self]
+
+    @property
+    def backend_name(self) -> str:
+        """Name of this mode in the simulator-backend registry."""
+        return {
+            HILMode.HW_ONLY: BACKEND_HIL_HW,
+            HILMode.HW_COMM: BACKEND_HIL_COMM,
+            HILMode.FULL_SYSTEM: BACKEND_HIL_FULL,
+        }[self]
+
+    @classmethod
+    def from_backend_name(cls, name: str) -> "HILMode":
+        """The HIL mode behind one of the ``hil-*`` backend names."""
+        for mode in cls:
+            if mode.backend_name == name:
+                return mode
+        raise ValueError(f"{name!r} is not a HIL backend name")
 
 
 # master job kinds
@@ -321,3 +344,45 @@ class HILSimulator:
             drain_time=self.queue.now,
         )
         return result
+
+
+# ----------------------------------------------------------------------
+# backend registration
+# ----------------------------------------------------------------------
+class HILBackend:
+    """Simulator backend wrapping :class:`HILSimulator` in one HIL mode."""
+
+    def __init__(self, mode: HILMode) -> None:
+        self.mode = mode
+        self.name = mode.backend_name
+        self.description = (
+            f"Picos hardware prototype, HIL {mode.display_name} mode"
+        )
+
+    def simulate(
+        self,
+        program: TaskProgram,
+        *,
+        num_workers: int = 12,
+        config: Optional[PicosConfig] = None,
+        dm_design: Optional[DMDesign] = None,
+        policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+        **kwargs: object,
+    ) -> SimulationResult:
+        if config is None:
+            if dm_design is not None:
+                config = PicosConfig.paper_prototype(dm_design)
+            else:
+                config = PicosConfig()
+        return HILSimulator(
+            program,
+            config=config,
+            mode=self.mode,
+            num_workers=num_workers,
+            policy=policy,
+        ).run()
+
+
+for _mode in HILMode:
+    register_backend(HILBackend(_mode), replace=True)
+del _mode

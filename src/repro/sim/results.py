@@ -96,7 +96,7 @@ class SimulationResult:
         pipeline is warm, independently of how long the dependence chains
         take to execute.
         """
-        if self.num_tasks <= 1:
+        if self.num_tasks <= 1 or not self.timelines:
             return float(self.makespan)
         submissions = sorted(t.submitted for t in self.timelines.values())
         span = submissions[-1] - submissions[0]
@@ -106,7 +106,7 @@ class SimulationResult:
 
     def completion_throughput(self) -> float:
         """Steady-state cycles between task completions (end-to-end view)."""
-        if self.num_tasks <= 1:
+        if self.num_tasks <= 1 or not self.timelines:
             return float(self.makespan)
         finishes = sorted(t.finished for t in self.timelines.values())
         span = finishes[-1] - finishes[0]

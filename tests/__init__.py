@@ -1,0 +1,6 @@
+"""Test suite package.
+
+The ``__init__`` marker gives the test modules (and ``tests/conftest.py``)
+unique package-qualified import names, so collecting ``tests/`` and
+``benchmarks/`` in one pytest session never collides.
+"""

@@ -1,88 +1,17 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Program-building helpers live in :mod:`tests.helpers` (a plain importable
+module); this file only declares pytest fixtures.
+"""
 
 from __future__ import annotations
-
-from typing import List, Sequence
 
 import pytest
 
 from repro.core.config import DMDesign, PicosConfig
 from repro.core.picos import PicosAccelerator
-from repro.runtime.task import Dependence, Direction, Task, TaskProgram
 
 
-# ----------------------------------------------------------------------
-# program-building helpers
-# ----------------------------------------------------------------------
-def make_task(
-    task_id: int,
-    deps: Sequence[tuple] = (),
-    duration: int = 10,
-    label: str = "",
-) -> Task:
-    """Build a task from ``(address, direction)`` tuples."""
-    dependences = [
-        Dependence(address, direction if isinstance(direction, Direction) else Direction.parse(direction))
-        for address, direction in deps
-    ]
-    return Task(task_id=task_id, dependences=dependences, duration=duration, label=label)
-
-
-def make_program(spec: Sequence[Sequence[tuple]], durations: Sequence[int] = (), name: str = "test") -> TaskProgram:
-    """Build a program from a list of dependence lists.
-
-    ``spec[i]`` is the dependence list of task ``i`` as ``(address,
-    direction)`` tuples; ``durations[i]`` optionally overrides the default
-    duration of 10 cycles.
-    """
-    program = TaskProgram(name=name)
-    for index, deps in enumerate(spec):
-        duration = durations[index] if index < len(durations) else 10
-        program.add_task(make_task(index, deps, duration=duration))
-    return program
-
-
-def drain_functional(accelerator: PicosAccelerator, program: TaskProgram) -> List[int]:
-    """Run a program through the accelerator functionally (no timing).
-
-    Tasks are submitted in creation order (retrying stalled submissions
-    whenever a task finishes); ready tasks are "executed" immediately in the
-    order the Task Scheduler returns them.  Returns the execution order.
-    """
-    order: List[int] = []
-    pending = list(program)
-    index = 0
-    while index < len(pending) or accelerator.ready_count or accelerator.in_flight:
-        progressed = False
-        # Submit as many tasks as possible.
-        while index < len(pending):
-            if accelerator.has_pending_submission:
-                if not accelerator.can_resume():
-                    break
-                result = accelerator.resume_submission()
-            else:
-                result = accelerator.submit_task(pending[index])
-            if not result.accepted:
-                break
-            index += 1
-            progressed = True
-        # Execute one ready task and notify its completion.
-        task_id = accelerator.pop_ready()
-        if task_id is not None:
-            order.append(task_id)
-            accelerator.notify_finish(task_id)
-            progressed = True
-        if not progressed:
-            raise AssertionError(
-                f"functional drain stalled: submitted {index}/{len(pending)}, "
-                f"in flight {accelerator.in_flight}"
-            )
-    return order
-
-
-# ----------------------------------------------------------------------
-# fixtures
-# ----------------------------------------------------------------------
 @pytest.fixture
 def default_config() -> PicosConfig:
     """The paper's prototype configuration (Pearson + 8-way DM)."""

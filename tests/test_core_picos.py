@@ -11,7 +11,7 @@ from repro.core.scheduler import SchedulingPolicy
 from repro.runtime.dependence_analysis import ready_order_is_valid
 from repro.runtime.task import Dependence, Direction, Task, TaskProgram
 
-from conftest import drain_functional, make_program, make_task
+from tests.helpers import drain_functional, make_program, make_task
 
 
 A, B, C = 0x1000, 0x2000, 0x3000

@@ -17,7 +17,7 @@ from repro.runtime.task import Dependence, Direction, Task, TaskProgram
 from repro.sim.hil import HILMode, HILSimulator
 from repro.traces.trace import TaskTrace, TraceFormatError
 
-from conftest import drain_functional, make_program, make_task
+from tests.helpers import drain_functional, make_program, make_task
 
 
 class TestCapacityExhaustion:

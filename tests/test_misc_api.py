@@ -12,7 +12,7 @@ from repro.runtime.task import Dependence, Direction
 from repro.sim.driver import simulate_program, simulate_worker_sweep, speedup_curve
 from repro.sim.hil import HILMode
 
-from conftest import make_program
+from tests.helpers import make_program
 
 
 class TestPublicApi:

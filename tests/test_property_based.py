@@ -25,7 +25,7 @@ from repro.runtime.task import Dependence, Direction, Task, TaskProgram
 from repro.sim.hil import HILMode, HILSimulator
 from repro.traces.trace import TaskTrace
 
-from conftest import drain_functional
+from tests.helpers import drain_functional
 
 
 # ----------------------------------------------------------------------

@@ -12,7 +12,7 @@ from repro.runtime.dependence_analysis import (
 )
 from repro.runtime.task import Dependence, Direction, Task, TaskProgram
 
-from conftest import make_program
+from tests.helpers import make_program
 
 
 A, B, C = 0x1000, 0x2000, 0x3000

@@ -10,7 +10,7 @@ from repro.runtime.overhead import NanosOverheadModel
 from repro.runtime.perfect import PerfectScheduler, perfect_speedup
 from repro.runtime.task import Direction, TaskProgram
 
-from conftest import make_program
+from tests.helpers import make_program
 
 
 A, B = 0x1000, 0x2000

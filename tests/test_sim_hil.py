@@ -12,7 +12,7 @@ from repro.sim.driver import simulate_program, simulate_worker_sweep, speedup_cu
 from repro.sim.hil import HILMode, HILSimulator
 from repro.traces.synthetic import synthetic_case
 
-from conftest import make_program
+from tests.helpers import make_program
 
 
 A, B = 0x1000, 0x2000

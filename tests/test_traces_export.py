@@ -14,7 +14,7 @@ from repro.traces.export import (
 )
 from repro.traces.trace import load_trace
 
-from conftest import make_program
+from tests.helpers import make_program
 
 
 class TestExportFunctions:

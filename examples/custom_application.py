@@ -29,7 +29,6 @@ from repro.runtime.nanos import NanosRuntimeSimulator
 from repro.runtime.perfect import PerfectScheduler
 from repro.runtime.task import Dependence, Direction, TaskProgram
 from repro.sim.driver import simulate_program
-from repro.sim.hil import HILMode
 from repro.traces.trace import TaskTrace, load_trace, save_trace
 
 TILE_BYTES = 256 * 1024
@@ -111,7 +110,7 @@ def main() -> None:
         )
 
     # --- simulate with the three runtimes ----------------------------------
-    picos = simulate_program(restored, num_workers=workers, mode=HILMode.FULL_SYSTEM)
+    picos = simulate_program(restored, num_workers=workers, backend="hil-full")
     nanos = NanosRuntimeSimulator(restored, num_threads=workers).run()
     perfect = PerfectScheduler(restored, num_workers=workers).run()
 

@@ -26,7 +26,6 @@ from repro.apps.registry import build_benchmark
 from repro.runtime.nanos import NanosRuntimeSimulator
 from repro.runtime.perfect import PerfectScheduler
 from repro.sim.driver import simulate_program
-from repro.sim.hil import HILMode
 
 
 def main() -> None:
@@ -45,7 +44,7 @@ def main() -> None:
         task_counts.append(program.num_tasks)
         task_sizes.append(program.average_task_size)
 
-        picos = simulate_program(program, num_workers=workers, mode=HILMode.FULL_SYSTEM)
+        picos = simulate_program(program, num_workers=workers, backend="hil-full")
         nanos = NanosRuntimeSimulator(program, num_threads=workers).run()
         perfect = PerfectScheduler(program, num_workers=workers).run()
 

@@ -47,8 +47,10 @@ from repro.sim.backend import (
     get_backend,
     register_backend,
 )
-from repro.sim.driver import simulate_program
+from repro.sim.driver import simulate_program, simulate_request
 from repro.sim.hil import HILMode
+from repro.sim.request import InvalidRequestError, SimulationRequest
+from repro.sim.session import SimulationSession, open_session
 
 __all__ = [
     "DMDesign",
@@ -59,11 +61,16 @@ __all__ = [
     "Task",
     "TaskProgram",
     "HILMode",
+    "InvalidRequestError",
+    "SimulationRequest",
+    "SimulationSession",
     "SimulatorBackend",
     "backend_names",
     "get_backend",
+    "open_session",
     "register_backend",
     "simulate_program",
+    "simulate_request",
 ]
 
 __version__ = "1.1.0"

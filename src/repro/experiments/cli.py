@@ -17,6 +17,17 @@ defaulting to ``$PICOS_CACHE_DIR`` or ``.picos-cache``), so re-rendering an
 experiment is instant.  ``--backend`` re-targets an experiment's primary
 sweep at any registered simulator backend; ``picos-experiment backends``
 lists them.
+
+``picos-experiment simulate`` drives one workload through the typed
+request/session API instead of a paper figure::
+
+    picos-experiment simulate --workload cholesky --block-size 32
+    picos-experiment simulate --workload case3 --backend hil-hw \\
+        --workers 4 --until-cycle 20000 --show-events 10
+
+It opens a streaming session, optionally stops delivering events at a
+cycle horizon (``--until-cycle``, the early-abort scenario) and prints the
+lifecycle-event head plus the session statistics and final result summary.
 """
 
 from __future__ import annotations
@@ -180,6 +191,55 @@ def render_backends() -> str:
     return "\n".join(lines)
 
 
+def run_simulate(args: argparse.Namespace) -> str:
+    """Drive one workload through a streaming session (see module docs)."""
+    from repro.sim.request import SimulationRequest
+    from repro.sim.session import open_session
+
+    if not args.workload:
+        raise SystemExit("simulate requires --workload (a benchmark or caseN name)")
+    backend = args.backend or "hil-full"
+    request = SimulationRequest.for_workload(
+        args.workload,
+        block_size=args.block_size,
+        problem_size=args.problem_size,
+        backend=backend,
+        num_workers=args.workers,
+    )
+    try:
+        session = open_session(request)
+    except ValueError as exc:
+        # Unknown workloads and benchmarks missing --block-size surface here
+        # (program construction); give a CLI error, not a traceback.
+        raise SystemExit(str(exc)) from None
+    shown: list = []
+    if args.show_events > 0 or args.until_cycle is not None:
+        for event in session.events(until_cycle=args.until_cycle):
+            if len(shown) < args.show_events:
+                shown.append(event)
+    stats = session.stats()
+    lines = [
+        f"request: workload={args.workload!r} backend={backend!r} "
+        f"workers={args.workers} cache_key={request.cache_key()}"
+    ]
+    if shown:
+        lines.append(f"first {len(shown)} lifecycle events:")
+        for event in shown:
+            lines.append(f"  cycle {event.cycle:>10}  {event.kind:<9} task {event.task_id}")
+    if args.until_cycle is not None:
+        lines.append(
+            f"stopped at cycle horizon {args.until_cycle}: "
+            f"{stats.tasks_retired}/{stats.tasks_submitted} tasks retired, "
+            f"{stats.events_delivered} events delivered"
+        )
+    result = session.result()
+    lines.append(
+        f"result: makespan={result.makespan} speedup={result.speedup:.2f} "
+        f"tasks={result.num_tasks} simulator={result.simulator}"
+    )
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the command-line argument parser."""
     parser = argparse.ArgumentParser(
@@ -188,9 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "backends"],
+        choices=sorted(EXPERIMENTS) + ["all", "backends", "simulate"],
         help="which table/figure to reproduce ('all' for every one, "
-        "'backends' to list the simulator backends)",
+        "'backends' to list the simulator backends, 'simulate' to drive "
+        "one workload through the streaming session API)",
     )
     parser.add_argument(
         "--quick",
@@ -229,6 +290,50 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the on-disk result cache for this run",
     )
+    simulate = parser.add_argument_group(
+        "simulate", "options for the 'simulate' session-driven command"
+    )
+    simulate.add_argument(
+        "--workload",
+        default=None,
+        metavar="NAME",
+        help="benchmark (cholesky, lu, ...) or synthetic case (case1..case7)",
+    )
+    simulate.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="block size of the benchmark (unused for synthetic cases)",
+    )
+    simulate.add_argument(
+        "--problem-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="problem-size override (default: the paper's size)",
+    )
+    simulate.add_argument(
+        "--workers",
+        type=int,
+        default=12,
+        metavar="N",
+        help="worker cores to simulate (default: 12, as in the paper)",
+    )
+    simulate.add_argument(
+        "--until-cycle",
+        type=int,
+        default=None,
+        metavar="CYCLE",
+        help="stop delivering lifecycle events at this cycle (early abort)",
+    )
+    simulate.add_argument(
+        "--show-events",
+        type=int,
+        default=0,
+        metavar="K",
+        help="print the first K lifecycle events of the run",
+    )
     return parser
 
 
@@ -251,6 +356,13 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "backends":
         print(render_backends())
+        return 0
+    if args.experiment == "simulate":
+        if args.backend is not None and args.backend not in describe_backends():
+            print(f"unknown backend {args.backend!r}", file=sys.stderr)
+            print(render_backends(), file=sys.stderr)
+            return 2
+        print(run_simulate(args))
         return 0
     if args.backend is not None and args.backend not in describe_backends():
         print(f"unknown backend {args.backend!r}", file=sys.stderr)

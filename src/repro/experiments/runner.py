@@ -12,9 +12,12 @@ module turns that observation into infrastructure:
   cross product of its axes, in a deterministic order;
 * :func:`run_points` executes the jobs -- serially or on a
   :class:`concurrent.futures.ProcessPoolExecutor` -- and memoizes each one
-  in an on-disk JSON cache keyed by a stable content hash (trace text,
-  Picos configuration, backend name, worker count, policy), so re-running
-  an experiment replays instantly.
+  in an on-disk JSON cache keyed by
+  :meth:`repro.sim.request.SimulationRequest.cache_key` (trace content,
+  backend name, Picos configuration, worker count, policy), so re-running
+  an experiment replays instantly.  Simulation points are request
+  templates: :meth:`SweepPoint.to_request` produces the exact
+  ``SimulationRequest`` that both executes the job and mints its key.
 
 Results come back as :class:`JobResult` objects whose ``metrics``,
 ``counters`` and ``payload`` dictionaries are JSON round-tripped before
@@ -28,24 +31,25 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.config import DMDesign, PicosConfig
-from repro.core.hashing import fingerprint_mapping, stable_digest
+from repro.core.hashing import stable_digest
 from repro.core.scheduler import SchedulingPolicy
 from repro.runtime.overhead import NanosOverheadModel
-from repro.runtime.task import TaskProgram
-from repro.sim.driver import simulate_program
-from repro.traces.synthetic import (
-    SYNTHETIC_CASES,
-    first_and_average_dependences,
-    synthetic_case,
+from repro.sim.driver import simulate_request
+from repro.sim.request import (
+    SimulationRequest,
+    WorkloadRef,
+    build_workload,
+    config_fields,
+    workload_trace_digest,
 )
-from repro.traces.trace import TaskTrace
+from repro.sim.request import _TRACE_DIGEST_MEMO  # shared digest memo
+from repro.traces.synthetic import first_and_average_dependences
 
 #: Bumped whenever the job-result layout changes, so stale cache entries
 #: from older versions of the runner are never replayed.
@@ -114,6 +118,29 @@ class SweepPoint:
         """JSON-safe dictionary form (stored next to cached results)."""
         return dataclasses.asdict(self)
 
+    def to_request(self) -> SimulationRequest:
+        """The typed :class:`SimulationRequest` this sweep point describes.
+
+        Only meaningful for ``simulate`` points: the declarative workload
+        fields become a :class:`~repro.sim.request.WorkloadRef`, the
+        configuration is resolved exactly as the cache key resolves it
+        (an explicit ``config`` in ``extra`` wins over the ``dm_design``
+        shortcut), and enum-valued knobs are rehydrated from their string
+        forms.  Execution and cache keys both derive from this request,
+        so a point can never simulate one thing and cache another.
+        """
+        if self.kind != KIND_SIMULATE:
+            raise ValueError(f"only simulate points map to requests, not {self.kind!r}")
+        assert self.backend is not None  # __post_init__ guarantees it
+        return SimulationRequest(
+            program=WorkloadRef(self.workload, self.block_size, self.problem_size),
+            backend=self.backend,
+            num_workers=self.num_workers,
+            config=_config_for(self),
+            policy=SchedulingPolicy(self.policy),
+            overhead=_overhead_from_extra(self.extra_dict()),
+        )
+
 
 def overhead_extra(model: Optional[NanosOverheadModel]) -> ExtraItems:
     """Encode a Nanos++ overhead model override into ``extra`` pairs.
@@ -137,12 +164,9 @@ def _overhead_from_extra(extra: Dict[str, ExtraValue]) -> Optional[NanosOverhead
 
 def _config_fields(config: PicosConfig) -> Dict[str, ExtraValue]:
     """The configuration's fields as JSON-safe scalars (enums -> values)."""
-    return {
-        f.name: getattr(config, f.name).value
-        if isinstance(getattr(config, f.name), DMDesign)
-        else getattr(config, f.name)
-        for f in dataclasses.fields(config)
-    }
+    # Shared with SimulationRequest.config_fingerprint: the two renderings
+    # must match or warm-cache keys and execution would disagree.
+    return config_fields(config)  # type: ignore[return-value]
 
 
 def config_extra(config: Optional[PicosConfig]) -> ExtraItems:
@@ -371,69 +395,10 @@ class ResultCache:
 # ----------------------------------------------------------------------
 # workload construction and cache keys
 # ----------------------------------------------------------------------
-#: Recently built programs; bounded because the finest-grained workloads
-#: reach 140k tasks each, and a full paper sweep crosses dozens of them --
-#: retaining every one for the life of the process would hold hundreds of
-#: MB that the old per-experiment loops released naturally.
-_PROGRAM_MEMO: "OrderedDict[Tuple[str, Optional[int], Optional[int]], TaskProgram]" = (
-    OrderedDict()
-)
-_PROGRAM_MEMO_LIMIT = 8
-#: Trace digests are tiny strings, so this memo is unbounded.
-_TRACE_DIGEST_MEMO: Dict[Tuple[str, Optional[int], Optional[int]], str] = {}
-
-
-def build_workload(
-    workload: str,
-    block_size: Optional[int] = None,
-    problem_size: Optional[int] = None,
-) -> TaskProgram:
-    """Build (and memoize) the task program of one sweep workload.
-
-    Synthetic cases (``case1`` ... ``case7``) take no block size; everything
-    else goes through :func:`repro.apps.registry.build_benchmark`.  A small
-    LRU keeps the programs of the sweep currently in flight alive (a sweep
-    crossing one workload with many designs and worker counts builds it
-    once, exactly as the hand-rolled experiment loops used to) without
-    pinning every workload of a long session in memory.
-    """
-    memo_key = (workload, block_size, problem_size)
-    program = _PROGRAM_MEMO.get(memo_key)
-    if program is None:
-        if workload in SYNTHETIC_CASES:
-            program = synthetic_case(workload)
-        else:
-            from repro.apps.registry import build_benchmark
-
-            if block_size is None:
-                raise ValueError(f"workload {workload!r} requires a block size")
-            program = build_benchmark(workload, block_size, problem_size=problem_size)
-        _PROGRAM_MEMO[memo_key] = program
-        while len(_PROGRAM_MEMO) > _PROGRAM_MEMO_LIMIT:
-            _PROGRAM_MEMO.popitem(last=False)
-    else:
-        _PROGRAM_MEMO.move_to_end(memo_key)
-    return program
-
-
-def workload_trace_digest(
-    workload: str,
-    block_size: Optional[int] = None,
-    problem_size: Optional[int] = None,
-) -> str:
-    """Stable digest of the workload's trace content.
-
-    The digest covers the full serialised trace (every task, dependence,
-    duration and label), so any change to a generator invalidates exactly
-    the cache entries it affects.
-    """
-    memo_key = (workload, block_size, problem_size)
-    digest = _TRACE_DIGEST_MEMO.get(memo_key)
-    if digest is None:
-        program = build_workload(workload, block_size, problem_size)
-        digest = stable_digest(TaskTrace(program).dumps())
-        _TRACE_DIGEST_MEMO[memo_key] = digest
-    return digest
+# Workload building and trace digesting are the program-reference half of
+# the typed request API and live in :mod:`repro.sim.request` now;
+# ``build_workload`` / ``workload_trace_digest`` are re-exported above for
+# the callers (and cache keys) that grew up with this module.
 
 
 def _config_for(point: SweepPoint) -> Optional[PicosConfig]:
@@ -445,37 +410,39 @@ def _config_for(point: SweepPoint) -> Optional[PicosConfig]:
     return PicosConfig.paper_prototype(DMDesign(point.dm_design))
 
 
-def _config_fingerprint(config: Optional[PicosConfig]) -> str:
-    config = config if config is not None else PicosConfig()
-    return fingerprint_mapping(_config_fields(config))
-
-
 def point_cache_key(point: SweepPoint) -> str:
     """Stable cache key of one sweep point.
 
-    Simulation keys combine the trace content, the Picos configuration, the
-    backend name, the worker count and the scheduling policy -- the exact
-    inputs that determine a simulation's outcome.  The experiment name is
-    deliberately excluded: two figures sharing a point share its result.
+    Simulation keys are minted by :meth:`SimulationRequest.cache_key` --
+    trace content, backend name, configuration fingerprint, worker count
+    and scheduling policy, the exact inputs that determine a simulation's
+    outcome -- salted with the schema/package versions and the point's
+    ``extra`` pairs.  The composition is byte-identical to the keys this
+    function produced before the request type existed, so warm caches
+    survive the refactor.  The experiment name is deliberately excluded:
+    two figures sharing a point share its result.
     """
     # The package version participates so that simulator code changes
     # (shipped as version bumps) invalidate previously cached numbers;
     # CACHE_SCHEMA_VERSION only guards the document layout.
     from repro import __version__
 
-    parts: List[object] = [CACHE_SCHEMA_VERSION, __version__, point.kind]
-    if point.kind in (KIND_SIMULATE, KIND_CHARACTERIZE):
+    prefix: List[object] = [CACHE_SCHEMA_VERSION, __version__, point.kind]
+    if point.kind == KIND_SIMULATE:
+        digest = workload_trace_digest(
+            point.workload, point.block_size, point.problem_size
+        )
+        # The overhead model already travels through ``extra`` (the suffix),
+        # where it has always lived in the key; strip it from the request so
+        # it does not contribute a second, key-changing part.
+        request = point.to_request().without(("overhead",))
+        return request.cache_key(
+            prefix=prefix, suffix=(point.extra,), trace_digest=digest
+        )
+    parts = prefix
+    if point.kind == KIND_CHARACTERIZE:
         parts.append(
             workload_trace_digest(point.workload, point.block_size, point.problem_size)
-        )
-    if point.kind == KIND_SIMULATE:
-        parts.extend(
-            [
-                point.backend,
-                _config_fingerprint(_config_for(point)),
-                point.num_workers,
-                point.policy,
-            ]
         )
     if point.kind == KIND_OVERHEAD:
         parts.append(point.num_workers)
@@ -492,16 +459,9 @@ def _normalize(document: Dict[str, object]) -> Dict[str, object]:
 
 
 def _execute_simulate(point: SweepPoint) -> Dict[str, object]:
-    program = build_workload(point.workload, point.block_size, point.problem_size)
-    extra = point.extra_dict()
-    result = simulate_program(
-        program,
-        num_workers=point.num_workers,
-        backend=point.backend,
-        config=_config_for(point),
-        policy=SchedulingPolicy(point.policy),
-        overhead=_overhead_from_extra(extra),
-    )
+    request = point.to_request()
+    program = request.build_program()
+    result = simulate_request(request)
     d1st, avg_deps = first_and_average_dependences(program)
     return {
         "kind": point.kind,

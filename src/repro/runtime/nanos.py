@@ -182,13 +182,23 @@ def nanos_speedup(
 class NanosBackend:
     """Simulator backend wrapping :class:`NanosRuntimeSimulator`.
 
-    ``num_workers`` maps to the runtime's thread-team size; the Picos
-    configuration and scheduling policy are ignored (the software runtime
-    has neither).
+    ``num_workers`` maps to the runtime's thread-team size.  A Picos
+    configuration or scheduling policy in a request is rejected by the
+    typed API (the software runtime has neither); the legacy
+    ``simulate_program`` shim warns and drops them instead.
     """
 
     name = BACKEND_NANOS
     description = "Nanos++ software-only runtime (the paper's baseline)"
+    #: The software runtime has no Picos configuration or hardware policy;
+    #: only the overhead-model override is a meaningful request parameter.
+    accepts = frozenset({"overhead"})
+
+    def open_session(self, request):  # type: ignore[no-untyped-def]
+        """Streaming session over the software runtime model."""
+        from repro.sim.session import SimulationSession
+
+        return SimulationSession(self, request)
 
     def simulate(
         self,

@@ -140,12 +140,22 @@ def perfect_speedup(program: TaskProgram, num_workers: int) -> float:
 class PerfectBackend:
     """Simulator backend wrapping :class:`PerfectScheduler`.
 
-    Configuration, policy and overhead parameters are ignored: the roofline
-    scheduler has zero management overhead by definition.
+    Configuration, policy and overhead parameters are rejected by the typed
+    request API (the roofline scheduler has zero management overhead by
+    definition); the legacy ``simulate_program`` shim warns and drops them.
     """
 
     name = BACKEND_PERFECT
     description = "Perfect scheduler (zero-overhead roofline upper bound)"
+    #: The roofline scheduler has zero management overhead by definition;
+    #: it accepts no request parameters beyond the worker count.
+    accepts = frozenset()
+
+    def open_session(self, request):  # type: ignore[no-untyped-def]
+        """Streaming session over the roofline scheduler."""
+        from repro.sim.session import SimulationSession
+
+        return SimulationSession(self, request)
 
     def simulate(
         self,

@@ -6,16 +6,22 @@ the Picos accelerator in the programmable logic, the worker cores that
 execute tasks, and the three operational modes the paper evaluates
 (HW-only, HW+communication and Full-system).
 
-The central entry point is :func:`repro.sim.driver.simulate_program`, which
-runs a :class:`~repro.runtime.task.TaskProgram` through a Picos
-configuration on a given number of workers and returns a
-:class:`~repro.sim.results.SimulationResult`.
+The central entry points are request based: describe one run as a
+:class:`~repro.sim.request.SimulationRequest`, then either execute it in
+one shot with :func:`~repro.sim.driver.simulate_request` or open a
+streaming :class:`~repro.sim.session.SimulationSession` with
+:func:`~repro.sim.session.open_session` for incremental submission and a
+typed, cycle-stamped lifecycle-event stream.  The historical
+:func:`~repro.sim.driver.simulate_program` keyword interface survives as a
+deprecating shim over the same path.
 """
 
 from repro.sim.backend import (
     BUILTIN_BACKENDS,
+    REQUEST_PARAMETERS,
     SimulatorBackend,
     UnknownBackendError,
+    backend_accepted_parameters,
     backend_names,
     describe_backends,
     get_backend,
@@ -24,8 +30,28 @@ from repro.sim.backend import (
 )
 from repro.sim.engine import EventQueue
 from repro.sim.hil import HILMode, HILSimulator
+from repro.sim.request import (
+    InlineProgramRef,
+    InvalidRequestError,
+    SimulationRequest,
+    WorkloadRef,
+)
 from repro.sim.results import SimulationResult, TaskTimeline
-from repro.sim.driver import simulate_program, simulate_worker_sweep
+from repro.sim.session import (
+    SessionEvent,
+    SessionStats,
+    SimulationSession,
+    TaskReady,
+    TaskRetired,
+    TaskSubmitted,
+    lifecycle_events,
+    open_session,
+)
+from repro.sim.driver import (
+    simulate_program,
+    simulate_request,
+    simulate_worker_sweep,
+)
 from repro.sim.worker import WorkerPool
 
 __all__ = [
@@ -33,15 +59,30 @@ __all__ = [
     "EventQueue",
     "HILMode",
     "HILSimulator",
+    "InlineProgramRef",
+    "InvalidRequestError",
+    "REQUEST_PARAMETERS",
+    "SessionEvent",
+    "SessionStats",
+    "SimulationRequest",
     "SimulationResult",
+    "SimulationSession",
     "SimulatorBackend",
+    "TaskReady",
+    "TaskRetired",
+    "TaskSubmitted",
     "TaskTimeline",
     "UnknownBackendError",
+    "WorkloadRef",
+    "backend_accepted_parameters",
     "backend_names",
     "describe_backends",
     "get_backend",
+    "lifecycle_events",
+    "open_session",
     "register_backend",
     "simulate_program",
+    "simulate_request",
     "simulate_worker_sweep",
     "unregister_backend",
     "WorkerPool",

@@ -8,9 +8,16 @@ driver -- and every future runtime model -- talks to them through a single
 string-keyed dispatch point instead of hard-coding simulator classes.
 
 A backend is any object satisfying :class:`SimulatorBackend`: it has a
-``name``, a ``description`` and a ``simulate(program, ...)`` method that
-returns a :class:`~repro.sim.results.SimulationResult`.  The built-in
-simulators register themselves when their module is imported:
+``name``, a ``description``, a ``simulate(program, ...)`` method returning
+a :class:`~repro.sim.results.SimulationResult`, and (optionally) an
+``accepts`` set declaring which request parameters it understands and an
+``open_session`` method producing a streaming
+:class:`~repro.sim.session.SimulationSession`.  Backends that predate the
+typed-request API work unchanged: their accepted parameters are inferred
+from the ``simulate`` signature (:func:`backend_accepted_parameters`) and
+:func:`open_session` wraps their batch ``simulate`` in the default session
+adapter.  The built-in simulators register themselves when their module is
+imported:
 
 ========== ==========================================================
 ``hil-full``  Picos HIL platform, Full-system mode (Table IV row 3)
@@ -25,32 +32,46 @@ New backends plug in with :func:`register_backend`::
     class MyRuntime:
         name = "my-runtime"
         description = "an experimental scheduler"
-        def simulate(self, program, *, num_workers=12, **kwargs):
+        accepts = frozenset({"policy"})          # declared parameter set
+        def simulate(self, program, *, num_workers=12, policy=..., **kwargs):
             ...
     register_backend(MyRuntime())
-    simulate_program(program, backend="my-runtime")
+    simulate_request(SimulationRequest.for_program(program, backend="my-runtime"))
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Protocol, Tuple, runtime_checkable
+import inspect
+from typing import TYPE_CHECKING, Dict, FrozenSet, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.core.config import PicosConfig
 from repro.core.scheduler import SchedulingPolicy
 from repro.runtime.task import TaskProgram
 from repro.sim.results import SimulationResult
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.request import SimulationRequest
+    from repro.sim.session import SimulationSession
+
+#: The request parameters a backend may declare in its ``accepts`` set
+#: (``program`` and ``num_workers`` are universal and always passed).
+REQUEST_PARAMETERS: FrozenSet[str] = frozenset(
+    {"config", "dm_design", "policy", "overhead", "seed"}
+)
+
 
 @runtime_checkable
 class SimulatorBackend(Protocol):
     """What every simulator backend must provide.
 
-    ``simulate`` receives the program plus a uniform set of keyword
-    parameters; backends are free to ignore the ones that do not apply to
-    them (the Perfect scheduler has no configuration, the software runtime
-    has no Picos configuration, ...).  Unknown future parameters arrive via
-    ``**kwargs`` so the protocol can grow without breaking third-party
-    backends.
+    ``simulate`` receives the program plus the keyword parameters the
+    backend *declares* (via an ``accepts`` frozenset of names drawn from
+    :data:`REQUEST_PARAMETERS`); the typed request layer validates every
+    :class:`~repro.sim.request.SimulationRequest` against that set, so a
+    backend is never handed a knob it did not ask for and callers get an
+    :class:`~repro.sim.request.InvalidRequestError` instead of silent
+    swallowing.  Legacy backends without ``accepts`` keep working: their
+    parameter set is inferred from the ``simulate`` signature.
     """
 
     #: Registry key and display identifier of the backend.
@@ -69,6 +90,40 @@ class SimulatorBackend(Protocol):
     ) -> SimulationResult:
         """Run ``program`` on ``num_workers`` workers and return the result."""
         ...
+
+
+def backend_accepted_parameters(backend: SimulatorBackend) -> FrozenSet[str]:
+    """The request parameters ``backend`` understands.
+
+    A backend declares them explicitly through an ``accepts`` attribute
+    (the built-ins all do).  For legacy backends the set is inferred from
+    the ``simulate`` signature: named keyword parameters are accepted, and
+    a bare ``**kwargs`` catch-all -- the historical protocol -- accepts
+    everything, preserving old plug-in behaviour.
+    """
+    declared = getattr(backend, "accepts", None)
+    if declared is not None:
+        return frozenset(declared)
+    try:
+        parameters = inspect.signature(backend.simulate).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins/C callables
+        return REQUEST_PARAMETERS
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+        return REQUEST_PARAMETERS
+    return frozenset(REQUEST_PARAMETERS & set(parameters))
+
+
+def open_session(request: "SimulationRequest") -> "SimulationSession":
+    """Open a streaming session for ``request`` (see :mod:`repro.sim.session`).
+
+    Dispatches to the backend's native ``open_session`` when it has one and
+    falls back to the default batch-adapter session otherwise.  Re-exported
+    here so the whole backend surface -- registry, batch dispatch, session
+    opening -- lives behind one import.
+    """
+    from repro.sim.session import open_session as _open_session
+
+    return _open_session(request)
 
 
 class UnknownBackendError(KeyError):

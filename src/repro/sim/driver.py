@@ -1,19 +1,27 @@
 """High-level simulation entry points.
 
-:func:`simulate_program` is the one-call interface used by the examples,
-tests and experiment drivers.  It is a thin dispatcher over the simulator
-backend registry of :mod:`repro.sim.backend`: give it a backend name
-(``"hil-full"``, ``"hil-hw"``, ``"hil-comm"``, ``"nanos"`` or
-``"perfect"`` -- or any name registered by a plug-in) and it runs the task
-program through that implementation and returns a
-:class:`~repro.sim.results.SimulationResult`.
+The canonical surface is *request based*: build a typed, validated
+:class:`~repro.sim.request.SimulationRequest` and hand it to
+:func:`simulate_request` (one-shot batch) or
+:func:`repro.sim.session.open_session` (incremental streaming).  The
+request names the backend (``"hil-full"``, ``"hil-hw"``, ``"hil-comm"``,
+``"nanos"``, ``"perfect"`` -- or any registered plug-in), and parameters a
+backend does not declare raise
+:class:`~repro.sim.request.InvalidRequestError` instead of being silently
+swallowed.
 
-The historical ``mode=HILMode...`` keyword is still accepted as a synonym
-for the three ``hil-*`` backends, so existing call sites keep working.
+:func:`simulate_program` survives as a thin legacy shim: it assembles a
+request from the historical keyword soup, *warns and drops* (rather than
+rejects) parameters the chosen backend does not accept, and dispatches
+through the same typed path.  The ``mode=HILMode...`` keyword and the
+:func:`simulate_worker_sweep` helper are deprecated; use
+``backend="hil-*"`` and :class:`repro.experiments.runner.ExperimentSpec`
+(or a list of requests) instead.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.config import DMDesign, PicosConfig
@@ -22,7 +30,24 @@ from repro.runtime.overhead import NanosOverheadModel
 from repro.runtime.task import TaskProgram
 from repro.sim.backend import get_backend
 from repro.sim.hil import HILMode
+from repro.sim.request import SimulationRequest
 from repro.sim.results import SimulationResult
+
+
+def simulate_request(request: SimulationRequest) -> SimulationResult:
+    """Run a validated request on its backend and return the result.
+
+    This is the one batch entry point every other surface (the legacy
+    shim, the experiment runner, the session ``result()``) funnels
+    through; the request is normalized -- validated against the backend's
+    declared parameters, ``dm_design`` folded into a full configuration --
+    before dispatch.
+    """
+    normalized = request.normalize()
+    backend = get_backend(normalized.backend)
+    return backend.simulate(
+        normalized.build_program(), **normalized.simulate_kwargs()
+    )
 
 
 def resolve_backend_name(
@@ -51,40 +76,48 @@ def simulate_program(
     backend: Optional[str] = None,
     overhead: Optional[NanosOverheadModel] = None,
 ) -> SimulationResult:
-    """Simulate ``program`` on one of the registered simulator backends.
+    """Legacy one-call interface; prefer :func:`simulate_request`.
 
-    Parameters
-    ----------
-    program:
-        The task program (trace) to execute.
-    num_workers:
-        Number of worker cores (threads, for the software runtime).
-    mode:
-        HIL operational mode; legacy synonym for ``backend="hil-*"``.
-    config:
-        Full Picos configuration; when omitted the paper's prototype
-        configuration is used.  Ignored by non-HIL backends.
-    dm_design:
-        Shortcut to select a Dependence Memory design without building a
-        whole configuration (ignored when ``config`` is given).
-    policy:
-        Ready-queue policy of the Task Scheduler (FIFO by default, as in the
-        prototype).  Ignored by non-HIL backends.
-    backend:
-        Name of the simulator backend to dispatch to.  Defaults to the
-        Full-system HIL platform (or to ``mode`` when that is given).
-    overhead:
-        Nanos++ overhead model override, consumed by the ``nanos`` backend.
+    Builds a :class:`SimulationRequest` from the historical keyword
+    arguments and dispatches through the typed path.  Two legacy
+    behaviours are preserved with ``DeprecationWarning``s instead of being
+    broken outright:
+
+    * ``mode=HILMode...`` still selects the matching ``hil-*`` backend;
+    * parameters the chosen backend does not accept (``config`` on the
+      software runtime, a non-FIFO ``policy`` on the roofline scheduler,
+      ...) are dropped after a warning, where a directly-built request
+      would raise :class:`~repro.sim.request.InvalidRequestError`.
     """
+    if mode is not None:
+        warnings.warn(
+            "simulate_program(mode=HILMode...) is deprecated; pass "
+            f"backend={mode.backend_name!r} (or build a SimulationRequest)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     name = resolve_backend_name(backend, mode)
-    return get_backend(name).simulate(
+    request = SimulationRequest.for_program(
         program,
+        backend=name,
         num_workers=num_workers,
         config=config,
         dm_design=dm_design,
         policy=policy,
         overhead=overhead,
     )
+    dropped = request.rejected_parameters()
+    if dropped:
+        names = ", ".join(repr(p) for p in dropped)
+        warnings.warn(
+            f"backend {name!r} does not accept {names}; the legacy "
+            "simulate_program shim drops them, a SimulationRequest would "
+            "raise InvalidRequestError",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        request = request.without(dropped)
+    return simulate_request(request)
 
 
 def simulate_worker_sweep(
@@ -96,18 +129,35 @@ def simulate_worker_sweep(
     policy: SchedulingPolicy = SchedulingPolicy.FIFO,
     backend: Optional[str] = None,
 ) -> Dict[int, SimulationResult]:
-    """Run the same program for several worker counts (scalability curves)."""
+    """Deprecated: run the same program for several worker counts.
+
+    Declare the sweep instead -- either as an
+    :class:`repro.experiments.runner.ExperimentSpec` (cached, parallel) or
+    as a list of ``SimulationRequest`` templates differing only in
+    ``num_workers``.
+    """
+    warnings.warn(
+        "simulate_worker_sweep is deprecated; declare the sweep as an "
+        "ExperimentSpec (repro.experiments.runner) or map simulate_request "
+        "over SimulationRequests with different num_workers",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    name = resolve_backend_name(backend, mode)
     results: Dict[int, SimulationResult] = {}
     for workers in worker_counts:
-        results[workers] = simulate_program(
-            program,
-            num_workers=workers,
-            mode=mode,
-            config=config,
-            dm_design=dm_design,
-            policy=policy,
-            backend=backend,
-        )
+        with warnings.catch_warnings():
+            # The per-point legacy warnings would repeat for every worker
+            # count; the single sweep-level warning above covers them.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            results[workers] = simulate_program(
+                program,
+                num_workers=workers,
+                config=config,
+                dm_design=dm_design,
+                policy=policy,
+                backend=name,
+            )
     return results
 
 

@@ -85,6 +85,13 @@ class EventQueue:
         """Number of events delivered so far."""
         return self._processed
 
+    @property
+    def peek_time(self) -> Optional[int]:
+        """Time of the next pending event (``None`` when the queue is empty)."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
     def pop(self) -> Optional[Event]:
         """Deliver the next event, advancing the simulation clock."""
         if not self._heap:
@@ -100,4 +107,17 @@ class EventQueue:
             event = self.pop()
             if event is None:
                 return
+            yield event
+
+    def iter_until(self, horizon: int) -> Iterator[Event]:
+        """Iterate events stamped no later than ``horizon`` cycles.
+
+        Later events stay queued, so a simulator can stop at a cycle
+        horizon (early abort) and still inspect -- or resume -- the
+        remaining schedule.  The clock only advances through delivered
+        events and therefore never passes the horizon.
+        """
+        while self._heap and self._heap[0][0] <= horizon:
+            event = self.pop()
+            assert event is not None
             yield event

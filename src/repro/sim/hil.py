@@ -144,8 +144,15 @@ class HILSimulator:
     # ------------------------------------------------------------------
     # public entry point
     # ------------------------------------------------------------------
-    def run(self) -> SimulationResult:
-        """Execute the program to completion and return the result."""
+    def run(self, stop_at_cycle: Optional[int] = None) -> SimulationResult:
+        """Execute the program and return the result.
+
+        With ``stop_at_cycle`` the event loop aborts once the simulated
+        clock would pass that cycle; the result then covers only the work
+        performed up to the horizon (``completed_all()`` is ``False`` and
+        an ``aborted_at_cycle`` counter records the horizon).  Without it
+        the program must run to completion.
+        """
         for task in self.program:
             self._timelines[task.task_id] = TaskTimeline(task_id=task.task_id)
 
@@ -160,7 +167,12 @@ class HILSimulator:
             # first task is created.
             self._kick_master(self.config.hil_startup_cycles)
 
-        for event in self.queue:
+        events = (
+            iter(self.queue)
+            if stop_at_cycle is None
+            else self.queue.iter_until(stop_at_cycle)
+        )
+        for event in events:
             if event.kind == _EV_TASK_VISIBLE:
                 self._on_task_visible(event.payload, event.time)
             elif event.kind == _EV_WORKER_DONE:
@@ -170,7 +182,7 @@ class HILSimulator:
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event kind {event.kind!r}")
 
-        return self._build_result()
+        return self._build_result(aborted_at=stop_at_cycle)
 
     # ------------------------------------------------------------------
     # Picos pipeline
@@ -319,20 +331,28 @@ class HILSimulator:
     # ------------------------------------------------------------------
     # results
     # ------------------------------------------------------------------
-    def _build_result(self) -> SimulationResult:
-        if self._finished_tasks != self.program.num_tasks:
+    def _build_result(self, aborted_at: Optional[int] = None) -> SimulationResult:
+        aborted = self._finished_tasks != self.program.num_tasks
+        if aborted and aborted_at is None:
             raise RuntimeError(
                 f"simulation ended with {self._finished_tasks} of "
                 f"{self.program.num_tasks} tasks executed (deadlock?)"
             )
+        # On an early abort, unfinished timelines keep their partial stamps
+        # (finished == 0) and only the tasks done by the horizon count.
         makespan = max(
-            (timeline.finished for timeline in self._timelines.values()), default=0
+            (t.finished for t in self._timelines.values() if not aborted or t.finished),
+            default=0,
         )
         counters = self.accel.stats.as_dict()
-        counters["picos_new_path_busy_until"] = self._picos_new_free_at
-        counters["picos_finish_path_busy_until"] = self._picos_finish_free_at
         counters["ready_queue_high_water"] = self.ready.max_occupancy
-        result = SimulationResult(
+        if aborted:
+            counters["aborted_at_cycle"] = aborted_at
+            counters["finished_tasks"] = self._finished_tasks
+        else:
+            counters["picos_new_path_busy_until"] = self._picos_new_free_at
+            counters["picos_finish_path_busy_until"] = self._picos_finish_free_at
+        return SimulationResult(
             simulator=f"picos-{self.mode.value}",
             program_name=self.program.name,
             num_workers=self.num_workers,
@@ -343,7 +363,6 @@ class HILSimulator:
             counters=counters,
             drain_time=self.queue.now,
         )
-        return result
 
 
 # ----------------------------------------------------------------------
@@ -352,12 +371,22 @@ class HILSimulator:
 class HILBackend:
     """Simulator backend wrapping :class:`HILSimulator` in one HIL mode."""
 
+    #: Request parameters this backend understands (see
+    #: :func:`repro.sim.backend.backend_accepted_parameters`).
+    accepts = frozenset({"config", "dm_design", "policy"})
+
     def __init__(self, mode: HILMode) -> None:
         self.mode = mode
         self.name = mode.backend_name
         self.description = (
             f"Picos hardware prototype, HIL {mode.display_name} mode"
         )
+
+    def open_session(self, request):  # type: ignore[no-untyped-def]
+        """Streaming session over this HIL mode (see :mod:`repro.sim.session`)."""
+        from repro.sim.session import SimulationSession
+
+        return SimulationSession(self, request)
 
     def simulate(
         self,

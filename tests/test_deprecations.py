@@ -1,0 +1,111 @@
+"""The legacy driver surface still works, but warns toward the typed API.
+
+Every test here opts into the deprecated spellings explicitly with
+``pytest.warns``; the rest of the suite uses the request/session API only,
+so running it with ``-W error::DeprecationWarning`` (the strict CI job)
+exercises the shims exactly where these tests allow it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import make_program
+
+from repro.core.config import PicosConfig
+from repro.core.scheduler import SchedulingPolicy
+from repro.runtime.overhead import NanosOverheadModel
+from repro.sim.driver import (
+    simulate_program,
+    simulate_request,
+    simulate_worker_sweep,
+)
+from repro.sim.hil import HILMode
+from repro.sim.request import SimulationRequest
+
+
+@pytest.fixture
+def program():
+    return make_program(
+        [
+            [(0x100, "out")],
+            [(0x100, "in"), (0x200, "out")],
+            [(0x200, "in")],
+            [],
+        ],
+        durations=[60, 50, 40, 30],
+    )
+
+
+class TestModeKeyword:
+    @pytest.mark.parametrize("mode", list(HILMode))
+    def test_mode_warns_and_matches_the_request_path(self, program, mode):
+        with pytest.warns(DeprecationWarning, match="mode=HILMode"):
+            legacy = simulate_program(program, num_workers=2, mode=mode)
+        typed = simulate_request(
+            SimulationRequest.for_program(
+                program, backend=mode.backend_name, num_workers=2
+            )
+        )
+        assert legacy.makespan == typed.makespan
+        assert legacy.simulator == typed.simulator
+        assert legacy.counters == typed.counters
+
+    def test_backend_keyword_does_not_warn(self, program, recwarn):
+        simulate_program(program, num_workers=2, backend="hil-hw")
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+class TestWorkerSweep:
+    def test_sweep_warns_and_matches_per_request_runs(self, program):
+        with pytest.warns(DeprecationWarning, match="simulate_worker_sweep"):
+            legacy = simulate_worker_sweep(program, (1, 2), backend="hil-hw")
+        for workers, result in legacy.items():
+            typed = simulate_request(
+                SimulationRequest.for_program(
+                    program, backend="hil-hw", num_workers=workers
+                )
+            )
+            assert result.makespan == typed.makespan
+
+    def test_sweep_with_mode_warns_once_per_call(self, program):
+        with pytest.warns(DeprecationWarning) as warned:
+            simulate_worker_sweep(program, (1, 2, 4), mode=HILMode.HW_ONLY)
+        # One sweep-level warning; the per-point mode/drop warnings are
+        # suppressed so a 30-point sweep does not emit 30 duplicates.
+        sweep_warnings = [
+            w for w in warned if "simulate_worker_sweep" in str(w.message)
+        ]
+        assert len(sweep_warnings) == 1
+
+
+class TestSilentKwargSwallowingIsGone:
+    @pytest.mark.parametrize(
+        "backend,kwargs",
+        [
+            ("nanos", {"config": PicosConfig()}),
+            ("nanos", {"policy": SchedulingPolicy.LIFO}),
+            ("perfect", {"overhead": NanosOverheadModel()}),
+        ],
+    )
+    def test_shim_warns_and_drops_unaccepted_parameters(self, program, backend, kwargs):
+        with pytest.warns(DeprecationWarning, match="does not accept"):
+            legacy = simulate_program(program, num_workers=2, backend=backend, **kwargs)
+        clean = simulate_request(
+            SimulationRequest.for_program(program, backend=backend, num_workers=2)
+        )
+        # The dropped parameter must not have influenced the simulation.
+        assert legacy.makespan == clean.makespan
+        assert legacy.counters == clean.counters
+
+    def test_accepted_parameters_pass_without_warning(self, program, recwarn):
+        simulate_program(
+            program,
+            num_workers=2,
+            backend="nanos",
+            overhead=NanosOverheadModel(creation_base=10),
+        )
+        simulate_program(
+            program, num_workers=2, backend="hil-hw", policy=SchedulingPolicy.LIFO
+        )
+        assert not [w for w in recwarn if w.category is DeprecationWarning]

@@ -101,6 +101,56 @@ class TestCacheKeys:
         b = SweepPoint(experiment="figB", workload="heat", block_size=64, problem_size=SMALL, backend="nanos")
         assert point_cache_key(a) == point_cache_key(b)
 
+    def test_keys_are_minted_by_the_request(self):
+        """Simulation cache keys come from SimulationRequest.cache_key."""
+        from repro import __version__
+        from repro.experiments.runner import CACHE_SCHEMA_VERSION, KIND_SIMULATE
+
+        point = SweepPoint(
+            workload="heat", block_size=64, problem_size=SMALL, backend="hil-hw",
+            dm_design="16way", num_workers=4,
+        )
+        request = point.to_request()
+        assert point_cache_key(point) == request.cache_key(
+            prefix=(CACHE_SCHEMA_VERSION, __version__, KIND_SIMULATE),
+            suffix=(point.extra,),
+        )
+
+
+class TestPointToRequest:
+    def test_simulate_point_maps_to_an_executable_request(self):
+        point = SweepPoint(
+            workload="heat", block_size=64, problem_size=SMALL,
+            backend="hil-hw", dm_design="16way", num_workers=4, policy="lifo",
+        )
+        request = point.to_request()
+        assert request.backend == "hil-hw"
+        assert request.num_workers == 4
+        assert request.policy.value == "lifo"
+        assert request.config == PicosConfig.paper_prototype(DMDesign.WAY16)
+        request.validate()
+
+    def test_explicit_config_in_extra_wins_over_dm_design(self):
+        config = PicosConfig(tm_entries=32)
+        point = SweepPoint(
+            workload="heat", block_size=64, problem_size=SMALL,
+            backend="hil-hw", dm_design="16way", extra=config_extra(config),
+        )
+        assert point.to_request().config == config
+
+    def test_overhead_extra_reaches_the_request(self):
+        model = NanosOverheadModel(creation_base=777)
+        point = SweepPoint(
+            workload="heat", block_size=64, problem_size=SMALL,
+            backend="nanos", extra=overhead_extra(model),
+        )
+        assert point.to_request().overhead == model
+
+    def test_non_simulate_points_do_not_map(self):
+        point = SweepPoint(kind=KIND_CHARACTERIZE, workload="heat", block_size=64)
+        with pytest.raises(ValueError):
+            point.to_request()
+
 
 class TestExecution:
     def test_results_match_direct_simulation(self):

@@ -9,8 +9,8 @@ from repro.core.packets import TaskSlotRef
 from repro.core.stats import LatencySamples, PicosStats
 from repro.core.config import DMDesign, PicosConfig
 from repro.runtime.task import Dependence, Direction
-from repro.sim.driver import simulate_program, simulate_worker_sweep, speedup_curve
-from repro.sim.hil import HILMode
+from repro.sim.driver import simulate_program, simulate_request, speedup_curve
+from repro.sim.request import SimulationRequest
 
 from tests.helpers import make_program
 
@@ -81,19 +81,26 @@ class TestDriverHelpers:
             [[(0x1000, Direction.OUT)], [(0x1000, Direction.IN)]], durations=[100, 100]
         )
         via_shortcut = simulate_program(
-            program, num_workers=2, mode=HILMode.HW_ONLY, dm_design=DMDesign.WAY16
+            program, num_workers=2, backend="hil-hw", dm_design=DMDesign.WAY16
         )
         via_config = simulate_program(
             program,
             num_workers=2,
-            mode=HILMode.HW_ONLY,
+            backend="hil-hw",
             config=PicosConfig.paper_prototype(DMDesign.WAY16),
         )
         assert via_shortcut.makespan == via_config.makespan
 
     def test_worker_sweep_and_curve(self):
         program = make_program([[] for _ in range(16)], durations=[1000] * 16)
-        results = simulate_worker_sweep(program, (1, 2, 4), mode=HILMode.HW_ONLY)
+        results = {
+            workers: simulate_request(
+                SimulationRequest.for_program(
+                    program, backend="hil-hw", num_workers=workers
+                )
+            )
+            for workers in (1, 2, 4)
+        }
         assert set(results) == {1, 2, 4}
         curve = speedup_curve(results)
         assert len(curve) == 3
@@ -104,7 +111,7 @@ class TestDriverHelpers:
         result = simulate_program(
             program,
             num_workers=1,
-            mode=HILMode.HW_ONLY,
+            backend="hil-hw",
             config=PicosConfig(tm_entries=2),
             dm_design=DMDesign.WAY16,
         )

@@ -124,7 +124,8 @@ class TestDispatch:
 
     def test_mode_keyword_still_selects_hil_backends(self, diamond_program):
         for mode in HILMode:
-            via_mode = simulate_program(diamond_program, num_workers=2, mode=mode)
+            with pytest.warns(DeprecationWarning, match="mode=HILMode"):
+                via_mode = simulate_program(diamond_program, num_workers=2, mode=mode)
             via_name = simulate_program(
                 diamond_program, num_workers=2, backend=mode.backend_name
             )

@@ -55,6 +55,32 @@ class TestEventQueue:
     def test_pop_on_empty_returns_none(self):
         assert EventQueue().pop() is None
 
+    def test_peek_time_previews_without_advancing(self):
+        queue = EventQueue()
+        assert queue.peek_time is None
+        queue.schedule(30, "b")
+        queue.schedule(10, "a")
+        assert queue.peek_time == 10
+        assert queue.now == 0  # peeking does not advance the clock
+        queue.pop()
+        assert queue.peek_time == 30
+
+    def test_iter_until_stops_at_the_horizon_and_resumes(self):
+        queue = EventQueue()
+        for time in (5, 10, 15, 20):
+            queue.schedule(time, f"t{time}")
+        early = [event.kind for event in queue.iter_until(12)]
+        assert early == ["t5", "t10"]
+        assert queue.now == 10  # the clock never passes the horizon
+        assert queue.pending == 2
+        late = [event.kind for event in queue]
+        assert late == ["t15", "t20"]
+
+    def test_iter_until_includes_events_at_the_horizon(self):
+        queue = EventQueue()
+        queue.schedule(7, "on-time")
+        assert [e.kind for e in queue.iter_until(7)] == ["on-time"]
+
 
 class TestWorkerPool:
     def test_reserve_and_release_cycle(self):

@@ -8,8 +8,9 @@ from repro.core.config import DMDesign, PicosConfig
 from repro.core.scheduler import SchedulingPolicy
 from repro.runtime.dependence_analysis import build_task_graph, ready_order_is_valid
 from repro.runtime.task import Dependence, Direction, TaskProgram
-from repro.sim.driver import simulate_program, simulate_worker_sweep, speedup_curve
+from repro.sim.driver import simulate_program, simulate_request, speedup_curve
 from repro.sim.hil import HILMode, HILSimulator
+from repro.sim.request import SimulationRequest
 from repro.traces.synthetic import synthetic_case
 
 from tests.helpers import make_program
@@ -141,16 +142,21 @@ class TestModesAndCosts:
 
     def test_more_workers_never_hurt_hw_only(self):
         program = independent_program(count=40, duration=2000)
-        results = simulate_worker_sweep(
-            program, worker_counts=(1, 2, 4, 8), mode=HILMode.HW_ONLY
-        )
+        results = {
+            workers: simulate_request(
+                SimulationRequest.for_program(
+                    program, backend="hil-hw", num_workers=workers
+                )
+            )
+            for workers in (1, 2, 4, 8)
+        }
         speedups = speedup_curve(results)
         assert all(b >= a * 0.999 for a, b in zip(speedups, speedups[1:]))
 
     def test_speedup_bounded_by_worker_count(self):
         program = independent_program(count=64, duration=5000)
         for workers in (1, 2, 4):
-            result = simulate_program(program, num_workers=workers, mode=HILMode.HW_ONLY)
+            result = simulate_program(program, num_workers=workers, backend="hil-hw")
             assert result.speedup <= workers + 1e-9
 
 

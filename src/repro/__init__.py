@@ -73,4 +73,4 @@ __all__ = [
     "simulate_request",
 ]
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

@@ -1,0 +1,46 @@
+"""Performance-tracking subsystem: benchmark harness and regression diffs.
+
+The paper's claims are throughput claims, so this package gives the
+reproduction a measured performance trajectory: :class:`BenchSpec` declares
+a matrix of (workload, backend, worker-count) simulation timings,
+:func:`run_bench` executes it and produces :class:`BenchResult` rows
+(wall-clock seconds, engine events per second, peak RSS), and
+:func:`write_bench_file` snapshots a run as a ``BENCH_<date>.json`` at the
+repository root.  :func:`compare_documents` diffs two such snapshots so a
+perf regression shows up as a reviewable table (``picos-experiment bench
+--compare BENCH_old.json``).
+"""
+
+from repro.bench.harness import (
+    BENCH_SCHEMA_VERSION,
+    BenchComparison,
+    BenchResult,
+    BenchSpec,
+    bench_document,
+    bench_file_name,
+    compare_documents,
+    default_specs,
+    load_bench_document,
+    render_comparison,
+    render_results,
+    run_bench,
+    run_spec,
+    write_bench_file,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchComparison",
+    "BenchResult",
+    "BenchSpec",
+    "bench_document",
+    "bench_file_name",
+    "compare_documents",
+    "default_specs",
+    "load_bench_document",
+    "render_comparison",
+    "render_results",
+    "run_bench",
+    "run_spec",
+    "write_bench_file",
+]

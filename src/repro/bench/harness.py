@@ -1,0 +1,414 @@
+"""The benchmark harness behind ``picos-experiment bench``.
+
+Each :class:`BenchSpec` is a small timing matrix -- one workload crossed
+with simulator backends and worker counts -- and each cell runs the real
+batch path (:func:`repro.sim.driver.simulate_request`) under a wall-clock
+timer.  A :class:`BenchResult` row records what the run did (tasks, engine
+events, makespan) next to what it cost (seconds, events per second, peak
+RSS), so a later run of the same matrix is directly comparable.
+
+Measurement notes
+-----------------
+
+* ``wall_seconds`` is the best of ``repeats`` timings of the simulation
+  alone: the task program is built (and its generator memoized) before the
+  clock starts, so program generation does not pollute the number.
+* ``events_processed`` is the discrete-event engine's delivered-event count
+  (the ``events_processed`` counter of the HIL and Nanos++ simulators).
+  The roofline scheduler has no event queue; its rows fall back to the
+  three lifecycle events per task the session API would derive, flagged by
+  ``events_estimated``.
+* ``peak_rss_kb`` is ``ru_maxrss`` of the process after the run -- a
+  monotone process-wide high-water mark, not a per-run delta; it answers
+  "how much memory does benching this matrix need", not "how much does one
+  simulation allocate".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from datetime import date, datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.sim.backend import BUILTIN_BACKENDS
+from repro.sim.driver import simulate_request
+from repro.sim.request import SimulationRequest
+
+#: Bumped whenever the BENCH_*.json document layout changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: Worker counts of the default matrix (the paper's 12-core sweet spot
+#: bracketed by a small and a large machine).
+DEFAULT_WORKER_COUNTS: Tuple[int, ...] = (2, 8, 32)
+
+#: Wall-time ratio treated as a regression by :func:`compare_documents`;
+#: generous because CI timings are noisy.
+DEFAULT_REGRESSION_THRESHOLD = 0.25
+
+
+# ----------------------------------------------------------------------
+# spec and result rows
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BenchSpec:
+    """One timing matrix: a workload crossed with backends and workers."""
+
+    #: Benchmark name (``repro.apps.registry``) or synthetic case name.
+    workload: str
+    #: Block size (or H264dec granularity); ``None`` for synthetic cases.
+    block_size: Optional[int] = None
+    #: Problem-size override; ``None`` selects the paper's size.
+    problem_size: Optional[int] = None
+    #: Simulator backends to time (all five built-ins by default).
+    backends: Tuple[str, ...] = BUILTIN_BACKENDS
+    #: Worker counts to time each backend at.
+    worker_counts: Tuple[int, ...] = DEFAULT_WORKER_COUNTS
+    #: Timing repeats per cell; the best (minimum) wall time is kept.
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ValueError("a bench spec needs a workload name")
+        if not self.backends:
+            raise ValueError("a bench spec needs at least one backend")
+        if not self.worker_counts or any(w < 1 for w in self.worker_counts):
+            raise ValueError("worker counts must be positive")
+        if self.repeats < 1:
+            raise ValueError("repeats must be at least 1")
+
+    def requests(self) -> List[SimulationRequest]:
+        """The simulation requests of the matrix, in deterministic order."""
+        return [
+            SimulationRequest.for_workload(
+                self.workload,
+                block_size=self.block_size,
+                problem_size=self.problem_size,
+                backend=backend,
+                num_workers=workers,
+            )
+            for backend in self.backends
+            for workers in self.worker_counts
+        ]
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One timed cell of a bench matrix (JSON round-trippable)."""
+
+    workload: str
+    block_size: Optional[int]
+    problem_size: Optional[int]
+    backend: str
+    num_workers: int
+    #: Best-of-repeats wall-clock seconds of the simulation call.
+    wall_seconds: float
+    #: Engine events delivered during the timed run.
+    events_processed: int
+    #: ``events_processed / wall_seconds``.
+    events_per_second: float
+    #: Simulated tasks retired per wall-clock second.
+    tasks_per_second: float
+    #: Whether ``events_processed`` is the lifecycle-event fallback (the
+    #: backend exposes no engine counter).
+    events_estimated: bool
+    makespan: int
+    num_tasks: int
+    #: Process-wide peak RSS (KiB) observed after the run.
+    peak_rss_kb: int
+    repeats: int = 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, object]) -> "BenchResult":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{str(k): v for k, v in row.items() if k in fields})  # type: ignore[arg-type]
+
+    def key(self) -> Tuple[str, Optional[int], Optional[int], str, int]:
+        """Identity of the cell (what must match across compared runs)."""
+        return (
+            self.workload,
+            self.block_size,
+            self.problem_size,
+            self.backend,
+            self.num_workers,
+        )
+
+    def label(self) -> str:
+        """Human-readable cell name used by reports."""
+        block = f"/{self.block_size}" if self.block_size is not None else ""
+        size = f"@{self.problem_size}" if self.problem_size is not None else ""
+        return f"{self.workload}{block}{size} {self.backend} w{self.num_workers}"
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in KiB (0 where the resource module is missing)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes; normalise to KiB.
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        return int(usage // 1024)
+    return int(usage)
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def run_spec(
+    spec: BenchSpec, progress: Optional[Callable[[str], None]] = None
+) -> List[BenchResult]:
+    """Time every cell of ``spec`` and return its result rows."""
+    results: List[BenchResult] = []
+    for request in spec.requests():
+        normalized = request.normalize()
+        program = normalized.build_program()  # warm the generator memo
+        best = float("inf")
+        result = None
+        for _ in range(spec.repeats):
+            start = time.perf_counter()
+            result = simulate_request(normalized)
+            elapsed = time.perf_counter() - start
+            if elapsed < best:
+                best = elapsed
+        assert result is not None
+        events = result.counters.get("events_processed")
+        estimated = events is None
+        if estimated:
+            # Lifecycle fallback (submitted/ready/retired per task) for
+            # backends without a discrete-event queue (the roofline).
+            events = 3 * result.num_tasks
+        row = BenchResult(
+            workload=spec.workload,
+            block_size=spec.block_size,
+            problem_size=spec.problem_size,
+            backend=normalized.backend,
+            num_workers=normalized.num_workers,
+            wall_seconds=best,
+            events_processed=int(events),
+            events_per_second=(int(events) / best) if best > 0 else 0.0,
+            tasks_per_second=(result.num_tasks / best) if best > 0 else 0.0,
+            events_estimated=estimated,
+            makespan=result.makespan,
+            num_tasks=result.num_tasks,
+            peak_rss_kb=_peak_rss_kb(),
+            repeats=spec.repeats,
+        )
+        if progress is not None:
+            progress(
+                f"{row.label():<40} {row.wall_seconds * 1000:9.1f} ms  "
+                f"{row.events_per_second:12,.0f} ev/s"
+            )
+        results.append(row)
+        _ = program  # keep the built program alive across repeats
+    return results
+
+
+def run_bench(
+    specs: Sequence[BenchSpec], progress: Optional[Callable[[str], None]] = None
+) -> List[BenchResult]:
+    """Run several specs back to back, preserving their order."""
+    results: List[BenchResult] = []
+    for spec in specs:
+        results.extend(run_spec(spec, progress))
+    return results
+
+
+def default_specs(quick: bool = False) -> List[BenchSpec]:
+    """The standard bench matrix.
+
+    The default covers every registered application at its coarsest block
+    size across all five backends plus a finer-grained Cholesky "hot loop"
+    spec (the optimization target of the engine work: enough tasks that
+    simulator overhead, not program generation, dominates).  ``quick``
+    shrinks the matrix to a small Cholesky on every backend at two worker
+    counts -- the CI smoke configuration.
+    """
+    if quick:
+        return [
+            BenchSpec(
+                workload="cholesky",
+                block_size=128,
+                problem_size=1024,
+                worker_counts=(2, 8),
+            )
+        ]
+    from repro.apps.registry import benchmark_names, registered_block_sizes
+
+    specs = [
+        BenchSpec(workload=name, block_size=registered_block_sizes(name)[0])
+        for name in benchmark_names()
+        if name != "mlu"  # mlu shares lu's trace shape; skip the duplicate
+    ]
+    specs.append(BenchSpec(workload="cholesky", block_size=64))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# BENCH_*.json documents
+# ----------------------------------------------------------------------
+def bench_file_name(when: Optional[date] = None) -> str:
+    """``BENCH_<ISO date>.json`` (one snapshot per day by convention)."""
+    stamp = when if when is not None else date.today()
+    return f"BENCH_{stamp.isoformat()}.json"
+
+
+def bench_document(results: Sequence[BenchResult]) -> Dict[str, object]:
+    """The JSON document of one bench run (see README "Performance")."""
+    from repro import __version__
+
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "package_version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": [row.as_dict() for row in results],
+    }
+
+
+def write_bench_file(
+    results: Sequence[BenchResult],
+    directory: Union[str, Path] = ".",
+    file_name: Optional[str] = None,
+) -> Path:
+    """Write a ``BENCH_<date>.json`` snapshot and return its path."""
+    path = Path(directory) / (file_name or bench_file_name())
+    with path.open("w", encoding="utf-8") as stream:
+        json.dump(bench_document(results), stream, indent=1, sort_keys=True)
+        stream.write("\n")
+    return path
+
+
+def load_bench_document(path: Union[str, Path]) -> Dict[str, object]:
+    """Load and schema-check a ``BENCH_*.json`` document."""
+    with Path(path).open("r", encoding="utf-8") as stream:
+        document = json.load(stream)
+    if not isinstance(document, dict) or "results" not in document:
+        raise ValueError(f"{path} is not a bench document")
+    if document.get("schema") != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} uses bench schema {document.get('schema')!r}; this "
+            f"version reads schema {BENCH_SCHEMA_VERSION}"
+        )
+    return document
+
+
+def _rows_by_key(
+    document: Mapping[str, object]
+) -> Dict[Tuple[str, Optional[int], Optional[int], str, int], BenchResult]:
+    rows = [BenchResult.from_dict(r) for r in document["results"]]  # type: ignore[union-attr]
+    return {row.key(): row for row in rows}
+
+
+# ----------------------------------------------------------------------
+# regression diffing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BenchComparison:
+    """Diff of one cell across two bench documents."""
+
+    label: str
+    old_wall: float
+    new_wall: float
+    #: ``old / new``: > 1 means the new run is faster.
+    speedup: float
+    #: Whether the slowdown exceeds the comparison threshold.
+    regressed: bool
+
+
+def compare_documents(
+    old: Mapping[str, object],
+    new: Mapping[str, object],
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> Tuple[List[BenchComparison], List[str], List[str]]:
+    """Cell-by-cell wall-time diff of two bench documents.
+
+    Returns ``(comparisons, only_old, only_new)``: matched cells with their
+    speedups (old wall / new wall) plus the labels present in only one of
+    the documents.  A cell regresses when its wall time grew by more than
+    ``threshold`` (relative).
+    """
+    old_rows = _rows_by_key(old)
+    new_rows = _rows_by_key(new)
+    comparisons: List[BenchComparison] = []
+    for key, new_row in new_rows.items():
+        old_row = old_rows.get(key)
+        if old_row is None:
+            continue
+        speedup = (old_row.wall_seconds / new_row.wall_seconds) if new_row.wall_seconds else 0.0
+        comparisons.append(
+            BenchComparison(
+                label=new_row.label(),
+                old_wall=old_row.wall_seconds,
+                new_wall=new_row.wall_seconds,
+                speedup=speedup,
+                regressed=new_row.wall_seconds > old_row.wall_seconds * (1.0 + threshold),
+            )
+        )
+    only_old = [row.label() for key, row in old_rows.items() if key not in new_rows]
+    only_new = [row.label() for key, row in new_rows.items() if key not in old_rows]
+    return comparisons, only_old, only_new
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def render_results(results: Sequence[BenchResult]) -> str:
+    """Result rows as a fixed-width report table."""
+    lines = [
+        f"{'cell':<42} {'wall (ms)':>10} {'events/s':>14} "
+        f"{'tasks/s':>12} {'peak RSS (MB)':>14}"
+    ]
+    for row in results:
+        estimate = "~" if row.events_estimated else " "
+        lines.append(
+            f"{row.label():<42} {row.wall_seconds * 1000:>10.1f} "
+            f"{estimate}{row.events_per_second:>13,.0f} "
+            f"{row.tasks_per_second:>12,.0f} {row.peak_rss_kb / 1024:>14.1f}"
+        )
+    lines.append("(~ events/s estimated from lifecycle events: no engine counter)")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    comparisons: Sequence[BenchComparison],
+    only_old: Sequence[str],
+    only_new: Sequence[str],
+) -> str:
+    """A comparison as a fixed-width report table plus a verdict line."""
+    lines = [
+        f"{'cell':<42} {'old (ms)':>10} {'new (ms)':>10} {'speedup':>9}"
+    ]
+    for comp in comparisons:
+        flag = "  << REGRESSION" if comp.regressed else ""
+        lines.append(
+            f"{comp.label:<42} {comp.old_wall * 1000:>10.1f} "
+            f"{comp.new_wall * 1000:>10.1f} {comp.speedup:>8.2f}x{flag}"
+        )
+    for label in only_old:
+        lines.append(f"{label:<42} (only in the old snapshot)")
+    for label in only_new:
+        lines.append(f"{label:<42} (only in the new snapshot)")
+    regressed = sum(1 for c in comparisons if c.regressed)
+    if comparisons:
+        geomean = 1.0
+        for comp in comparisons:
+            geomean *= max(comp.speedup, 1e-9)
+        geomean **= 1.0 / len(comparisons)
+        lines.append(
+            f"{len(comparisons)} cells compared, geometric-mean speedup "
+            f"{geomean:.2f}x, {regressed} regression(s)"
+        )
+    else:
+        lines.append("no comparable cells between the two snapshots")
+    return "\n".join(lines)

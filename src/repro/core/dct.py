@@ -25,7 +25,6 @@ the prototype stalls its pipeline.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.config import PicosConfig
@@ -59,16 +58,43 @@ class DctStall(Exception):
         self.address = address
 
 
-@dataclass
 class DependenceOutcome:
-    """Result of processing one new dependence."""
+    """Result of processing one new dependence.
 
-    #: ``True`` when the dependence is immediately ready.
-    ready: bool
-    #: VM entry (version) the dependence was attached to.
-    vm_index: int
-    #: Consumer-chain predecessor to store in the TMX (waiting consumers only).
-    predecessor: Optional[TaskSlotRef] = None
+    A ``__slots__`` value class: one is allocated per dependence of every
+    submitted task.
+    """
+
+    __slots__ = ("ready", "vm_index", "predecessor")
+
+    def __init__(
+        self,
+        ready: bool,
+        vm_index: int,
+        predecessor: Optional[TaskSlotRef] = None,
+    ) -> None:
+        #: ``True`` when the dependence is immediately ready.
+        self.ready = ready
+        #: VM entry (version) the dependence was attached to.
+        self.vm_index = vm_index
+        #: Consumer-chain predecessor to store in the TMX (waiting consumers
+        #: only).
+        self.predecessor = predecessor
+
+    def __repr__(self) -> str:
+        return (
+            f"DependenceOutcome(ready={self.ready}, vm_index={self.vm_index}, "
+            f"predecessor={self.predecessor!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DependenceOutcome):
+            return NotImplemented
+        return (
+            self.ready == other.ready
+            and self.vm_index == other.vm_index
+            and self.predecessor == other.predecessor
+        )
 
     def to_packet(self, slot: TaskSlotRef):
         """Render the outcome as the packet the DCT sends to the TRS."""
@@ -79,17 +105,28 @@ class DependenceOutcome:
         )
 
 
-@dataclass
 class FinishOutcome:
     """Result of processing one dependence-release (finish) packet."""
 
-    #: Wake-ups produced by this release: consumers chains are woken through
-    #: their last consumer; completed versions wake the next producer.
-    wakeups: List[ReadyPacket] = field(default_factory=list)
-    #: Whether a VM entry was recycled.
-    version_released: bool = False
-    #: Whether the DM way of the address was recycled (chain fully finished).
-    address_released: bool = False
+    __slots__ = ("wakeups", "version_released", "address_released")
+
+    def __init__(self) -> None:
+        #: Wake-ups produced by this release: consumer chains are woken
+        #: through their last consumer; completed versions wake the next
+        #: producer.
+        self.wakeups: List[ReadyPacket] = []
+        #: Whether a VM entry was recycled.
+        self.version_released = False
+        #: Whether the DM way of the address was recycled (chain fully
+        #: finished).
+        self.address_released = False
+
+    def __repr__(self) -> str:
+        return (
+            f"FinishOutcome(wakeups={self.wakeups!r}, "
+            f"version_released={self.version_released}, "
+            f"address_released={self.address_released})"
+        )
 
 
 class DependenceChainTracker:
@@ -119,8 +156,8 @@ class DependenceChainTracker:
         Used by the Gateway to decide whether to resume a stalled
         submission without paying for a failed attempt.
         """
-        lookup = self.dm.lookup(address)
-        if lookup.hit:
+        way = self.dm.find_way(address)
+        if way is not None:
             if direction.writes:
                 return not self.vm.full
             return True
@@ -133,16 +170,14 @@ class DependenceChainTracker:
         address = packet.address
         direction = packet.direction
         slot = packet.slot
-        lookup = self.dm.lookup(address)
+        way = self.dm.find_way(address)
 
-        if not lookup.hit:
+        if way is None:
             outcome = self._insert_first_access(slot, address, direction)
+        elif direction.writes:
+            outcome = self._attach_producer(slot, address, way)
         else:
-            assert lookup.way is not None
-            if direction.writes:
-                outcome = self._attach_producer(slot, address, lookup.way)
-            else:
-                outcome = self._attach_consumer(slot, lookup.way)
+            outcome = self._attach_consumer(slot, way)
 
         self._blocked_addresses.discard(address)
         self.stats.dependences_processed += 1
@@ -254,13 +289,12 @@ class DependenceChainTracker:
 
     def _retire_version(self, version, outcome: FinishOutcome) -> None:
         """Recycle a completed version, waking the next producer if any."""
-        lookup = self.dm.lookup(version.address)
-        if not lookup.hit or lookup.way is None:
+        way = self.dm.find_way(version.address)
+        if way is None:
             raise RuntimeError(
                 f"version {version.vm_index} refers to address "
                 f"{version.address:#x} which is not in the DM"
             )
-        way = lookup.way
         if version.next_version is not None:
             next_version = self.vm.entry(version.next_version)
             if next_version.producer is None:
@@ -282,8 +316,15 @@ class DependenceChainTracker:
     # bookkeeping
     # ------------------------------------------------------------------
     def _update_memory_watermarks(self) -> None:
-        self.stats.dm_high_water = max(self.stats.dm_high_water, self.dm.occupied)
-        self.stats.vm_high_water = max(self.stats.vm_high_water, self.vm.occupied)
+        # Branches instead of max(): this runs once per processed dependence
+        # and the watermark moves only a handful of times per run.
+        stats = self.stats
+        dm_occupied = self.dm.occupied
+        if dm_occupied > stats.dm_high_water:
+            stats.dm_high_water = dm_occupied
+        vm_occupied = self.vm.occupied
+        if vm_occupied > stats.vm_high_water:
+            stats.vm_high_water = vm_occupied
 
     @property
     def live_addresses(self) -> int:

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import DMDesign
-from repro.core.hashing import index_for
+from repro.core.hashing import make_index_function
 
 
 class DependenceMemoryConflict(RuntimeError):
@@ -41,31 +41,99 @@ class DependenceMemoryConflict(RuntimeError):
         self.set_index = set_index
 
 
-@dataclass
 class DMWay:
-    """One way of one DM set."""
+    """One way of one DM set (a ``__slots__`` record on the compare path)."""
 
-    valid: bool = False
-    input_only: bool = True
-    tag: int = 0
-    #: VM index of the most recent live version of this address.
-    latest_vm_index: Optional[int] = None
-    #: Number of live versions of this address (the entry is recycled when
-    #: this drops to zero).
-    live_versions: int = 0
-    #: Total accesses (producer or consumer) recorded since allocation;
-    #: mirrors the "count" field of Figure 4.
-    access_count: int = 0
+    __slots__ = (
+        "valid",
+        "input_only",
+        "tag",
+        "latest_vm_index",
+        "live_versions",
+        "access_count",
+    )
+
+    def __init__(
+        self,
+        valid: bool = False,
+        input_only: bool = True,
+        tag: int = 0,
+        latest_vm_index: Optional[int] = None,
+        live_versions: int = 0,
+        access_count: int = 0,
+    ) -> None:
+        self.valid = valid
+        self.input_only = input_only
+        self.tag = tag
+        #: VM index of the most recent live version of this address.
+        self.latest_vm_index = latest_vm_index
+        #: Number of live versions of this address (the entry is recycled
+        #: when this drops to zero).
+        self.live_versions = live_versions
+        #: Total accesses (producer or consumer) recorded since allocation;
+        #: mirrors the "count" field of Figure 4.
+        self.access_count = access_count
+
+    def __repr__(self) -> str:
+        return (
+            f"DMWay(valid={self.valid}, input_only={self.input_only}, "
+            f"tag={self.tag:#x}, latest_vm_index={self.latest_vm_index}, "
+            f"live_versions={self.live_versions}, access_count={self.access_count})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        # Field-wise equality, matching the dataclass this class replaced
+        # (mutable, so instances stay unhashable).
+        if not isinstance(other, DMWay):
+            return NotImplemented
+        return (
+            self.valid == other.valid
+            and self.input_only == other.input_only
+            and self.tag == other.tag
+            and self.latest_vm_index == other.latest_vm_index
+            and self.live_versions == other.live_versions
+            and self.access_count == other.access_count
+        )
+
+    __hash__ = None  # type: ignore[assignment]
 
 
-@dataclass
 class DMLookupResult:
-    """Outcome of a DM compare operation."""
+    """Outcome of a DM compare operation.
 
-    hit: bool
-    set_index: int
-    way_index: Optional[int]
-    way: Optional[DMWay]
+    A ``__slots__`` value class: one is allocated per DM compare, which
+    happens several times per task.
+    """
+
+    __slots__ = ("hit", "set_index", "way_index", "way")
+
+    def __init__(
+        self,
+        hit: bool,
+        set_index: int,
+        way_index: Optional[int],
+        way: Optional[DMWay],
+    ) -> None:
+        self.hit = hit
+        self.set_index = set_index
+        self.way_index = way_index
+        self.way = way
+
+    def __repr__(self) -> str:
+        return (
+            f"DMLookupResult(hit={self.hit}, set_index={self.set_index}, "
+            f"way_index={self.way_index}, way={self.way!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DMLookupResult):
+            return NotImplemented
+        return (
+            self.hit == other.hit
+            and self.set_index == other.set_index
+            and self.way_index == other.way_index
+            and self.way == other.way
+        )
 
 
 class DependenceMemory:
@@ -84,13 +152,16 @@ class DependenceMemory:
         self.allocations = 0
         self._occupied = 0
         self._high_water = 0
+        # Memoized per-address index (the Pearson fold is the single
+        # hottest pure function of a full-system simulation otherwise).
+        self._index_of = make_index_function(design.uses_pearson, num_sets)
 
     # ------------------------------------------------------------------
     # indexing
     # ------------------------------------------------------------------
     def set_index(self, address: int) -> int:
         """Set index for ``address`` under the configured design."""
-        return index_for(address, self.design.uses_pearson, self.num_sets)
+        return self._index_of(address)
 
     # ------------------------------------------------------------------
     # status
@@ -123,11 +194,23 @@ class DependenceMemory:
         Way 0 has the highest priority, way N-1 the lowest, as in the
         priority encoder of Figure 4.
         """
-        set_index = self.set_index(address)
+        set_index = self._index_of(address)
         for way_index, way in enumerate(self._sets[set_index]):
             if way.valid and way.tag == address:
                 return DMLookupResult(True, set_index, way_index, way)
         return DMLookupResult(False, set_index, None, None)
+
+    def find_way(self, address: int) -> Optional[DMWay]:
+        """The valid way holding ``address``, or ``None`` (fast compare).
+
+        Semantically ``lookup(address).way``, without allocating a
+        :class:`DMLookupResult`; this is the form the DCT uses on its
+        per-dependence hot path.
+        """
+        for way in self._sets[self._index_of(address)]:
+            if way.valid and way.tag == address:
+                return way
+        return None
 
     def allocate(self, address: int, input_only: bool) -> Tuple[int, DMWay]:
         """Store a new address in its set (the *New DM address* of Figure 4).
@@ -136,7 +219,7 @@ class DependenceMemory:
         :class:`DependenceMemoryConflict` -- and counts one conflict -- when
         the set has no free way.
         """
-        set_index = self.set_index(address)
+        set_index = self._index_of(address)
         ways = self._sets[set_index]
         for way_index, way in enumerate(ways):
             if not way.valid:
@@ -155,12 +238,12 @@ class DependenceMemory:
 
     def release(self, address: int) -> None:
         """Invalidate the way holding ``address`` (all versions finished)."""
-        result = self.lookup(address)
-        if not result.hit or result.way is None:
+        way = self.find_way(address)
+        if way is None:
             raise KeyError(f"address {address:#x} is not stored in the DM")
-        result.way.valid = False
-        result.way.latest_vm_index = None
-        result.way.live_versions = 0
+        way.valid = False
+        way.latest_vm_index = None
+        way.live_versions = 0
         self._occupied -= 1
 
     # ------------------------------------------------------------------

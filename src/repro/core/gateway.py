@@ -23,6 +23,7 @@ from repro.core.config import PicosConfig
 from repro.core.dct import DctStall, DependenceChainTracker, StallReason
 from repro.core.packets import (
     DependencePacket,
+    DependentPacket,
     ExecuteTaskPacket,
     FinishPacket,
     FinishedTaskPacket,
@@ -193,14 +194,21 @@ class Gateway:
     ) -> GatewayResult:
         """Forward dependences ``start_index``.. to their DCTs (N4/N5)."""
         trs = self.trs_instances[trs_id]
-        for dep_index in range(start_index, task.num_dependences):
-            dep = task.dependences[dep_index]
+        dependences = task.dependences
+        dct_instances = self.dct_instances
+        single_dct = len(dct_instances) == 1
+        for dep_index in range(start_index, len(dependences)):
+            dep = dependences[dep_index]
+            address = dep.address
+            direction = dep.direction
             slot = trs.record_dependence(
-                tm_index, dep_index, dep.address, dep.direction.writes
+                tm_index, dep_index, address, direction.writes
             )
-            dct = self.dct_instances[self._dct_index_for(dep.address)]
+            dct = dct_instances[
+                0 if single_dct else self.arbiter.dct_for_address(address)
+            ]
             packet = DependencePacket(
-                slot=slot, address=dep.address, direction=dep.direction
+                slot=slot, address=address, direction=direction
             )
             try:
                 outcome = dct.process_dependence(packet)
@@ -221,10 +229,14 @@ class Gateway:
                 result.stall_reason = stall.reason
                 return result
             result.dependences_dispatched += 1
-            response = outcome.to_packet(slot)
+            # The response returns to the owning TRS through the Arbiter
+            # (which counts the message); branching on ``outcome.ready``
+            # directly skips the packet-type dispatch of ``to_packet``.
             self.arbiter.trs_for_slot(slot)
-            if isinstance(response, ReadyPacket):
-                ready_result = trs.handle_ready(response)
+            if outcome.ready:
+                ready_result = trs.handle_ready(
+                    ReadyPacket(slot=slot, vm_index=outcome.vm_index)
+                )
                 result.execute.extend(ready_result.execute)
                 # A freshly inserted dependence can never chain wake-ups.
                 if ready_result.chained:
@@ -232,7 +244,13 @@ class Gateway:
                         "unexpected chained wake-up during task submission"
                     )
             else:
-                trs.handle_dependent(response)
+                trs.handle_dependent(
+                    DependentPacket(
+                        slot=slot,
+                        vm_index=outcome.vm_index,
+                        predecessor=outcome.predecessor,
+                    )
+                )
         return result
 
     # ------------------------------------------------------------------

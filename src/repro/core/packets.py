@@ -1,7 +1,7 @@
 """Inter-module packets of the Picos hardware.
 
 Every arrow of Figure 3b is a small fixed-format packet travelling through a
-FIFO.  The dataclasses in this module name those packets after the
+FIFO.  The classes in this module name those packets after the
 operational-flow steps of Section III-B:
 
 new-task path (N1-N6)
@@ -12,17 +12,21 @@ new-task path (N1-N6)
 finished-task path (F1-F4)
     :class:`FinishedTaskPacket` (GW -> TRS), :class:`FinishPacket`
     (TRS -> DCT), and again :class:`ReadyPacket` for wake-ups.
+
+Several packets are allocated per dependence of every task, which puts
+their construction on the hottest path of a simulation; they are therefore
+hand-written ``__slots__`` value classes (compare-by-value, hashable)
+rather than frozen dataclasses, whose ``object.__setattr__``-based
+``__init__`` costs several times as much per instance.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.runtime.task import Direction
 
 
-@dataclass(frozen=True)
 class TaskSlotRef:
     """Reference to one dependence slot of one in-flight task.
 
@@ -31,43 +35,117 @@ class TaskSlotRef:
     consumers/producers by this triple (the "TRS slot" of the paper).
     """
 
-    trs_id: int
-    tm_index: int
-    dep_index: int
+    __slots__ = ("trs_id", "tm_index", "dep_index")
+
+    def __init__(self, trs_id: int, tm_index: int, dep_index: int) -> None:
+        self.trs_id = trs_id
+        self.tm_index = tm_index
+        self.dep_index = dep_index
 
     def task_ref(self) -> "TaskSlotRef":
         """The same slot with the dependence index cleared (task identity)."""
         return TaskSlotRef(self.trs_id, self.tm_index, 0)
 
+    def __repr__(self) -> str:
+        return (
+            f"TaskSlotRef(trs_id={self.trs_id}, tm_index={self.tm_index}, "
+            f"dep_index={self.dep_index})"
+        )
 
-@dataclass(frozen=True)
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskSlotRef):
+            return NotImplemented
+        return (
+            self.trs_id == other.trs_id
+            and self.tm_index == other.tm_index
+            and self.dep_index == other.dep_index
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trs_id, self.tm_index, self.dep_index))
+
+
 class NewTaskPacket:
     """GW -> TRS: a new task has been assigned TM entry ``tm_index`` (N3)."""
 
-    task_id: int
-    trs_id: int
-    tm_index: int
-    num_deps: int
+    __slots__ = ("task_id", "trs_id", "tm_index", "num_deps")
+
+    def __init__(self, task_id: int, trs_id: int, tm_index: int, num_deps: int) -> None:
+        self.task_id = task_id
+        self.trs_id = trs_id
+        self.tm_index = tm_index
+        self.num_deps = num_deps
+
+    def __repr__(self) -> str:
+        return (
+            f"NewTaskPacket(task_id={self.task_id}, trs_id={self.trs_id}, "
+            f"tm_index={self.tm_index}, num_deps={self.num_deps})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NewTaskPacket):
+            return NotImplemented
+        return (
+            self.task_id == other.task_id
+            and self.trs_id == other.trs_id
+            and self.tm_index == other.tm_index
+            and self.num_deps == other.num_deps
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.task_id, self.trs_id, self.tm_index, self.num_deps))
 
 
-@dataclass(frozen=True)
 class DependencePacket:
     """GW -> DCT: one dependence of a newly created task (N4)."""
 
-    slot: TaskSlotRef
-    address: int
-    direction: Direction
+    __slots__ = ("slot", "address", "direction")
+
+    def __init__(self, slot: TaskSlotRef, address: int, direction: Direction) -> None:
+        self.slot = slot
+        self.address = address
+        self.direction = direction
+
+    def __repr__(self) -> str:
+        return (
+            f"DependencePacket(slot={self.slot!r}, address={self.address}, "
+            f"direction={self.direction!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DependencePacket):
+            return NotImplemented
+        return (
+            self.slot == other.slot
+            and self.address == other.address
+            and self.direction == other.direction
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.slot, self.address, self.direction))
 
 
-@dataclass(frozen=True)
 class ReadyPacket:
     """DCT -> TRS (via ARB): the referenced dependence slot is ready (N5/F4)."""
 
-    slot: TaskSlotRef
-    vm_index: int
+    __slots__ = ("slot", "vm_index")
+
+    def __init__(self, slot: TaskSlotRef, vm_index: int) -> None:
+        self.slot = slot
+        self.vm_index = vm_index
+
+    def __repr__(self) -> str:
+        return f"ReadyPacket(slot={self.slot!r}, vm_index={self.vm_index})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReadyPacket):
+            return NotImplemented
+        return self.slot == other.slot and self.vm_index == other.vm_index
+
+    def __hash__(self) -> int:
+        return hash((self.slot, self.vm_index))
 
 
-@dataclass(frozen=True)
 class DependentPacket:
     """DCT -> TRS: the slot depends on earlier accesses and must wait (N5).
 
@@ -77,12 +155,37 @@ class DependentPacket:
     slot is the first consumer of its version or a producer.
     """
 
-    slot: TaskSlotRef
-    vm_index: int
-    predecessor: Optional[TaskSlotRef] = None
+    __slots__ = ("slot", "vm_index", "predecessor")
+
+    def __init__(
+        self,
+        slot: TaskSlotRef,
+        vm_index: int,
+        predecessor: Optional[TaskSlotRef] = None,
+    ) -> None:
+        self.slot = slot
+        self.vm_index = vm_index
+        self.predecessor = predecessor
+
+    def __repr__(self) -> str:
+        return (
+            f"DependentPacket(slot={self.slot!r}, vm_index={self.vm_index}, "
+            f"predecessor={self.predecessor!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DependentPacket):
+            return NotImplemented
+        return (
+            self.slot == other.slot
+            and self.vm_index == other.vm_index
+            and self.predecessor == other.predecessor
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.slot, self.vm_index, self.predecessor))
 
 
-@dataclass(frozen=True)
 class FinishPacket:
     """TRS -> DCT: one dependence of a finished task is being released (F3).
 
@@ -91,24 +194,85 @@ class FinishPacket:
     multi-DCT configurations).
     """
 
-    slot: TaskSlotRef
-    vm_index: int
-    address: int = 0
+    __slots__ = ("slot", "vm_index", "address")
+
+    def __init__(self, slot: TaskSlotRef, vm_index: int, address: int = 0) -> None:
+        self.slot = slot
+        self.vm_index = vm_index
+        self.address = address
+
+    def __repr__(self) -> str:
+        return (
+            f"FinishPacket(slot={self.slot!r}, vm_index={self.vm_index}, "
+            f"address={self.address})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FinishPacket):
+            return NotImplemented
+        return (
+            self.slot == other.slot
+            and self.vm_index == other.vm_index
+            and self.address == other.address
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.slot, self.vm_index, self.address))
 
 
-@dataclass(frozen=True)
 class ExecuteTaskPacket:
     """TRS -> TS: the task in ``tm_index`` has all dependences ready (N6)."""
 
-    task_id: int
-    trs_id: int
-    tm_index: int
+    __slots__ = ("task_id", "trs_id", "tm_index")
+
+    def __init__(self, task_id: int, trs_id: int, tm_index: int) -> None:
+        self.task_id = task_id
+        self.trs_id = trs_id
+        self.tm_index = tm_index
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecuteTaskPacket(task_id={self.task_id}, trs_id={self.trs_id}, "
+            f"tm_index={self.tm_index})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExecuteTaskPacket):
+            return NotImplemented
+        return (
+            self.task_id == other.task_id
+            and self.trs_id == other.trs_id
+            and self.tm_index == other.tm_index
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.task_id, self.trs_id, self.tm_index))
 
 
-@dataclass(frozen=True)
 class FinishedTaskPacket:
     """GW -> TRS: the worker running ``task_id`` reported completion (F2)."""
 
-    task_id: int
-    trs_id: int
-    tm_index: int
+    __slots__ = ("task_id", "trs_id", "tm_index")
+
+    def __init__(self, task_id: int, trs_id: int, tm_index: int) -> None:
+        self.task_id = task_id
+        self.trs_id = trs_id
+        self.tm_index = tm_index
+
+    def __repr__(self) -> str:
+        return (
+            f"FinishedTaskPacket(task_id={self.task_id}, trs_id={self.trs_id}, "
+            f"tm_index={self.tm_index})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FinishedTaskPacket):
+            return NotImplemented
+        return (
+            self.task_id == other.task_id
+            and self.trs_id == other.trs_id
+            and self.tm_index == other.tm_index
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.task_id, self.trs_id, self.tm_index))

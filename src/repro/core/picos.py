@@ -22,7 +22,7 @@ schedule; purely functional users may ignore them.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from collections import deque
 from typing import Dict, List, Optional
 
 from repro.core.arbiter import Arbiter
@@ -43,31 +43,61 @@ class SubmitStatus(enum.Enum):
     STALLED = "stalled"
 
 
-@dataclass(frozen=True)
 class ReadyTask:
     """A task that became ready, with its readiness latency.
 
     ``latency`` counts cycles from the start of the operation that made the
     task ready (a submission or a finish notification) until the task is
-    visible in the Task Scheduler.
+    visible in the Task Scheduler.  A ``__slots__`` value class: one is
+    allocated per readiness event of every task.
     """
 
-    task_id: int
-    latency: int
+    __slots__ = ("task_id", "latency")
+
+    def __init__(self, task_id: int, latency: int) -> None:
+        self.task_id = task_id
+        self.latency = latency
+
+    def __repr__(self) -> str:
+        return f"ReadyTask(task_id={self.task_id}, latency={self.latency})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReadyTask):
+            return NotImplemented
+        return self.task_id == other.task_id and self.latency == other.latency
+
+    def __hash__(self) -> int:
+        return hash((self.task_id, self.latency))
 
 
-@dataclass
 class SubmitResult:
     """Result of :meth:`PicosAccelerator.submit_task` (or a resume)."""
 
-    status: SubmitStatus
-    task_id: int
-    #: Cycles the Picos pipeline is occupied by this submission.
-    occupancy: int = 0
-    #: Tasks (at most the submitted one) that became ready.
-    ready: List[ReadyTask] = field(default_factory=list)
-    #: Why the submission stalled, when ``status`` is ``STALLED``.
-    stall_reason: Optional[StallReason] = None
+    __slots__ = ("status", "task_id", "occupancy", "ready", "stall_reason")
+
+    def __init__(
+        self,
+        status: SubmitStatus,
+        task_id: int,
+        occupancy: int = 0,
+        ready: Optional[List[ReadyTask]] = None,
+        stall_reason: Optional[StallReason] = None,
+    ) -> None:
+        self.status = status
+        self.task_id = task_id
+        #: Cycles the Picos pipeline is occupied by this submission.
+        self.occupancy = occupancy
+        #: Tasks (at most the submitted one) that became ready.
+        self.ready: List[ReadyTask] = ready if ready is not None else []
+        #: Why the submission stalled, when ``status`` is ``STALLED``.
+        self.stall_reason = stall_reason
+
+    def __repr__(self) -> str:
+        return (
+            f"SubmitResult(status={self.status!r}, task_id={self.task_id}, "
+            f"occupancy={self.occupancy}, ready={self.ready!r}, "
+            f"stall_reason={self.stall_reason!r})"
+        )
 
     @property
     def accepted(self) -> bool:
@@ -75,16 +105,29 @@ class SubmitResult:
         return self.status is SubmitStatus.ACCEPTED
 
 
-@dataclass
 class FinishResult:
     """Result of :meth:`PicosAccelerator.notify_finish`."""
 
-    task_id: int
-    #: Cycles the Picos pipeline is occupied by this finish notification.
-    occupancy: int = 0
-    #: Tasks woken by this finish, in wake-up order (consumer chains wake
-    #: from the last consumer backwards -- Section III-D).
-    ready: List[ReadyTask] = field(default_factory=list)
+    __slots__ = ("task_id", "occupancy", "ready")
+
+    def __init__(
+        self,
+        task_id: int,
+        occupancy: int = 0,
+        ready: Optional[List[ReadyTask]] = None,
+    ) -> None:
+        self.task_id = task_id
+        #: Cycles the Picos pipeline is occupied by this finish notification.
+        self.occupancy = occupancy
+        #: Tasks woken by this finish, in wake-up order (consumer chains wake
+        #: from the last consumer backwards -- Section III-D).
+        self.ready: List[ReadyTask] = ready if ready is not None else []
+
+    def __repr__(self) -> str:
+        return (
+            f"FinishResult(task_id={self.task_id}, occupancy={self.occupancy}, "
+            f"ready={self.ready!r})"
+        )
 
 
 class PicosAccelerator:
@@ -193,7 +236,7 @@ class PicosAccelerator:
 
         # Route every finish packet to its DCT and collect the wake-ups,
         # then walk consumer chains through the owning TRS instances.
-        pending_wakeups: List[tuple[ReadyPacket, int]] = []
+        pending_wakeups: deque = deque()
         for packet in finish_packets:
             dct = self.dct_instances[self._dct_index_for_vm(packet)]
             outcome = dct.process_finish(packet)
@@ -201,7 +244,7 @@ class PicosAccelerator:
                 pending_wakeups.append((wake, 0))
 
         while pending_wakeups:
-            wake, depth = pending_wakeups.pop(0)
+            wake, depth = pending_wakeups.popleft()
             trs = self.trs_instances[self.arbiter.trs_for_slot(wake.slot)]
             ready_result = trs.handle_ready(wake)
             latency = (

@@ -56,9 +56,11 @@ class TaskScheduler:
     # ------------------------------------------------------------------
     def push(self, task_id: int) -> None:
         """Add a ready task to the queue."""
-        self._queue.append(task_id)
+        queue = self._queue
+        queue.append(task_id)
         self._total_scheduled += 1
-        self._max_occupancy = max(self._max_occupancy, len(self._queue))
+        if len(queue) > self._max_occupancy:
+            self._max_occupancy = len(queue)
 
     def pop(self) -> int:
         """Return the next task to execute according to the policy."""

@@ -14,7 +14,6 @@ The memories support the four actions described in the paper: read, write,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.packets import TaskSlotRef
@@ -24,34 +23,80 @@ class TaskMemoryFullError(RuntimeError):
     """Raised on a New Entry Request when every TM entry is occupied."""
 
 
-@dataclass
 class DependenceSlot:
-    """One TMX slot: the state of one dependence of an in-flight task."""
+    """One TMX slot: the state of one dependence of an in-flight task.
 
-    #: Index of the dependence within its task (pragma order).
-    dep_index: int
-    #: Address of the dependence (kept for bookkeeping / debug).
-    address: int
-    #: VM entry (version) this dependence was attached to by the DCT.
-    vm_index: Optional[int] = None
-    #: Whether the dependence has been marked ready.
-    ready: bool = False
-    #: Consumer-chain link: the previous consumer of the same version, to be
-    #: woken after this slot (Section III-D).
-    predecessor: Optional[TaskSlotRef] = None
-    #: Whether this dependence writes its address (producer role).
-    is_producer: bool = False
+    A ``__slots__`` record: one is allocated per dependence of every
+    submitted task.
+    """
+
+    __slots__ = (
+        "dep_index",
+        "address",
+        "vm_index",
+        "ready",
+        "predecessor",
+        "is_producer",
+    )
+
+    def __init__(
+        self,
+        dep_index: int,
+        address: int,
+        vm_index: Optional[int] = None,
+        ready: bool = False,
+        predecessor: Optional[TaskSlotRef] = None,
+        is_producer: bool = False,
+    ) -> None:
+        #: Index of the dependence within its task (pragma order).
+        self.dep_index = dep_index
+        #: Address of the dependence (kept for bookkeeping / debug).
+        self.address = address
+        #: VM entry (version) this dependence was attached to by the DCT.
+        self.vm_index = vm_index
+        #: Whether the dependence has been marked ready.
+        self.ready = ready
+        #: Consumer-chain link: the previous consumer of the same version,
+        #: to be woken after this slot (Section III-D).
+        self.predecessor = predecessor
+        #: Whether this dependence writes its address (producer role).
+        self.is_producer = is_producer
+
+    def __repr__(self) -> str:
+        return (
+            f"DependenceSlot(dep_index={self.dep_index}, address={self.address:#x}, "
+            f"vm_index={self.vm_index}, ready={self.ready}, "
+            f"predecessor={self.predecessor!r}, is_producer={self.is_producer})"
+        )
 
 
-@dataclass
 class TaskEntry:
     """One TM0 entry plus its TMX dependence slots."""
 
-    tm_index: int
-    task_id: int
-    num_deps: int
-    ready_deps: int = 0
-    dep_slots: List[DependenceSlot] = field(default_factory=list)
+    __slots__ = ("tm_index", "task_id", "num_deps", "ready_deps", "dep_slots")
+
+    def __init__(
+        self,
+        tm_index: int,
+        task_id: int,
+        num_deps: int,
+        ready_deps: int = 0,
+        dep_slots: Optional[List[DependenceSlot]] = None,
+    ) -> None:
+        self.tm_index = tm_index
+        self.task_id = task_id
+        self.num_deps = num_deps
+        self.ready_deps = ready_deps
+        self.dep_slots: List[DependenceSlot] = (
+            dep_slots if dep_slots is not None else []
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskEntry(tm_index={self.tm_index}, task_id={self.task_id}, "
+            f"num_deps={self.num_deps}, ready_deps={self.ready_deps}, "
+            f"dep_slots={self.dep_slots!r})"
+        )
 
     @property
     def all_ready(self) -> bool:
@@ -122,7 +167,9 @@ class TaskMemory:
         entry = TaskEntry(tm_index=tm_index, task_id=task_id, num_deps=num_deps)
         self._slots[tm_index] = entry
         self._by_task_id[task_id] = tm_index
-        self._high_water = max(self._high_water, self.occupied)
+        occupied = self.entries - len(self._free)
+        if occupied > self._high_water:
+            self._high_water = occupied
         return entry
 
     def release(self, tm_index: int) -> None:

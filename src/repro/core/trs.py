@@ -10,7 +10,6 @@ towards the DCT.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.core.config import PicosConfig
@@ -28,15 +27,24 @@ from repro.core.task_memory import TaskEntry, TaskMemory
 from repro.runtime.task import Task
 
 
-@dataclass
 class ReadyResult:
-    """Outcome of delivering one ready notification to the TRS."""
+    """Outcome of delivering one ready notification to the TRS.
 
-    #: Tasks that became fully ready because of this notification.
-    execute: List[ExecuteTaskPacket] = field(default_factory=list)
-    #: Chained ready notifications the TRS emits towards earlier consumers
-    #: of the same version (routed through the Arbiter).
-    chained: List[ReadyPacket] = field(default_factory=list)
+    A ``__slots__`` class: one is allocated per ready notification, i.e.
+    per dependence of every task.
+    """
+
+    __slots__ = ("execute", "chained")
+
+    def __init__(self) -> None:
+        #: Tasks that became fully ready because of this notification.
+        self.execute: List[ExecuteTaskPacket] = []
+        #: Chained ready notifications the TRS emits towards earlier
+        #: consumers of the same version (routed through the Arbiter).
+        self.chained: List[ReadyPacket] = []
+
+    def __repr__(self) -> str:
+        return f"ReadyResult(execute={self.execute!r}, chained={self.chained!r})"
 
 
 class TaskReservationStation:
@@ -107,10 +115,20 @@ class TaskReservationStation:
     def handle_ready(self, packet: ReadyPacket) -> ReadyResult:
         """Mark one dependence slot ready and propagate chained wake-ups."""
         result = ReadyResult()
+        # One TM read serves both the entry and the slot scan (the TMX of a
+        # task holds at most a handful of dependences).
         entry = self.task_memory.entry(packet.slot.tm_index)
-        slot = self.task_memory.dependence_slot(
-            packet.slot.tm_index, packet.slot.dep_index
-        )
+        dep_index = packet.slot.dep_index
+        slot = None
+        for candidate in entry.dep_slots:
+            if candidate.dep_index == dep_index:
+                slot = candidate
+                break
+        if slot is None:
+            raise KeyError(
+                f"task at TM entry {packet.slot.tm_index} has no dependence "
+                f"slot {dep_index}"
+            )
         if slot.ready:
             # Idempotence guard: the hardware never sends two ready
             # notifications for the same slot, but being robust here keeps

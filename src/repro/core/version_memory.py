@@ -17,7 +17,6 @@ Read/Write/New Entry Request/Finished Entry Request actions like the TM.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.packets import TaskSlotRef
@@ -27,25 +26,60 @@ class VersionMemoryFullError(RuntimeError):
     """Raised when a new version is needed but every VM entry is occupied."""
 
 
-@dataclass
 class VersionEntry:
-    """One VM entry: a single live version of one dependence address."""
+    """One VM entry: a single live version of one dependence address.
 
-    vm_index: int
-    address: int
-    #: Producer slot of this version; ``None`` for a version opened by
-    #: readers before any writer appeared (all its consumers are ready).
-    producer: Optional[TaskSlotRef] = None
-    producer_finished: bool = False
-    #: Most recently arrived consumer of this version (head of the backwards
-    #: wake-up chain the DCT keeps; earlier consumers are linked through the
-    #: TMX of later ones).
-    last_consumer: Optional[TaskSlotRef] = None
-    consumers_arrived: int = 0
-    consumers_finished: int = 0
-    #: Forward producer-producer chain link (the next version of the same
-    #: address), ``None`` for the most recent version.
-    next_version: Optional[int] = None
+    A ``__slots__`` record: one is allocated per producer version of every
+    address, several times per task on write-heavy graphs.
+    """
+
+    __slots__ = (
+        "vm_index",
+        "address",
+        "producer",
+        "producer_finished",
+        "last_consumer",
+        "consumers_arrived",
+        "consumers_finished",
+        "next_version",
+    )
+
+    def __init__(
+        self,
+        vm_index: int,
+        address: int,
+        producer: Optional[TaskSlotRef] = None,
+        producer_finished: bool = False,
+        last_consumer: Optional[TaskSlotRef] = None,
+        consumers_arrived: int = 0,
+        consumers_finished: int = 0,
+        next_version: Optional[int] = None,
+    ) -> None:
+        self.vm_index = vm_index
+        self.address = address
+        #: Producer slot of this version; ``None`` for a version opened by
+        #: readers before any writer appeared (all its consumers are ready).
+        self.producer = producer
+        self.producer_finished = producer_finished
+        #: Most recently arrived consumer of this version (head of the
+        #: backwards wake-up chain the DCT keeps; earlier consumers are
+        #: linked through the TMX of later ones).
+        self.last_consumer = last_consumer
+        self.consumers_arrived = consumers_arrived
+        self.consumers_finished = consumers_finished
+        #: Forward producer-producer chain link (the next version of the
+        #: same address), ``None`` for the most recent version.
+        self.next_version = next_version
+
+    def __repr__(self) -> str:
+        return (
+            f"VersionEntry(vm_index={self.vm_index}, address={self.address:#x}, "
+            f"producer={self.producer!r}, producer_finished={self.producer_finished}, "
+            f"last_consumer={self.last_consumer!r}, "
+            f"consumers_arrived={self.consumers_arrived}, "
+            f"consumers_finished={self.consumers_finished}, "
+            f"next_version={self.next_version})"
+        )
 
     @property
     def readers_ready(self) -> bool:
@@ -105,7 +139,9 @@ class VersionMemory:
         entry = VersionEntry(vm_index=vm_index, address=address)
         self._slots[vm_index] = entry
         self._total_allocations += 1
-        self._high_water = max(self._high_water, self.occupied)
+        occupied = self.entries - len(self._free)
+        if occupied > self._high_water:
+            self._high_water = occupied
         return entry
 
     def release(self, vm_index: int) -> None:

@@ -28,6 +28,17 @@ request/session API instead of a paper figure::
 It opens a streaming session, optionally stops delivering events at a
 cycle horizon (``--until-cycle``, the early-abort scenario) and prints the
 lifecycle-event head plus the session statistics and final result summary.
+
+``picos-experiment bench`` times the simulators themselves (wall-clock
+seconds, engine events per second, peak RSS) and snapshots the numbers as
+``BENCH_<date>.json`` at the repository root::
+
+    picos-experiment bench                      # the full default matrix
+    picos-experiment bench --quick              # the CI smoke matrix
+    picos-experiment bench --compare BENCH_2026-07-01.json
+
+``--compare`` additionally diffs the fresh run against an earlier
+snapshot, flagging wall-time regressions cell by cell.
 """
 
 from __future__ import annotations
@@ -240,6 +251,53 @@ def run_simulate(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def run_bench_command(args: argparse.Namespace) -> int:
+    """Time the simulators and snapshot/compare the numbers (see module docs)."""
+    import dataclasses as _dataclasses
+
+    from repro.bench import (
+        BenchSpec,
+        compare_documents,
+        default_specs,
+        load_bench_document,
+        render_comparison,
+        render_results,
+        run_bench,
+        write_bench_file,
+    )
+
+    # Load the baseline before writing anything: the default output name is
+    # date-stamped, so a same-day --compare target would otherwise be
+    # overwritten before it was read.
+    baseline = load_bench_document(args.compare) if args.compare else None
+    specs = default_specs(quick=args.quick)
+    if args.backend:
+        specs = [
+            _dataclasses.replace(spec, backends=(args.backend,)) for spec in specs
+        ]
+    if args.repeats > 1:
+        specs = [_dataclasses.replace(spec, repeats=args.repeats) for spec in specs]
+    results = run_bench(specs, progress=print)
+    print()
+    print(render_results(results))
+    if args.output:
+        out_path = write_bench_file(
+            results,
+            directory=os.path.dirname(args.output) or ".",
+            file_name=os.path.basename(args.output),
+        )
+    else:
+        out_path = write_bench_file(results)
+    print(f"\nwrote {out_path}")
+    if baseline is not None:
+        comparisons, only_old, only_new = compare_documents(
+            baseline, load_bench_document(out_path)
+        )
+        print(f"\ncomparison against {args.compare}:")
+        print(render_comparison(comparisons, only_old, only_new))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the command-line argument parser."""
     parser = argparse.ArgumentParser(
@@ -248,10 +306,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "backends", "simulate"],
+        choices=sorted(EXPERIMENTS) + ["all", "backends", "simulate", "bench"],
         help="which table/figure to reproduce ('all' for every one, "
         "'backends' to list the simulator backends, 'simulate' to drive "
-        "one workload through the streaming session API)",
+        "one workload through the streaming session API, 'bench' to time "
+        "the simulators and write a BENCH_<date>.json snapshot)",
     )
     parser.add_argument(
         "--quick",
@@ -334,6 +393,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="print the first K lifecycle events of the run",
     )
+    bench = parser.add_argument_group(
+        "bench", "options for the 'bench' performance-snapshot command"
+    )
+    bench.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="where to write the benchmark snapshot "
+        "(default: ./BENCH_<today>.json)",
+    )
+    bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="PATH",
+        help="diff the fresh run against an earlier BENCH_*.json snapshot",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        metavar="N",
+        help="timing repeats per cell; the best wall time is kept (default: 1)",
+    )
     return parser
 
 
@@ -364,6 +446,14 @@ def main(argv: Optional[list] = None) -> int:
             return 2
         print(run_simulate(args))
         return 0
+    if args.experiment == "bench":
+        if args.backend is not None and args.backend not in describe_backends():
+            print(f"unknown backend {args.backend!r}", file=sys.stderr)
+            print(render_backends(), file=sys.stderr)
+            return 2
+        if args.repeats < 1:
+            raise SystemExit("--repeats must be at least 1")
+        return run_bench_command(args)
     if args.backend is not None and args.backend not in describe_backends():
         print(f"unknown backend {args.backend!r}", file=sys.stderr)
         print(render_backends(), file=sys.stderr)

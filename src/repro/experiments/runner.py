@@ -347,11 +347,36 @@ class ResultCache:
 
     Writes are atomic (temp file + :func:`os.replace`), so a crashed or
     interrupted run never leaves a half-written entry behind, and two
-    concurrent runs at worst do the same work twice.
+    concurrent runs at worst do the same work twice.  A write that fails
+    mid-dump removes its own temp file before the error propagates, and the
+    constructor sweeps temp files old enough to be orphans of a killed
+    process (age guards the sweep so a concurrent run's in-flight write is
+    never yanked out from under it).
     """
+
+    #: Temp files older than this are considered orphaned by a dead writer
+    #: (an in-flight cache write lasts milliseconds, not minutes).
+    STALE_TEMP_SECONDS = 600.0
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
+        self._sweep_stale_temp_files()
+
+    def _sweep_stale_temp_files(self) -> None:
+        """Delete orphaned ``*.tmp.<pid>`` files left by crashed writers."""
+        if not self.directory.is_dir():
+            return
+        import time
+
+        cutoff = time.time() - self.STALE_TEMP_SECONDS
+        for temporary in self.directory.glob("*/*.tmp.*"):
+            try:
+                if temporary.stat().st_mtime < cutoff:
+                    temporary.unlink()
+            except OSError:
+                # Another sweep got there first, or the writer completed
+                # its os.replace between our glob and stat; both are fine.
+                continue
 
     def path_for(self, key: str) -> Path:
         # Two-level fan-out keeps directories small for big sweeps.
@@ -381,9 +406,18 @@ class ResultCache:
             "result": result,
         }
         temporary = path.with_suffix(f".tmp.{os.getpid()}")
-        with temporary.open("w", encoding="utf-8") as stream:
-            json.dump(document, stream, sort_keys=True, indent=1)
-        os.replace(temporary, path)
+        try:
+            with temporary.open("w", encoding="utf-8") as stream:
+                json.dump(document, stream, sort_keys=True, indent=1)
+            os.replace(temporary, path)
+        except BaseException:
+            # A failed dump (unserialisable value, full disk, interrupt)
+            # must not leak its half-written temp file into the cache tree.
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
+            raise
         return path
 
     def __len__(self) -> int:

@@ -33,12 +33,14 @@ class Direction(enum.Enum):
     @property
     def reads(self) -> bool:
         """``True`` if a dependence with this direction reads the data."""
-        return self in (Direction.IN, Direction.INOUT)
+        # Identity checks instead of tuple membership: this property runs
+        # once or twice per dependence of every simulated task.
+        return self is Direction.IN or self is Direction.INOUT
 
     @property
     def writes(self) -> bool:
         """``True`` if a dependence with this direction writes the data."""
-        return self in (Direction.OUT, Direction.INOUT)
+        return self is Direction.OUT or self is Direction.INOUT
 
     @classmethod
     def parse(cls, text: str) -> "Direction":

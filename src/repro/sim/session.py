@@ -159,6 +159,9 @@ class SimulationSession:
         self._ready_seen = 0
         self._retired_seen = 0
         self._current_cycle = 0
+        #: Horizon of the most recent ``events(until_cycle=...)`` request;
+        #: ``stats`` clamps its cycle snapshot to it (``None`` = unlimited).
+        self._horizon: Optional[int] = None
 
     # ------------------------------------------------------------------
     # incremental submission
@@ -224,9 +227,20 @@ class SimulationSession:
         iterator stopped, so a consumer can alternate between draining
         events and inspecting :meth:`stats`.  ``until_cycle`` withholds
         events stamped after the horizon (early abort): the remaining
-        events stay pending and a later call can keep going.
+        events stay pending and a later call can keep going.  The horizon
+        also caps the cycle snapshot :meth:`stats` reports until a later
+        call moves (or lifts) it.
         """
+        # Recording the horizon must happen at call time, not at first
+        # ``next()``, so a stats() between the call and consumption already
+        # sees the requested cap; hence the inner generator.
+        self._horizon = until_cycle
         events = self._ensure_events()
+        return self._deliver(events, until_cycle)
+
+    def _deliver(
+        self, events: List[SessionEvent], until_cycle: Optional[int]
+    ) -> Iterator[SessionEvent]:
         while self._delivered < len(events):
             event = events[self._delivered]
             if until_cycle is not None and event.cycle > until_cycle:
@@ -240,20 +254,30 @@ class SimulationSession:
             yield event
 
     def stats(self) -> SessionStats:
-        """A progress snapshot (valid in any state, including mid-stream)."""
+        """A progress snapshot (valid in any state, including mid-stream).
+
+        ``current_cycle`` never exceeds the horizon of the most recent
+        ``events(until_cycle=...)`` request: an early-aborting consumer
+        asked to see nothing beyond that cycle, so the snapshot must not
+        leak a clock position past it (which the raw last-delivered-event
+        cycle does when a later request shrinks the horizon).
+        """
         if self._result is not None:
             state = STATE_FINISHED
         elif self._sealed:
             state = STATE_SEALED
         else:
             state = STATE_OPEN
+        current_cycle = self._current_cycle
+        if self._horizon is not None and current_cycle > self._horizon:
+            current_cycle = self._horizon
         return SessionStats(
             state=state,
             tasks_submitted=self._source_program.num_tasks + len(self._streamed),
             events_delivered=self._delivered,
             tasks_ready=self._ready_seen,
             tasks_retired=self._retired_seen,
-            current_cycle=self._current_cycle,
+            current_cycle=current_cycle,
             makespan=self._result.makespan if self._result is not None else None,
         )
 

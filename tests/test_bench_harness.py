@@ -1,0 +1,213 @@
+"""Tests for the performance-tracking subsystem (``repro.bench``)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchResult,
+    BenchSpec,
+    bench_document,
+    bench_file_name,
+    compare_documents,
+    default_specs,
+    load_bench_document,
+    render_comparison,
+    render_results,
+    run_bench,
+    run_spec,
+    write_bench_file,
+)
+from repro.sim.backend import BUILTIN_BACKENDS
+
+
+SMOKE_SPEC = BenchSpec(
+    workload="cholesky",
+    block_size=128,
+    problem_size=512,
+    worker_counts=(2,),
+)
+
+
+class TestBenchSpec:
+    def test_defaults_cover_all_builtin_backends(self):
+        assert SMOKE_SPEC.backends == BUILTIN_BACKENDS
+
+    def test_requests_enumerate_backends_by_workers(self):
+        spec = BenchSpec(
+            workload="case1", backends=("nanos", "perfect"), worker_counts=(1, 2)
+        )
+        cells = [(r.backend, r.num_workers) for r in spec.requests()]
+        assert cells == [("nanos", 1), ("nanos", 2), ("perfect", 1), ("perfect", 2)]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workload": ""},
+            {"workload": "case1", "backends": ()},
+            {"workload": "case1", "worker_counts": ()},
+            {"workload": "case1", "worker_counts": (0,)},
+            {"workload": "case1", "repeats": 0},
+        ],
+    )
+    def test_invalid_specs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BenchSpec(**kwargs)
+
+    def test_default_matrix_covers_the_registered_apps(self):
+        from repro.apps.registry import benchmark_names
+
+        specs = default_specs()
+        workloads = {spec.workload for spec in specs}
+        assert workloads == set(benchmark_names()) - {"mlu"}
+        # ... and the quick matrix stays a single small workload.
+        quick = default_specs(quick=True)
+        assert len(quick) == 1 and quick[0].backends == BUILTIN_BACKENDS
+
+
+class TestRunSpec:
+    def test_rows_record_work_and_cost(self):
+        rows = run_spec(SMOKE_SPEC)
+        assert len(rows) == len(BUILTIN_BACKENDS)
+        by_backend = {row.backend: row for row in rows}
+        assert set(by_backend) == set(BUILTIN_BACKENDS)
+        for row in rows:
+            assert row.wall_seconds > 0
+            assert row.events_per_second > 0
+            assert row.num_tasks > 0
+            assert row.makespan > 0
+        # The engine-backed simulators report real event counts; the
+        # roofline falls back to the lifecycle estimate.
+        assert not by_backend["hil-full"].events_estimated
+        assert not by_backend["nanos"].events_estimated
+        assert by_backend["perfect"].events_estimated
+        assert (
+            by_backend["perfect"].events_processed
+            == 3 * by_backend["perfect"].num_tasks
+        )
+
+    def test_progress_callback_sees_every_cell(self):
+        lines = []
+        rows = run_spec(
+            dataclasses.replace(SMOKE_SPEC, backends=("perfect", "nanos")),
+            progress=lines.append,
+        )
+        assert len(lines) == len(rows) == 2
+
+    def test_run_bench_concatenates_specs_in_order(self):
+        first = dataclasses.replace(SMOKE_SPEC, backends=("perfect",))
+        second = dataclasses.replace(SMOKE_SPEC, backends=("nanos",))
+        rows = run_bench([first, second])
+        assert [row.backend for row in rows] == ["perfect", "nanos"]
+
+
+class TestBenchDocuments:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        rows = run_spec(dataclasses.replace(SMOKE_SPEC, backends=("perfect",)))
+        path = write_bench_file(rows, directory=tmp_path)
+        assert path.name == bench_file_name()
+        document = load_bench_document(path)
+        assert document["schema"] == BENCH_SCHEMA_VERSION
+        loaded = [BenchResult.from_dict(r) for r in document["results"]]
+        assert loaded == rows
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "BENCH_bogus.json"
+        path.write_text(json.dumps({"schema": 999, "results": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_bench_document(path)
+
+    def test_load_rejects_non_bench_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="not a bench document"):
+            load_bench_document(path)
+
+    def test_document_carries_provenance(self):
+        document = bench_document([])
+        assert document["schema"] == BENCH_SCHEMA_VERSION
+        for key in ("created", "package_version", "python", "platform"):
+            assert document[key]
+
+
+def _row(backend: str, wall: float) -> BenchResult:
+    return BenchResult(
+        workload="cholesky",
+        block_size=128,
+        problem_size=512,
+        backend=backend,
+        num_workers=2,
+        wall_seconds=wall,
+        events_processed=1000,
+        events_per_second=1000 / wall,
+        tasks_per_second=100 / wall,
+        events_estimated=False,
+        makespan=123,
+        num_tasks=100,
+        peak_rss_kb=1024,
+    )
+
+
+class TestCompare:
+    def test_speedups_and_regressions_are_flagged(self):
+        old = bench_document([_row("hil-full", 2.0), _row("nanos", 1.0)])
+        new = bench_document([_row("hil-full", 1.0), _row("nanos", 2.0)])
+        comparisons, only_old, only_new = compare_documents(old, new, threshold=0.25)
+        assert not only_old and not only_new
+        by_label = {c.label: c for c in comparisons}
+        faster = by_label["cholesky/128@512 hil-full w2"]
+        slower = by_label["cholesky/128@512 nanos w2"]
+        assert faster.speedup == pytest.approx(2.0) and not faster.regressed
+        assert slower.speedup == pytest.approx(0.5) and slower.regressed
+
+    def test_slowdown_within_threshold_is_not_a_regression(self):
+        old = bench_document([_row("hil-full", 1.0)])
+        new = bench_document([_row("hil-full", 1.2)])
+        comparisons, _, _ = compare_documents(old, new, threshold=0.25)
+        assert not comparisons[0].regressed
+
+    def test_unmatched_cells_are_reported_not_compared(self):
+        old = bench_document([_row("hil-full", 1.0)])
+        new = bench_document([_row("nanos", 1.0)])
+        comparisons, only_old, only_new = compare_documents(old, new)
+        assert comparisons == []
+        assert only_old == ["cholesky/128@512 hil-full w2"]
+        assert only_new == ["cholesky/128@512 nanos w2"]
+
+    def test_renderers_produce_report_tables(self):
+        rows = [_row("hil-full", 1.0)]
+        assert "hil-full" in render_results(rows)
+        comparisons, only_old, only_new = compare_documents(
+            bench_document(rows), bench_document(rows)
+        )
+        rendered = render_comparison(comparisons, only_old, only_new)
+        assert "1.00x" in rendered and "0 regression(s)" in rendered
+
+
+class TestBenchCLI:
+    def test_cli_bench_quick_writes_snapshot_and_compares(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        first = tmp_path / "BENCH_first.json"
+        second = tmp_path / "BENCH_second.json"
+        assert main(["bench", "--quick", "--output", str(first)]) == 0
+        assert first.is_file()
+        assert main(
+            ["bench", "--quick", "--output", str(second), "--compare", str(first)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert "cells compared" in out
+        document = load_bench_document(second)
+        backends = {row["backend"] for row in document["results"]}
+        assert backends == set(BUILTIN_BACKENDS)
+
+    def test_cli_bench_rejects_unknown_backend(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["bench", "--backend", "nope"]) == 2
+        assert "unknown backend" in capsys.readouterr().err

@@ -109,3 +109,81 @@ class TestSilentKwargSwallowingIsGone:
             program, num_workers=2, backend="hil-hw", policy=SchedulingPolicy.LIFO
         )
         assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+class TestWarningAttribution:
+    """Shim warnings must point at the caller's line, not inside the shim.
+
+    ``stacklevel`` regressions are invisible to message-matching tests, so
+    these assert the *filename* each warning is attributed to: it must be
+    this test file (the caller), never ``repro/sim/driver.py``.
+    """
+
+    def test_mode_warning_points_at_the_caller(self, program):
+        with pytest.warns(DeprecationWarning, match="mode=HILMode") as records:
+            simulate_program(program, num_workers=2, mode=HILMode.HW_ONLY)
+        record = [r for r in records if "mode=HILMode" in str(r.message)][0]
+        assert record.filename == __file__
+
+    def test_dropped_parameter_warning_points_at_the_caller(self, program):
+        with pytest.warns(DeprecationWarning, match="does not accept") as records:
+            simulate_program(
+                program, num_workers=2, backend="nanos", config=PicosConfig()
+            )
+        record = [r for r in records if "does not accept" in str(r.message)][0]
+        assert record.filename == __file__
+
+    def test_sweep_warning_points_at_the_caller(self, program):
+        with pytest.warns(DeprecationWarning, match="simulate_worker_sweep") as records:
+            simulate_worker_sweep(program, (1,), backend="hil-hw")
+        record = [
+            r for r in records if "simulate_worker_sweep" in str(r.message)
+        ][0]
+        assert record.filename == __file__
+
+    def test_sweep_suppression_is_scoped_to_the_shim(self, program):
+        """The sweep mutes its own per-point warnings, nobody else's.
+
+        A backend that emits its own DeprecationWarning mid-simulation must
+        still be heard through ``simulate_worker_sweep`` -- the historical
+        blanket ``simplefilter("ignore")`` swallowed it.
+        """
+        import warnings
+
+        from repro.sim.backend import register_backend, unregister_backend
+        from repro.sim.results import SimulationResult
+
+        class NoisyBackend:
+            name = "noisy-deprecated"
+            description = "backend that warns during simulate"
+            accepts = frozenset()
+
+            def simulate(self, program, *, num_workers=12, **kwargs):
+                warnings.warn(
+                    "NoisyBackend.simulate is deprecated",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                return SimulationResult(
+                    simulator=self.name,
+                    program_name=program.name,
+                    num_workers=num_workers,
+                    makespan=1,
+                    sequential_cycles=program.sequential_cycles,
+                    num_tasks=program.num_tasks,
+                )
+
+        register_backend(NoisyBackend())
+        try:
+            with pytest.warns(DeprecationWarning) as records:
+                simulate_worker_sweep(
+                    program, (1, 2), backend="noisy-deprecated", mode=None
+                )
+            messages = [str(r.message) for r in records]
+            assert any("NoisyBackend" in m for m in messages)
+            # The sweep's own per-point warnings stay collapsed into the
+            # single sweep-level notice.
+            sweep_level = [m for m in messages if "simulate_worker_sweep" in m]
+            assert len(sweep_level) == 1
+        finally:
+            unregister_backend("noisy-deprecated")

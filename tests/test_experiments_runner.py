@@ -338,3 +338,53 @@ class TestExperimentIntegration:
             options=RunnerOptions(jobs=3, cache_dir=tmp_path),
         )
         assert serial == parallel
+
+
+class TestCacheTempHygiene:
+    """Failed writes must not leak ``*.tmp.<pid>`` files into the cache."""
+
+    def _point(self):
+        return TINY_SPEC.expand()[0]
+
+    def test_failed_dump_removes_its_temp_file_and_reraises(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        point = self._point()
+
+        def exploding_dump(*args, **kwargs):
+            raise RuntimeError("disk full mid-write")
+
+        monkeypatch.setattr(runner.json, "dump", exploding_dump)
+        with pytest.raises(RuntimeError, match="disk full"):
+            cache.put("ab" * 12, point, {"kind": "simulate"})
+        leftovers = list(tmp_path.rglob("*.tmp.*"))
+        assert leftovers == []
+        # The entry itself must not exist either (nothing was replaced in).
+        assert cache.get("ab" * 12) is None
+
+    def test_constructor_sweeps_stale_temp_files(self, tmp_path):
+        import os
+        import time
+
+        stale = tmp_path / "ab" / "abcdef.tmp.12345"
+        stale.parent.mkdir(parents=True)
+        stale.write_text("{half-written")
+        old = time.time() - 2 * ResultCache.STALE_TEMP_SECONDS
+        os.utime(stale, (old, old))
+        ResultCache(tmp_path)
+        assert not stale.exists()
+
+    def test_constructor_keeps_fresh_temp_files(self, tmp_path):
+        # A recent temp file may belong to a concurrent writer mid-flight;
+        # the sweep must leave it alone.
+        fresh = tmp_path / "cd" / "cdef01.tmp.54321"
+        fresh.parent.mkdir(parents=True)
+        fresh.write_text("{in-flight")
+        ResultCache(tmp_path)
+        assert fresh.exists()
+
+    def test_successful_put_leaves_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" * 12
+        cache.put(key, self._point(), {"kind": "simulate"})
+        assert list(tmp_path.rglob("*.tmp.*")) == []
+        assert cache.get(key) == {"kind": "simulate"}

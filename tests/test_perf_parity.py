@@ -1,0 +1,183 @@
+"""Cycle-identity of the optimized simulation core.
+
+The engine/hot-path optimizations (``__slots__`` events, handler-table
+dispatch, same-cycle completion batching, memoized DM indexing) must not
+move a single cycle.  Two independent nets pin that down:
+
+* **golden digests** -- every backend's full result (makespan, drain time
+  and all per-task timelines) is digested and compared against values
+  recorded from the pre-optimization engine, so any behavioural drift in
+  the optimized code fails loudly;
+* **reference-loop parity** -- the HIL and Nanos++ simulators keep an
+  event-per-event reference delivery mode (``batch_completions=False``);
+  batched and reference runs must produce field-for-field identical
+  results.  This is the check the CI bench job replays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.hashing import index_for, make_index_function, stable_digest
+from repro.runtime.nanos import NanosRuntimeSimulator
+from repro.sim.backend import BUILTIN_BACKENDS
+from repro.sim.driver import simulate_request
+from repro.sim.hil import HILMode, HILSimulator
+from repro.sim.request import SimulationRequest, build_workload
+
+
+def result_digest(result) -> str:
+    """Stable digest of everything cycle-related in a simulation result."""
+    parts = [
+        result.simulator,
+        result.num_workers,
+        result.makespan,
+        result.drain_time,
+        result.num_tasks,
+        result.sequential_cycles,
+    ]
+    for task_id in sorted(result.timelines):
+        t = result.timelines[task_id]
+        parts.append(
+            (t.task_id, t.created, t.submitted, t.ready, t.started, t.finished)
+        )
+    return stable_digest(*parts)
+
+
+#: (workload, block_size, problem_size, backend, num_workers) ->
+#: (makespan, digest), recorded from the engine as of PR 2 (commit
+#: 60e6fea), before any hot-path optimization.
+GOLDEN = {
+    ("case3", None, None, "hil-comm", 1): (74736, "c4c81164e2d9072ab62ef088"),
+    ("case3", None, None, "hil-comm", 4): (74798, "cab14620219a88387ca7bb9c"),
+    ("case3", None, None, "hil-full", 1): (341235, "5723313a93d36f6b5823dd53"),
+    ("case3", None, None, "hil-full", 4): (341545, "8e1b650d3546c7c8e483db21"),
+    ("case3", None, None, "hil-hw", 1): (25200, "6272f2d9d329a22a411d891f"),
+    ("case3", None, None, "hil-hw", 4): (25200, "a27ada696659f89db0952892"),
+    ("case3", None, None, "nanos", 1): (3181100, "c4da7d611c27e3252009d71b"),
+    ("case3", None, None, "nanos", 4): (3701117, "f20a64bed8b20bc74c465051"),
+    ("case3", None, None, "perfect", 1): (100, "3480ac05a1b7214ca1a2617c"),
+    ("case3", None, None, "perfect", 4): (25, "a838124dd0a7e97c92b77e1d"),
+    ("cholesky", 128, 512, "hil-comm", 1): (19431389, "35b3d1c7e123992b2ea774e8"),
+    ("cholesky", 128, 512, "hil-comm", 4): (8806141, "18074018760dbfdfda88cf4c"),
+    ("cholesky", 128, 512, "hil-full", 1): (19436179, "dfe5f4d05c98b071eb119f16"),
+    ("cholesky", 128, 512, "hil-full", 4): (8810931, "a0d43976864e96728cf6252b"),
+    ("cholesky", 128, 512, "hil-hw", 1): (19420455, "254e79c74fb9826b7980fcac"),
+    ("cholesky", 128, 512, "hil-hw", 4): (8800217, "81309debdc49f1b421d7c085"),
+    ("cholesky", 128, 512, "nanos", 1): (19589396, "4c7b47b75be7ece727a25b56"),
+    ("cholesky", 128, 512, "nanos", 4): (8223656, "95ee3cb6032a9031be29421b"),
+    ("cholesky", 128, 512, "perfect", 1): (19419996, "69432d535d09db6098c7580a"),
+    ("cholesky", 128, 512, "perfect", 4): (8799686, "554e452af9cc46ec2b34f774"),
+    ("sparselu", 128, 512, "hil-comm", 1): (56688106, "d0bc6c3eeec439a6e6e65d6d"),
+    ("sparselu", 128, 512, "hil-comm", 4): (45093730, "4a67d4a9cd6f92106fbd6b12"),
+    ("sparselu", 128, 512, "hil-full", 1): (56692896, "0c53063325aa2f8b6ee447c3"),
+    ("sparselu", 128, 512, "hil-full", 4): (45098520, "87a2035b7f7b3456f64fed42"),
+    ("sparselu", 128, 512, "hil-hw", 1): (56680630, "76acdf2f9bfb9e5b7df06f26"),
+    ("sparselu", 128, 512, "hil-hw", 4): (45087121, "c087d41a15dceaf0f056d01e"),
+    ("sparselu", 128, 512, "nanos", 1): (56788099, "c7e183be180c80a29fb26949"),
+    ("sparselu", 128, 512, "nanos", 4): (45119974, "c2cc9231658562210ffa281f"),
+    ("sparselu", 128, 512, "perfect", 1): (56679999, "32f2486e570b004341f670b2"),
+    ("sparselu", 128, 512, "perfect", 4): (45086364, "0af3fcc9cf0410b8edb3c019"),
+}
+
+
+class TestGoldenDigests:
+    @pytest.mark.parametrize(
+        "workload,block_size,problem_size,backend,workers",
+        sorted(GOLDEN, key=repr),
+    )
+    def test_optimized_engine_matches_pre_optimization_results(
+        self, workload, block_size, problem_size, backend, workers
+    ):
+        expected_makespan, expected_digest = GOLDEN[
+            (workload, block_size, problem_size, backend, workers)
+        ]
+        result = simulate_request(
+            SimulationRequest.for_workload(
+                workload,
+                block_size=block_size,
+                problem_size=problem_size,
+                backend=backend,
+                num_workers=workers,
+            )
+        )
+        assert result.makespan == expected_makespan
+        assert result_digest(result) == expected_digest
+
+
+class TestReferenceLoopParity:
+    """Batched completion delivery is cycle-identical to event-per-event."""
+
+    @pytest.mark.parametrize("mode", list(HILMode))
+    @pytest.mark.parametrize("workers", [1, 3, 8])
+    def test_hil_batched_matches_reference(self, mode, workers):
+        program = build_workload("cholesky", 128, 512)
+        batched = HILSimulator(
+            program, mode=mode, num_workers=workers, batch_completions=True
+        ).run()
+        reference = HILSimulator(
+            program, mode=mode, num_workers=workers, batch_completions=False
+        ).run()
+        assert dataclasses.asdict(batched) == dataclasses.asdict(reference)
+
+    @pytest.mark.parametrize("workers", [1, 3, 8])
+    def test_nanos_batched_matches_reference(self, workers):
+        program = build_workload("sparselu", 128, 512)
+        batched = NanosRuntimeSimulator(
+            program, workers, batch_completions=True
+        ).run()
+        reference = NanosRuntimeSimulator(
+            program, workers, batch_completions=False
+        ).run()
+        assert dataclasses.asdict(batched) == dataclasses.asdict(reference)
+
+    def test_every_builtin_backend_has_a_golden_row(self):
+        covered = {key[3] for key in GOLDEN}
+        assert covered == set(BUILTIN_BACKENDS)
+
+
+class TestMemoizedIndexing:
+    """The per-address index memo computes exactly what index_for computes."""
+
+    @pytest.mark.parametrize("use_pearson", [False, True])
+    @pytest.mark.parametrize("num_sets", [1, 16, 64])
+    def test_memoized_index_matches_reference(self, use_pearson, num_sets):
+        index = make_index_function(use_pearson, num_sets)
+        addresses = [0, 1, 63, 64, 0x1000, 0xDEAD_BEEF, 2**40 + 12345]
+        # Two passes: the second hits the memo and must agree with the first.
+        for _ in range(2):
+            for address in addresses:
+                assert index(address) == index_for(address, use_pearson, num_sets)
+
+    def test_index_caches_are_per_instance(self):
+        # Differently-sized memories must never share memo entries.
+        a = make_index_function(True, 64)
+        b = make_index_function(True, 16)
+        assert a(0x1234) == index_for(0x1234, True, 64)
+        assert b(0x1234) == index_for(0x1234, True, 16)
+
+    def test_rejects_non_positive_set_count(self):
+        with pytest.raises(ValueError):
+            make_index_function(True, 0)
+
+
+class TestEventsProcessedCounter:
+    def test_hil_and_nanos_report_engine_event_counts(self):
+        program = build_workload("case3")
+        hil = HILSimulator(program, mode=HILMode.HW_ONLY, num_workers=2).run()
+        nanos = NanosRuntimeSimulator(program, 2).run()
+        # Every task contributes at least a visibility and a completion
+        # event, so the counter is bounded below by the task count.
+        assert hil.counters["events_processed"] >= program.num_tasks
+        assert nanos.counters["events_processed"] >= program.num_tasks
+
+    def test_batched_delivery_counts_every_event(self):
+        program = build_workload("cholesky", 128, 512)
+        batched = HILSimulator(program, num_workers=4, batch_completions=True).run()
+        reference = HILSimulator(program, num_workers=4, batch_completions=False).run()
+        assert (
+            batched.counters["events_processed"]
+            == reference.counters["events_processed"]
+        )

@@ -268,3 +268,60 @@ class TestNativeEarlyAbort:
         )
         assert stopped.completed_all()
         assert stopped.makespan == full.makespan
+
+
+class TestHorizonClampedStats:
+    """stats() never reports a cycle snapshot past the requested horizon."""
+
+    def test_shrinking_horizon_clamps_the_cycle_snapshot(self, cholesky_small):
+        session = _stream_through_session(cholesky_small, "hil-hw", 4)
+        makespan = session.result().makespan
+        first_horizon = makespan // 2
+        consumed = list(session.events(until_cycle=first_horizon))
+        assert consumed
+        # A later, *smaller* horizon delivers nothing new -- and the
+        # snapshot must respect it rather than leaking the clock position
+        # of the earlier, larger request.
+        second_horizon = first_horizon // 4
+        assert list(session.events(until_cycle=second_horizon)) == []
+        snapshot = session.stats()
+        assert snapshot.current_cycle <= second_horizon
+
+    def test_horizon_is_recorded_at_call_time(self, cholesky_small):
+        session = _stream_through_session(cholesky_small, "hil-hw", 4)
+        makespan = session.result().makespan
+        list(session.events(until_cycle=makespan))  # drain everything
+        # Requesting a tiny horizon caps the snapshot even before the
+        # returned iterator is consumed.
+        session.events(until_cycle=1)
+        assert session.stats().current_cycle <= 1
+
+    def test_full_drain_lifts_the_clamp(self, cholesky_small):
+        session = _stream_through_session(cholesky_small, "hil-hw", 4)
+        makespan = session.result().makespan
+        list(session.events(until_cycle=makespan // 2))
+        remaining = list(session.events())  # horizon lifted
+        assert remaining
+        assert session.stats().current_cycle == makespan
+
+    @pytest.mark.parametrize("backend", sorted(BUILTIN_BACKENDS))
+    def test_streamed_stats_match_batch_results_when_drained(
+        self, backend, cholesky_small
+    ):
+        batch = simulate_request(
+            SimulationRequest.for_program(
+                cholesky_small, backend=backend, num_workers=4
+            )
+        )
+        session = _stream_through_session(cholesky_small, backend, 4)
+        events = list(session.events())
+        snapshot = session.stats()
+        # Batch parity extends to the stats surface: the drained stream
+        # reports exactly what the batch result implies.
+        assert snapshot.state == "finished"
+        assert snapshot.makespan == batch.makespan
+        assert snapshot.current_cycle == batch.makespan
+        assert snapshot.tasks_submitted == batch.num_tasks
+        assert snapshot.tasks_retired == batch.num_tasks
+        assert snapshot.tasks_ready == batch.num_tasks
+        assert snapshot.events_delivered == len(events) == 3 * batch.num_tasks

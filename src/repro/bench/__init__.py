@@ -13,6 +13,10 @@ perf regression shows up as a reviewable table (``picos-experiment bench
 
 from repro.bench.harness import (
     BENCH_SCHEMA_VERSION,
+    DEFAULT_REGRESSION_THRESHOLD,
+    GATE_SPEC,
+    HEADLINE_SPEC,
+    QUICK_SPEC,
     BenchComparison,
     BenchResult,
     BenchSpec,
@@ -20,6 +24,7 @@ from repro.bench.harness import (
     bench_file_name,
     compare_documents,
     default_specs,
+    gate_specs,
     load_bench_document,
     render_comparison,
     render_results,
@@ -30,6 +35,10 @@ from repro.bench.harness import (
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "DEFAULT_REGRESSION_THRESHOLD",
+    "GATE_SPEC",
+    "HEADLINE_SPEC",
+    "QUICK_SPEC",
     "BenchComparison",
     "BenchResult",
     "BenchSpec",
@@ -37,6 +46,7 @@ __all__ = [
     "bench_file_name",
     "compare_documents",
     "default_specs",
+    "gate_specs",
     "load_bench_document",
     "render_comparison",
     "render_results",

@@ -223,25 +223,59 @@ def run_bench(
     return results
 
 
+#: The CI smoke matrix: a small Cholesky on every backend at two worker
+#: counts.  Also part of the full matrix, so a committed full snapshot is
+#: directly comparable against the quick run the CI bench job executes.
+QUICK_SPEC = BenchSpec(
+    workload="cholesky",
+    block_size=128,
+    problem_size=1024,
+    worker_counts=(2, 8),
+)
+
+#: The headline optimization target tracked in ROADMAP: full-system
+#: Cholesky at block size 32 on 32 workers (45 760 tasks), the cell where
+#: engine overhead dominates wall time.
+HEADLINE_SPEC = BenchSpec(
+    workload="cholesky",
+    block_size=32,
+    backends=("hil-full",),
+    worker_counts=(32,),
+)
+
+
+#: The regression-gate matrix: few cells, each hundreds of milliseconds of
+#: simulation, so a 15% wall-time change is signal rather than timer noise
+#: (the quick cells run in single-digit milliseconds and would flake any
+#: relative threshold).  Every gate cell is part of the full default
+#: matrix, so any committed snapshot can serve as the gate baseline.
+GATE_SPEC = BenchSpec(
+    workload="cholesky",
+    block_size=64,
+    backends=("hil-full", "hil-hw"),
+    worker_counts=(8, 32),
+)
+
+
+def gate_specs() -> List[BenchSpec]:
+    """The matrix the CI regression gate times (see :data:`GATE_SPEC`)."""
+    return [GATE_SPEC]
+
+
 def default_specs(quick: bool = False) -> List[BenchSpec]:
     """The standard bench matrix.
 
     The default covers every registered application at its coarsest block
-    size across all five backends plus a finer-grained Cholesky "hot loop"
-    spec (the optimization target of the engine work: enough tasks that
-    simulator overhead, not program generation, dominates).  ``quick``
-    shrinks the matrix to a small Cholesky on every backend at two worker
-    counts -- the CI smoke configuration.
+    size across all five backends, a finer-grained Cholesky "hot loop"
+    spec, the CI smoke cells (:data:`QUICK_SPEC`) and the headline
+    full-system cell (:data:`HEADLINE_SPEC`) -- the optimization targets of
+    the engine work: enough tasks that simulator overhead, not program
+    generation, dominates.  ``quick`` shrinks the matrix to the smoke cells
+    alone -- the CI configuration, comparable against any committed full
+    snapshot.
     """
     if quick:
-        return [
-            BenchSpec(
-                workload="cholesky",
-                block_size=128,
-                problem_size=1024,
-                worker_counts=(2, 8),
-            )
-        ]
+        return [QUICK_SPEC]
     from repro.apps.registry import benchmark_names, registered_block_sizes
 
     specs = [
@@ -250,6 +284,8 @@ def default_specs(quick: bool = False) -> List[BenchSpec]:
         if name != "mlu"  # mlu shares lu's trace shape; skip the duplicate
     ]
     specs.append(BenchSpec(workload="cholesky", block_size=64))
+    specs.append(QUICK_SPEC)
+    specs.append(HEADLINE_SPEC)
     return specs
 
 

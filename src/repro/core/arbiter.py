@@ -33,20 +33,66 @@ class Arbiter:
     # ------------------------------------------------------------------
     # routing decisions
     # ------------------------------------------------------------------
-    def dct_for_address(self, address: int) -> int:
-        """DCT instance responsible for tracking ``address``.
+    def dct_index_for(self, address: int) -> int:
+        """Pure routing decision: which DCT tracks ``address``.
 
         The mapping must be a pure function of the address so every access
         to the same data is matched by the same DCT; a Pearson fold keeps
         the distribution balanced even for block-aligned address streams.
+        No traffic is accounted -- the batched Gateway uses this to group
+        a task's dependences into same-bank runs and accounts the messages
+        only for the dependences actually delivered to the DCT
+        (:meth:`count_dct_messages`).
         """
         if self.num_dct == 1:
-            index = 0
-        else:
-            index = pearson_fold(address) % self.num_dct
+            return 0
+        return pearson_fold(address) % self.num_dct
+
+    def dct_for_address(self, address: int) -> int:
+        """DCT instance for ``address``, counted as one routed message."""
+        index = self.dct_index_for(address)
         self._per_dct_load[index] += 1
         self.messages_to_dct += 1
         return index
+
+    def iter_dct_runs(self, packets, start: int, end: int):
+        """Yield ``(dct_index, run_start, run_end)`` over same-route runs.
+
+        Groups ``packets[start:end]`` (anything with an ``.address``) into
+        maximal consecutive runs tracked by one DCT, hashing every address
+        exactly once.  Routing only -- callers account the traffic
+        (:meth:`count_dct_messages`) for the packets actually delivered,
+        which differs between the dispatch path (a stalled run's tail is
+        never delivered) and the finish path (every packet is).
+        """
+        index_for = self.dct_index_for
+        run_start = start
+        if run_start >= end:
+            return
+        route = index_for(packets[run_start].address)
+        while run_start < end:
+            run_end = run_start + 1
+            next_route = route
+            while run_end < end:
+                next_route = index_for(packets[run_end].address)
+                if next_route != route:
+                    break
+                run_end += 1
+            yield route, run_start, run_end
+            run_start = run_end
+            route = next_route
+
+    def count_dct_messages(self, index: int, count: int) -> None:
+        """Record ``count`` dependence packets routed to DCT ``index``.
+
+        The batched Gateway routes a run of dependences with one decision;
+        the traffic stays accounted per dependence *delivered* (on a
+        mid-run stall the undelivered tail is not counted, exactly like
+        the per-dependence reference flow that only routed a dependence
+        when it reached the DCT).
+        """
+        self._per_dct_load[index] += count
+        self.messages_to_dct += count
 
     def trs_for_slot(self, slot: TaskSlotRef) -> int:
         """TRS instance that owns the task referenced by ``slot``."""
@@ -54,6 +100,16 @@ class Arbiter:
             raise ValueError(f"slot references unknown TRS instance {slot.trs_id}")
         self.messages_to_trs += 1
         return slot.trs_id
+
+    def count_trs_messages(self, count: int) -> None:
+        """Record ``count`` DCT->TRS notifications routed as one batch.
+
+        The batched Gateway dispatch answers a whole run of dependences
+        with one grouped response instead of one packet each; the message
+        count stays per-dependence, matching what ``trs_for_slot`` would
+        have accumulated packet by packet.
+        """
+        self.messages_to_trs += count
 
     # ------------------------------------------------------------------
     # statistics

@@ -25,7 +25,7 @@ the prototype stalls its pipeline.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import PicosConfig
 from repro.core.dependence_memory import DependenceMemory
@@ -37,7 +37,7 @@ from repro.core.packets import (
     TaskSlotRef,
 )
 from repro.core.stats import PicosStats
-from repro.core.version_memory import VersionMemory
+from repro.core.version_memory import VersionEntry, VersionMemory
 from repro.runtime.task import Direction
 
 
@@ -166,88 +166,170 @@ class DependenceChainTracker:
         return not self.vm.full
 
     def process_dependence(self, packet: DependencePacket) -> DependenceOutcome:
-        """Handle one new dependence; may raise :class:`DctStall`."""
-        address = packet.address
-        direction = packet.direction
-        slot = packet.slot
-        way = self.dm.find_way(address)
+        """Handle one new dependence; may raise :class:`DctStall`.
 
-        if way is None:
-            outcome = self._insert_first_access(slot, address, direction)
-        elif direction.writes:
-            outcome = self._attach_producer(slot, address, way)
-        else:
-            outcome = self._attach_consumer(slot, way)
-
-        self._blocked_addresses.discard(address)
-        self.stats.dependences_processed += 1
-        if outcome.ready:
-            self.stats.ready_packets += 1
-        else:
-            self.stats.dependent_packets += 1
-        self._update_memory_watermarks()
-        return outcome
-
-    def _insert_first_access(
-        self, slot: TaskSlotRef, address: int, direction: Direction
-    ) -> DependenceOutcome:
-        """First live access to an address: allocate DM way + first version."""
-        set_index = self.dm.set_index(address)
-        if self.dm.set_is_full(set_index):
-            self._record_conflict(address)
-            raise DctStall(StallReason.DM_CONFLICT, address)
-        if self.vm.full:
-            self.stats.vm_full_stalls += 1
-            raise DctStall(StallReason.VM_FULL, address)
-        _, way = self.dm.allocate(address, input_only=not direction.writes)
-        version = self.vm.allocate(address)
-        self.stats.dm_allocations += 1
-        self.stats.vm_allocations += 1
-        way.latest_vm_index = version.vm_index
-        way.live_versions = 1
-        way.access_count = 1
-        if direction.writes:
-            version.producer = slot
-        else:
-            version.consumers_arrived = 1
-        # The very first access to an address never waits.
-        return DependenceOutcome(ready=True, vm_index=version.vm_index)
-
-    def _attach_consumer(self, slot: TaskSlotRef, way) -> DependenceOutcome:
-        """A reader joins the latest live version of an address."""
-        assert way.latest_vm_index is not None
-        version = self.vm.entry(way.latest_vm_index)
-        way.access_count += 1
-        version.consumers_arrived += 1
-        if version.readers_ready:
-            # The producer already finished (or never existed): the reader
-            # may execute immediately.
-            return DependenceOutcome(ready=True, vm_index=version.vm_index)
-        predecessor = version.last_consumer
-        version.last_consumer = slot
+        A batch of one: the packet itself carries ``address``/``direction``
+        like a :class:`~repro.runtime.task.Dependence`, so it can ride
+        through :meth:`process_batch` directly.  Kept as the single-packet
+        surface for exploratory drivers and the unit tests; the Gateway
+        dispatches whole tasks through :meth:`process_batch`.
+        """
+        outcomes, stall_reason = self.process_batch((packet.slot,), (packet,), 0, 1)
+        if stall_reason is not None:
+            raise DctStall(stall_reason, packet.address)
+        ready, vm_index, predecessor = outcomes[0]
         return DependenceOutcome(
-            ready=False, vm_index=version.vm_index, predecessor=predecessor
+            ready=ready, vm_index=vm_index, predecessor=predecessor
         )
 
-    def _attach_producer(self, slot: TaskSlotRef, address: int, way) -> DependenceOutcome:
-        """A writer opens a new version chained after the latest live one."""
-        if self.vm.full:
-            self.stats.vm_full_stalls += 1
-            raise DctStall(StallReason.VM_FULL, address)
-        assert way.latest_vm_index is not None
-        previous = self.vm.entry(way.latest_vm_index)
-        version = self.vm.allocate(address)
-        self.stats.vm_allocations += 1
-        version.producer = slot
-        previous.next_version = version.vm_index
-        way.latest_vm_index = version.vm_index
-        way.live_versions += 1
-        way.input_only = False
-        way.access_count += 1
-        # A writer behind a live version always waits: the previous version
-        # still has unfinished accesses (otherwise it would have been
-        # recycled already) and the hardware honours WAW/WAR ordering.
-        return DependenceOutcome(ready=False, vm_index=version.vm_index)
+    def process_batch(
+        self,
+        slots: Sequence[TaskSlotRef],
+        dependences: Sequence,
+        start: int,
+        end: int,
+    ) -> Tuple[List[Tuple[bool, int, Optional[TaskSlotRef]]], Optional[StallReason]]:
+        """Handle all of ``dependences[start:end]`` in one pass (N5, batched).
+
+        ``slots[k - start]`` is the TMX slot reference of
+        ``dependences[k]``; each dependence only needs ``.address`` and
+        ``.direction`` attributes (:class:`~repro.runtime.task.Dependence`
+        and :class:`~repro.core.packets.DependencePacket` both qualify).
+
+        This is the Gateway's hot path: one call per task (per DCT bank)
+        instead of one packet round-trip per dependence.  The set index of
+        every address resolves through the memoized DM hash, the DM/VM
+        mutations happen through locals hoisted out of the loop, and the
+        stats and watermark updates are folded to one write per batch --
+        all observably identical to running :meth:`process_dependence`
+        dependence by dependence, which the parity suite pins.
+
+        Returns ``(outcomes, stall_reason)``: one ``(ready, vm_index,
+        predecessor)`` triple per dependence processed, in order.  On a
+        structural hazard the batch stops -- ``outcomes`` covers the
+        dependences stored before the blocked one and ``stall_reason`` says
+        why (the stalled dependence itself is *not* stored, exactly like
+        the raising single-packet path); the Gateway resumes from
+        ``start + len(outcomes)`` once resources free up.
+        """
+        # The DM compare and the DM/VM allocations are inlined over locals:
+        # this loop runs once per dependence of every submitted task and a
+        # method call per memory access costs as much as the access.  The
+        # single-packet surfaces (DependenceMemory.lookup/allocate,
+        # VersionMemory.allocate) define the semantics; the parity suite
+        # pins this loop to them cycle-for-cycle.
+        dm = self.dm
+        vm = self.vm
+        stats = self.stats
+        blocked = self._blocked_addresses
+        index_of = dm._index_of
+        dm_sets = dm._sets
+        vm_free = vm._free
+        vm_slots = vm._slots
+        vm_entries = vm.entries
+        writer = Direction.OUT
+        readwriter = Direction.INOUT
+        outcomes: List[Tuple[bool, int, Optional[TaskSlotRef]]] = []
+        append = outcomes.append
+        stall_reason: Optional[StallReason] = None
+        ready_count = 0
+        for index in range(start, end):
+            dep = dependences[index]
+            address = dep.address
+            direction = dep.direction
+            writes = direction is writer or direction is readwriter
+            slot = slots[index - start]
+            # DM compare: way 0 has the highest priority (Figure 4); the
+            # first free way doubles as the allocation target on a miss.
+            way = None
+            free_way = None
+            for candidate in dm_sets[index_of(address)]:
+                if candidate.valid:
+                    if candidate.tag == address:
+                        way = candidate
+                        break
+                elif free_way is None:
+                    free_way = candidate
+            if way is None:
+                # First live access: allocate DM way + first version.
+                if free_way is None:
+                    self._record_conflict(address)
+                    stall_reason = StallReason.DM_CONFLICT
+                    break
+                if not vm_free:
+                    stats.vm_full_stalls += 1
+                    stall_reason = StallReason.VM_FULL
+                    break
+                free_way.valid = True
+                free_way.tag = address
+                free_way.input_only = not writes
+                dm.allocations += 1
+                dm._occupied += 1
+                if dm._occupied > dm._high_water:
+                    dm._high_water = dm._occupied
+                vm_index = vm_free.pop()
+                version = VersionEntry(vm_index=vm_index, address=address)
+                vm_slots[vm_index] = version
+                vm._total_allocations += 1
+                occupied = vm_entries - len(vm_free)
+                if occupied > vm._high_water:
+                    vm._high_water = occupied
+                stats.dm_allocations += 1
+                stats.vm_allocations += 1
+                free_way.latest_vm_index = vm_index
+                free_way.live_versions = 1
+                free_way.access_count = 1
+                if writes:
+                    version.producer = slot
+                else:
+                    version.consumers_arrived = 1
+                # The very first access to an address never waits.
+                ready_count += 1
+                append((True, vm_index, None))
+            elif writes:
+                # A writer opens a new version chained after the latest
+                # live one; it always waits (WAW/WAR ordering).
+                if not vm_free:
+                    stats.vm_full_stalls += 1
+                    stall_reason = StallReason.VM_FULL
+                    break
+                previous = vm_slots[way.latest_vm_index]
+                vm_index = vm_free.pop()
+                version = VersionEntry(vm_index=vm_index, address=address)
+                vm_slots[vm_index] = version
+                vm._total_allocations += 1
+                occupied = vm_entries - len(vm_free)
+                if occupied > vm._high_water:
+                    vm._high_water = occupied
+                stats.vm_allocations += 1
+                version.producer = slot
+                previous.next_version = vm_index
+                way.latest_vm_index = vm_index
+                way.live_versions += 1
+                way.input_only = False
+                way.access_count += 1
+                append((False, vm_index, None))
+            else:
+                # A reader joins the latest live version of the address.
+                version = vm_slots[way.latest_vm_index]
+                way.access_count += 1
+                version.consumers_arrived += 1
+                if version.producer is None or version.producer_finished:
+                    ready_count += 1
+                    append((True, version.vm_index, None))
+                else:
+                    predecessor = version.last_consumer
+                    version.last_consumer = slot
+                    append((False, version.vm_index, predecessor))
+            blocked.discard(address)
+        stored = len(outcomes)
+        stats.dependences_processed += stored
+        stats.ready_packets += ready_count
+        stats.dependent_packets += stored - ready_count
+        # Occupancy only grows during insertion, so one watermark check per
+        # batch observes the same high water as one per dependence.
+        self._update_memory_watermarks()
+        return outcomes, stall_reason
 
     def _record_conflict(self, address: int) -> None:
         """Count a DM conflict the first time an address becomes blocked."""
@@ -284,11 +366,67 @@ class DependenceChainTracker:
             version.consumers_finished += 1
 
         if version.complete:
-            self._retire_version(version, outcome)
+            outcome.version_released = True
+            outcome.address_released = self._retire_version(
+                version, outcome.wakeups
+            )
         return outcome
 
-    def _retire_version(self, version, outcome: FinishOutcome) -> None:
-        """Recycle a completed version, waking the next producer if any."""
+    def process_finish_batch(
+        self, packets: Sequence[FinishPacket], start: int, end: int
+    ) -> List[ReadyPacket]:
+        """Handle ``packets[start:end]`` in one pass (F4, batched).
+
+        The finish-side counterpart of :meth:`process_batch`: one call per
+        finishing task (per DCT bank) instead of one packet round-trip per
+        released dependence.  Returns the wake-ups of the whole run in
+        release order -- exactly the concatenation of the per-packet
+        ``FinishOutcome.wakeups`` lists, which the parity suite pins.
+        """
+        vm_slots = self.vm._slots
+        stats = self.stats
+        wakeups: List[ReadyPacket] = []
+        append = wakeups.append
+        finished = 0
+        woken = 0
+        for index in range(start, end):
+            packet = packets[index]
+            version = vm_slots[packet.vm_index]
+            if version is None:
+                # Same diagnostic the single-packet path gets from
+                # vm.entry(): a stale/duplicate release must name the
+                # violated invariant, not die on an attribute of None.
+                raise KeyError(f"VM entry {packet.vm_index} is not occupied")
+            finished += 1
+            producer = version.producer
+            if (
+                producer is not None
+                and not version.producer_finished
+                and producer == packet.slot
+            ):
+                version.producer_finished = True
+                last_consumer = version.last_consumer
+                if last_consumer is not None:
+                    append(
+                        ReadyPacket(slot=last_consumer, vm_index=version.vm_index)
+                    )
+                    woken += 1
+            else:
+                version.consumers_finished += 1
+            if (
+                producer is None or version.producer_finished
+            ) and version.consumers_arrived == version.consumers_finished:
+                self._retire_version(version, wakeups)
+        stats.finish_packets += finished
+        stats.wakeup_packets += woken
+        return wakeups
+
+    def _retire_version(self, version, wakeups: List[ReadyPacket]) -> bool:
+        """Recycle a completed version, waking the next producer if any.
+
+        Appends the producer wake-up (when the address has a next version)
+        to ``wakeups`` and returns whether the DM way was recycled too.
+        """
         way = self.dm.find_way(version.address)
         if way is None:
             raise RuntimeError(
@@ -299,18 +437,18 @@ class DependenceChainTracker:
             next_version = self.vm.entry(version.next_version)
             if next_version.producer is None:
                 raise RuntimeError("chained version without a producer")
-            outcome.wakeups.append(
+            wakeups.append(
                 ReadyPacket(
                     slot=next_version.producer, vm_index=next_version.vm_index
                 )
             )
             self.stats.wakeup_packets += 1
         self.vm.release(version.vm_index)
-        outcome.version_released = True
         way.live_versions -= 1
         if way.live_versions <= 0:
-            self.dm.release(version.address)
-            outcome.address_released = True
+            self.dm.release_way(way)
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # bookkeeping

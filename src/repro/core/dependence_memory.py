@@ -241,6 +241,15 @@ class DependenceMemory:
         way = self.find_way(address)
         if way is None:
             raise KeyError(f"address {address:#x} is not stored in the DM")
+        self.release_way(way)
+
+    def release_way(self, way: DMWay) -> None:
+        """Invalidate ``way`` directly (the caller already matched it).
+
+        The finish hot path looks the way up once to update its version
+        chain and then recycles it; releasing by way skips the second set
+        scan :meth:`release` would pay.
+        """
         way.valid = False
         way.latest_vm_index = None
         way.live_versions = 0

@@ -20,15 +20,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.arbiter import Arbiter
 from repro.core.config import PicosConfig
-from repro.core.dct import DctStall, DependenceChainTracker, StallReason
+from repro.core.dct import DependenceChainTracker, StallReason
 from repro.core.packets import (
-    DependencePacket,
-    DependentPacket,
     ExecuteTaskPacket,
     FinishPacket,
     FinishedTaskPacket,
     NewTaskPacket,
-    ReadyPacket,
 )
 from repro.core.stats import PicosStats
 from repro.core.trs import TaskReservationStation
@@ -192,65 +189,72 @@ class Gateway:
         result: GatewayResult,
         retries: int = 0,
     ) -> GatewayResult:
-        """Forward dependences ``start_index``.. to their DCTs (N4/N5)."""
+        """Forward dependences ``start_index``.. to their DCTs (N4/N5).
+
+        Batched: dependences travel to the DCT in maximal consecutive runs
+        that route to the same DCT bank (with the prototype's single DCT,
+        the whole task is one run).  Each run is one
+        :meth:`~repro.core.trs.TaskReservationStation.record_dependences`,
+        one :meth:`~repro.core.dct.DependenceChainTracker.process_batch`
+        and one :meth:`~repro.core.trs.TaskReservationStation.
+        apply_submission_outcomes` call instead of a packet round-trip per
+        dependence.  The stored state, stats, stall points and resume
+        indices are exactly those of the per-dependence reference flow,
+        which the parity suite pins cycle-for-cycle.
+        """
         trs = self.trs_instances[trs_id]
         dependences = task.dependences
+        total = len(dependences)
         dct_instances = self.dct_instances
         single_dct = len(dct_instances) == 1
-        for dep_index in range(start_index, len(dependences)):
-            dep = dependences[dep_index]
-            address = dep.address
-            direction = dep.direction
-            slot = trs.record_dependence(
-                tm_index, dep_index, address, direction.writes
+        arbiter = self.arbiter
+        # Pure routing decisions group the runs; the GW->DCT traffic is
+        # accounted below, only for the dependences that actually reach
+        # the DCT this attempt (a stalled run's undelivered tail stays
+        # uncounted, exactly like the per-dependence reference flow).
+        if single_dct:
+            runs = ((0, start_index, total),)
+        else:
+            runs = arbiter.iter_dct_runs(dependences, start_index, total)
+        for route, run_start, run_end in runs:
+            dct = dct_instances[route]
+            slots = trs.record_dependences(tm_index, dependences, run_start, run_end)
+            outcomes, stall_reason = dct.process_batch(
+                slots, dependences, run_start, run_end
             )
-            dct = dct_instances[
-                0 if single_dct else self.arbiter.dct_for_address(address)
-            ]
-            packet = DependencePacket(
-                slot=slot, address=address, direction=direction
-            )
-            try:
-                outcome = dct.process_dependence(packet)
-            except DctStall as stall:
-                # Remove the TMX slot we just reserved so the retry records
-                # it again cleanly.
-                entry = trs.task_memory.entry(tm_index)
-                entry.dep_slots.pop()
+            stored = len(outcomes)
+            if not single_dct:
+                # The stalled dependence (if any) was routed to the DCT
+                # and counts as a message even though it was not stored.
+                attempted = stored + (1 if stall_reason is not None else 0)
+                if attempted:
+                    arbiter.count_dct_messages(route, attempted)
+            if stored:
+                result.dependences_dispatched += stored
+                # The grouped response returns to the owning TRS through
+                # the Arbiter, which still counts one message per
+                # dependence.
+                arbiter.count_trs_messages(stored)
+                execute = trs.apply_submission_outcomes(
+                    tm_index, run_start, outcomes
+                )
+                if execute is not None:
+                    result.execute.append(execute)
+            if stall_reason is not None:
+                # Drop the TMX slots recorded past the last stored
+                # dependence so the retry records them again cleanly.
+                trs.drop_dependence_slots(tm_index, run_end - run_start - stored)
                 self._pending = PendingSubmission(
                     task=task,
                     trs_id=trs_id,
                     tm_index=tm_index,
-                    next_dep_index=dep_index,
-                    reason=stall.reason,
+                    next_dep_index=run_start + stored,
+                    reason=stall_reason,
                     retries=retries,
                 )
                 result.status = GatewayStatus.STALLED
-                result.stall_reason = stall.reason
+                result.stall_reason = stall_reason
                 return result
-            result.dependences_dispatched += 1
-            # The response returns to the owning TRS through the Arbiter
-            # (which counts the message); branching on ``outcome.ready``
-            # directly skips the packet-type dispatch of ``to_packet``.
-            self.arbiter.trs_for_slot(slot)
-            if outcome.ready:
-                ready_result = trs.handle_ready(
-                    ReadyPacket(slot=slot, vm_index=outcome.vm_index)
-                )
-                result.execute.extend(ready_result.execute)
-                # A freshly inserted dependence can never chain wake-ups.
-                if ready_result.chained:
-                    raise RuntimeError(
-                        "unexpected chained wake-up during task submission"
-                    )
-            else:
-                trs.handle_dependent(
-                    DependentPacket(
-                        slot=slot,
-                        vm_index=outcome.vm_index,
-                        predecessor=outcome.predecessor,
-                    )
-                )
         return result
 
     # ------------------------------------------------------------------

@@ -155,6 +155,19 @@ class PicosAccelerator:
         )
         self.scheduler = TaskScheduler(policy)
         self.auto_enqueue = auto_enqueue
+        # The pipeline costs are pure functions of the dependence count and
+        # the count is bounded by the TMX capacity, so the per-task cost
+        # lookups collapse to one list index each.
+        max_deps = self.config.max_deps_per_task
+        self._new_task_occupancy = [
+            self.config.new_task_occupancy(n) for n in range(max_deps + 1)
+        ]
+        self._new_task_ready_latency = [
+            self.config.new_task_ready_latency(n) for n in range(max_deps + 1)
+        ]
+        self._finish_occupancy = [
+            self.config.finish_occupancy(n) for n in range(max_deps + 1)
+        ]
         #: task_id -> number of dependences, needed for finish-cost accounting.
         self._deps_of_task: Dict[int, int] = {}
         self._submitted = 0
@@ -190,17 +203,19 @@ class PicosAccelerator:
                 occupancy=0,
                 stall_reason=gateway_result.stall_reason,
             )
-        self._deps_of_task[task.task_id] = task.num_dependences
+        num_deps = task.num_dependences
+        self._deps_of_task[task.task_id] = num_deps
         self._submitted += 1
-        occupancy = self.config.new_task_occupancy(task.num_dependences)
-        occupancy += (
-            gateway_result.retries * self.config.dm_conflict_stall_cycles
-        )
+        occupancy = self._new_task_occupancy[num_deps]
+        if gateway_result.retries:
+            occupancy += (
+                gateway_result.retries * self.config.dm_conflict_stall_cycles
+            )
         self.stats.busy_cycles += occupancy
         result = SubmitResult(
             status=SubmitStatus.ACCEPTED, task_id=task.task_id, occupancy=occupancy
         )
-        latency = self.config.new_task_ready_latency(task.num_dependences)
+        latency = self._new_task_ready_latency[num_deps]
         for execute in gateway_result.execute:
             ready = ReadyTask(task_id=execute.task_id, latency=latency)
             result.ready.append(ready)
@@ -230,18 +245,36 @@ class PicosAccelerator:
         """Notify that a worker finished ``task_id`` (packets F1-F4)."""
         finish_packets = self.gateway.notify_finished(task_id)
         num_deps = self._deps_of_task.pop(task_id, len(finish_packets))
-        occupancy = self.config.finish_occupancy(num_deps)
+        occupancy = self._finish_occupancy[num_deps]
         self.stats.busy_cycles += occupancy
         result = FinishResult(task_id=task_id, occupancy=occupancy)
 
-        # Route every finish packet to its DCT and collect the wake-ups,
-        # then walk consumer chains through the owning TRS instances.
+        # Route the finish packets to their DCTs in consecutive same-bank
+        # runs (one batch per finishing task with the prototype's single
+        # DCT) and collect the wake-ups, then walk consumer chains through
+        # the owning TRS instances.  Unlike the dispatch path, every
+        # finish packet is delivered (releases cannot stall), so each
+        # run's full length is accounted.
         pending_wakeups: deque = deque()
-        for packet in finish_packets:
-            dct = self.dct_instances[self._dct_index_for_vm(packet)]
-            outcome = dct.process_finish(packet)
-            for wake in outcome.wakeups:
+        dct_instances = self.dct_instances
+        total = len(finish_packets)
+        if len(dct_instances) == 1:
+            wakeups = dct_instances[0].process_finish_batch(
+                finish_packets, 0, total
+            )
+            for wake in wakeups:
                 pending_wakeups.append((wake, 0))
+        else:
+            arbiter = self.arbiter
+            for route, run_start, run_end in arbiter.iter_dct_runs(
+                finish_packets, 0, total
+            ):
+                arbiter.count_dct_messages(route, run_end - run_start)
+                wakeups = dct_instances[route].process_finish_batch(
+                    finish_packets, run_start, run_end
+                )
+                for wake in wakeups:
+                    pending_wakeups.append((wake, 0))
 
         while pending_wakeups:
             wake, depth = pending_wakeups.popleft()
@@ -262,17 +295,6 @@ class PicosAccelerator:
 
         self._finished += 1
         return result
-
-    def _dct_index_for_vm(self, packet) -> int:
-        """DCT instance holding the version referenced by a finish packet.
-
-        The routing is a pure function of the dependence address (the same
-        mapping the Gateway used when the dependence entered), so the finish
-        packet carries the address along.
-        """
-        if len(self.dct_instances) == 1:
-            return 0
-        return self.arbiter.dct_for_address(packet.address)
 
     # ------------------------------------------------------------------
     # co-processor interface: ready tasks

@@ -14,9 +14,10 @@ The memories support the four actions described in the paper: read, write,
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.packets import TaskSlotRef
+from repro.runtime.task import Direction
 
 
 class TaskMemoryFullError(RuntimeError):
@@ -37,6 +38,7 @@ class DependenceSlot:
         "ready",
         "predecessor",
         "is_producer",
+        "slot_ref",
     )
 
     def __init__(
@@ -61,6 +63,11 @@ class DependenceSlot:
         self.predecessor = predecessor
         #: Whether this dependence writes its address (producer role).
         self.is_producer = is_producer
+        #: The TaskSlotRef minted for this slot at dispatch time, reused by
+        #: the finish path so retiring a task does not re-allocate one
+        #: reference per dependence (``None`` for slots recorded through
+        #: the single-dependence legacy surface).
+        self.slot_ref: Optional[TaskSlotRef] = None
 
     def __repr__(self) -> str:
         return (
@@ -209,6 +216,51 @@ class TaskMemory:
         )
         entry.dep_slots.append(slot)
         return slot
+
+    def add_dependence_slots(
+        self, tm_index: int, dependences: Sequence, start: int, end: int
+    ) -> TaskEntry:
+        """Record ``dependences[start:end]`` of the task at ``tm_index``.
+
+        The batched form of :meth:`add_dependence_slot`, used by the
+        Gateway when it dispatches a whole run of dependences to one DCT:
+        one entry read serves every slot of the run.  Each dependence needs
+        ``.address`` and ``.direction`` attributes; slot ``k`` is recorded
+        for dependence index ``start + k``, preserving pragma order (and
+        the invariant that ``entry.dep_slots[i]`` holds dependence ``i``).
+        Returns the task entry so the caller can keep working on it.
+        """
+        entry = self.entry(tm_index)
+        if end > self.max_deps_per_task:
+            raise ValueError("dependence index exceeds TMX capacity")
+        dep_slots = entry.dep_slots
+        append = dep_slots.append
+        # Identity checks against hoisted members instead of the
+        # Direction.writes property: one descriptor call per dependence of
+        # every task adds up.
+        writer = Direction.OUT
+        readwriter = Direction.INOUT
+        for dep_index in range(start, end):
+            dep = dependences[dep_index]
+            direction = dep.direction
+            append(
+                DependenceSlot(
+                    dep_index=dep_index,
+                    address=dep.address,
+                    is_producer=direction is writer or direction is readwriter,
+                )
+            )
+        return entry
+
+    def drop_dependence_slots(self, tm_index: int, count: int) -> None:
+        """Remove the ``count`` most recently recorded TMX slots.
+
+        Used by the Gateway when a dispatch run stalls partway: the slots
+        recorded past the last stored dependence are dropped so the retry
+        records them again cleanly.
+        """
+        dep_slots = self.entry(tm_index).dep_slots
+        del dep_slots[len(dep_slots) - count :]
 
     def dependence_slot(self, tm_index: int, dep_index: int) -> DependenceSlot:
         """Return the TMX slot of one dependence of an in-flight task."""

@@ -10,7 +10,7 @@ towards the DCT.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import PicosConfig
 from repro.core.packets import (
@@ -104,6 +104,72 @@ class TaskReservationStation:
         self.task_memory.add_dependence_slot(tm_index, dep_index, address, is_producer)
         return TaskSlotRef(trs_id=self.trs_id, tm_index=tm_index, dep_index=dep_index)
 
+    def record_dependences(
+        self, tm_index: int, dependences: Sequence, start: int, end: int
+    ) -> List[TaskSlotRef]:
+        """Reserve TMX slots for a run of dependences of an in-flight task.
+
+        The batched form of :meth:`record_dependence`: one TM entry read
+        records ``dependences[start:end]`` (each needs ``.address`` and
+        ``.direction``) and returns their slot references in order, ready
+        to travel to the DCT as one batch.
+        """
+        entry = self.task_memory.add_dependence_slots(
+            tm_index, dependences, start, end
+        )
+        trs_id = self.trs_id
+        dep_slots = entry.dep_slots
+        refs: List[TaskSlotRef] = []
+        append = refs.append
+        for dep_index in range(start, end):
+            ref = TaskSlotRef(trs_id=trs_id, tm_index=tm_index, dep_index=dep_index)
+            # Stored on the TMX slot so the finish path can reuse the same
+            # reference instead of minting a new one per dependence.
+            dep_slots[dep_index].slot_ref = ref
+            append(ref)
+        return refs
+
+    def drop_dependence_slots(self, tm_index: int, count: int) -> None:
+        """Drop the last ``count`` recorded TMX slots (stalled dispatch)."""
+        if count:
+            self.task_memory.drop_dependence_slots(tm_index, count)
+
+    def apply_submission_outcomes(
+        self,
+        tm_index: int,
+        start: int,
+        outcomes: Sequence[Tuple[bool, int, Optional[TaskSlotRef]]],
+    ) -> Optional[ExecuteTaskPacket]:
+        """Store a run of DCT outcomes for dependences ``start``.. of a task.
+
+        The batched equivalent of one :meth:`handle_ready` /
+        :meth:`handle_dependent` call per dependence during submission: a
+        *ready* outcome marks its slot ready (a freshly inserted dependence
+        has no predecessor, so no chained wake-up can occur), a *dependent*
+        outcome stores the version and consumer-chain link.  Returns the
+        execute packet when the task became fully ready (only the last
+        dependence of the task can complete readiness), else ``None``.
+        """
+        entry = self.task_memory.entry(tm_index)
+        dep_slots = entry.dep_slots
+        ready_added = 0
+        index = start
+        for ready, vm_index, predecessor in outcomes:
+            slot = dep_slots[index]
+            index += 1
+            slot.vm_index = vm_index
+            if ready:
+                slot.ready = True
+                ready_added += 1
+            else:
+                slot.predecessor = predecessor
+        entry.ready_deps += ready_added
+        if entry.all_ready:
+            return ExecuteTaskPacket(
+                task_id=entry.task_id, trs_id=self.trs_id, tm_index=entry.tm_index
+            )
+        return None
+
     def handle_dependent(self, packet: DependentPacket) -> None:
         """Store a *dependent* notification (the dependence must wait)."""
         slot = self.task_memory.dependence_slot(
@@ -172,21 +238,24 @@ class TaskReservationStation:
                 "dependences were ready"
             )
         finish_packets: List[FinishPacket] = []
+        append = finish_packets.append
+        trs_id = self.trs_id
+        tm_index = packet.tm_index
         for slot in entry.dep_slots:
             if slot.vm_index is None:
                 raise RuntimeError(
                     f"dependence {slot.dep_index} of task {packet.task_id} has "
                     "no version assigned"
                 )
-            finish_packets.append(
+            slot_ref = slot.slot_ref
+            if slot_ref is None:
+                # Slot recorded through the single-dependence surface.
+                slot_ref = TaskSlotRef(
+                    trs_id=trs_id, tm_index=tm_index, dep_index=slot.dep_index
+                )
+            append(
                 FinishPacket(
-                    slot=TaskSlotRef(
-                        trs_id=self.trs_id,
-                        tm_index=packet.tm_index,
-                        dep_index=slot.dep_index,
-                    ),
-                    vm_index=slot.vm_index,
-                    address=slot.address,
+                    slot=slot_ref, vm_index=slot.vm_index, address=slot.address
                 )
             )
         self.task_memory.release(packet.tm_index)

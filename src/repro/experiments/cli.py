@@ -256,9 +256,11 @@ def run_bench_command(args: argparse.Namespace) -> int:
     import dataclasses as _dataclasses
 
     from repro.bench import (
+        DEFAULT_REGRESSION_THRESHOLD,
         BenchSpec,
         compare_documents,
         default_specs,
+        gate_specs,
         load_bench_document,
         render_comparison,
         render_results,
@@ -266,11 +268,19 @@ def run_bench_command(args: argparse.Namespace) -> int:
         write_bench_file,
     )
 
+    if args.compare is None and (
+        args.fail_on_regression or args.fail_threshold is not None
+    ):
+        # A gate without a baseline would silently always pass.
+        raise SystemExit(
+            "--fail-on-regression/--fail-threshold require --compare "
+            "(there is no baseline to regress against otherwise)"
+        )
     # Load the baseline before writing anything: the default output name is
     # date-stamped, so a same-day --compare target would otherwise be
     # overwritten before it was read.
     baseline = load_bench_document(args.compare) if args.compare else None
-    specs = default_specs(quick=args.quick)
+    specs = gate_specs() if args.gate else default_specs(quick=args.quick)
     if args.backend:
         specs = [
             _dataclasses.replace(spec, backends=(args.backend,)) for spec in specs
@@ -290,11 +300,34 @@ def run_bench_command(args: argparse.Namespace) -> int:
         out_path = write_bench_file(results)
     print(f"\nwrote {out_path}")
     if baseline is not None:
+        threshold = (
+            args.fail_threshold
+            if args.fail_threshold is not None
+            else DEFAULT_REGRESSION_THRESHOLD
+        )
         comparisons, only_old, only_new = compare_documents(
-            baseline, load_bench_document(out_path)
+            baseline, load_bench_document(out_path), threshold=threshold
         )
         print(f"\ncomparison against {args.compare}:")
         print(render_comparison(comparisons, only_old, only_new))
+        if args.fail_on_regression and not comparisons:
+            # A gate that matched nothing gates nothing: treat the silent
+            # no-op (wrong baseline file, drifted matrices) as a failure
+            # so CI cannot stay green while comparing thin air.
+            print(
+                f"\nFAIL: no cell of this run matches {args.compare}; "
+                "the regression gate has nothing to compare",
+                file=sys.stderr,
+            )
+            return 1
+        regressions = [comp for comp in comparisons if comp.regressed]
+        if args.fail_on_regression and regressions:
+            print(
+                f"\nFAIL: {len(regressions)} cell(s) regressed beyond "
+                f"{threshold:.0%} against {args.compare}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -415,6 +448,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         metavar="N",
         help="timing repeats per cell; the best wall time is kept (default: 1)",
+    )
+    bench.add_argument(
+        "--gate",
+        action="store_true",
+        help="time the regression-gate matrix instead of the default/quick "
+        "one: few large cells where a 15%% wall-time change is signal, all "
+        "present in every committed full snapshot (overrides --quick)",
+    )
+    bench.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="relative wall-time growth that counts as a regression when "
+        "comparing (default: 0.25; the CI gate uses 0.15)",
+    )
+    bench.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero when the --compare diff contains a regression "
+        "(turns the bench job into a CI gate instead of an artifact upload)",
     )
     return parser
 

@@ -10,14 +10,21 @@ The engine sits on the hot path of every simulation -- the finest-grained
 workloads deliver hundreds of thousands of events per run -- so both
 classes are deliberately plain: :class:`Event` is a ``__slots__`` value
 object (a frozen dataclass here costs a measurable fraction of total wall
-time in allocation alone) and :class:`EventQueue` keeps its heap entries as
-small tuples touched through local references.
+time in allocation alone) and :class:`EventQueue` is a *calendar queue*: a
+bucketed timeline keyed by cycle stamp with a small heap of distinct bucket
+times.  The event streams HIL and Nanos++ generate are heavily clustered --
+runs of worker completions and master jobs land on the same cycle -- so
+nearly every operation is an O(1) dict hit plus a list append/index instead
+of an O(log n) binary-heap sift per event; the heap only moves once per
+*distinct* timestamp.  The previous binary-heap implementation is kept as
+:class:`HeapEventQueue`, the reference the differential suite checks the
+calendar queue against (see ``docs/engine.md``).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 
 class Event:
@@ -54,19 +61,49 @@ class Event:
 
 
 class EventQueue:
-    """Time-ordered event queue with deterministic tie-breaking.
+    """Calendar-queue event timeline with deterministic tie-breaking.
 
     Events scheduled for the same time are delivered in scheduling order,
     which keeps every simulation in this package fully deterministic (a
-    property the test suite relies on).
+    property the test suite relies on).  The delivery order -- by time,
+    then by scheduling order within a time -- is exactly the order of the
+    binary-heap reference (:class:`HeapEventQueue`); only the cost model
+    differs.
+
+    Internally, events live in per-timestamp *buckets* (plain lists in
+    arrival order) and a min-heap tracks the distinct bucket times.  A
+    bucket is detached from the calendar when delivery reaches its time and
+    is then drained by index; an event scheduled for the *current* time
+    while its bucket drains opens a fresh bucket, which the time heap
+    orders immediately after the draining one -- preserving global FIFO
+    order among simultaneous events.  ``pop_same_kind`` -- the batching
+    primitive the simulators use to retire same-cycle completion runs in
+    one handler activation -- is an O(1) head test in every case, including
+    the many-kinds-interleaved-at-one-cycle schedules where a scan-and-
+    re-push implementation would degrade to O(n) per event.
     """
 
-    __slots__ = ("_heap", "_count", "_now", "_processed")
+    __slots__ = (
+        "_buckets",
+        "_times",
+        "_current",
+        "_current_pos",
+        "_now",
+        "_pending",
+        "_processed",
+    )
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[int, int, Event]] = []
-        self._count = 0
+        #: time -> events scheduled for that time, in scheduling order
+        #: (buckets not yet reached by delivery).
+        self._buckets: Dict[int, List[Event]] = {}
+        #: Min-heap of the distinct times present in ``_buckets``.
+        self._times: List[int] = []
+        #: Bucket currently being drained, and the drain position.
+        self._current: List[Event] = []
+        self._current_pos = 0
         self._now = 0
+        self._pending = 0
         self._processed = 0
 
     # ------------------------------------------------------------------
@@ -84,8 +121,13 @@ class EventQueue:
                 f"{self._now}"
             )
         event = Event(time, kind, payload)
-        self._count += 1
-        heapq.heappush(self._heap, (time, self._count, event))
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [event]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(event)
+        self._pending += 1
         return event
 
     def schedule_in(self, delay: int, kind: str, payload: Any = None) -> Event:
@@ -105,27 +147,180 @@ class EventQueue:
     @property
     def empty(self) -> bool:
         """Whether any event remains to be processed."""
-        return not self._heap
+        return self._pending == 0
 
     @property
     def pending(self) -> int:
         """Number of events still queued."""
-        return len(self._heap)
+        return self._pending
 
     @property
     def processed(self) -> int:
         """Number of events delivered so far."""
         return self._processed
 
+    def _head(self) -> Optional[Event]:
+        """The next event to deliver, without consuming it.
+
+        Purely a peek: a calendar bucket is only detached at consumption
+        time (:meth:`_consume_head`).  Detaching on a peek would be wrong:
+        until an event of a bucket is actually delivered the clock has not
+        reached its time, so a handler may still schedule events at
+        *earlier* times, which must overtake the peeked bucket.
+        """
+        if self._current_pos < len(self._current):
+            return self._current[self._current_pos]
+        if not self._times:
+            return None
+        return self._buckets[self._times[0]][0]
+
+    def _consume_head(self) -> Event:
+        """Deliver the head event (the caller checked one exists).
+
+        Once the first event of a bucket is delivered the clock equals the
+        bucket's time, scheduling anything earlier raises, and same-time
+        arrivals open a fresh bucket ordered behind this one -- so the
+        detached bucket is guaranteed to stay at the front until drained.
+        """
+        if self._current_pos >= len(self._current):
+            time = heapq.heappop(self._times)
+            self._current = self._buckets.pop(time)
+            self._current_pos = 0
+        event = self._current[self._current_pos]
+        self._current_pos += 1
+        self._pending -= 1
+        self._now = event.time
+        self._processed += 1
+        return event
+
     @property
     def peek_time(self) -> Optional[int]:
         """Time of the next pending event (``None`` when the queue is empty)."""
+        head = self._head()
+        return None if head is None else head.time
+
+    def pop(self) -> Optional[Event]:
+        """Deliver the next event, advancing the simulation clock."""
+        if self._head() is None:
+            return None
+        return self._consume_head()
+
+    def pop_same_kind(self, kind: str, time: int) -> Optional[Event]:
+        """Deliver the next event only if it matches ``kind`` at ``time``.
+
+        This is the batching primitive of the simulators: a run of worker
+        completions scheduled for the same cycle can be drained in one
+        handler activation without disturbing the delivery order of any
+        interleaved event (the head of the timeline -- including its FIFO
+        tie-break -- decides, exactly as :meth:`pop` would).  The head test
+        is O(1) regardless of how many same-time events of *other* kinds
+        are interleaved behind it.
+        """
+        event = self._head()
+        if event is None or event.time != time or event.kind != kind:
+            return None
+        return self._consume_head()
+
+    def __iter__(self) -> Iterator[Event]:
+        """Iterate over events until the queue drains."""
+        times = self._times
+        buckets = self._buckets
+        heappop = heapq.heappop
+        while True:
+            current = self._current
+            pos = self._current_pos
+            if pos < len(current):
+                event = current[pos]
+                self._current_pos = pos + 1
+            else:
+                if not times:
+                    return
+                time = heappop(times)
+                current = buckets.pop(time)
+                self._current = current
+                self._current_pos = 1
+                event = current[0]
+            self._pending -= 1
+            self._now = event.time
+            self._processed += 1
+            yield event
+
+    def iter_until(self, horizon: int) -> Iterator[Event]:
+        """Iterate events stamped no later than ``horizon`` cycles.
+
+        Later events stay queued, so a simulator can stop at a cycle
+        horizon (early abort) and still inspect -- or resume -- the
+        remaining schedule.  The clock only advances through delivered
+        events and therefore never passes the horizon.
+        """
+        while True:
+            event = self._head()
+            if event is None or event.time > horizon:
+                return
+            yield self._consume_head()
+
+
+class HeapEventQueue:
+    """The binary-heap reference implementation of the event queue.
+
+    This is the pre-calendar-queue :class:`EventQueue`, kept verbatim: one
+    ``(time, insertion count, event)`` tuple per event on a ``heapq``.  It
+    defines the delivery order the calendar queue must reproduce exactly,
+    and the differential suite (``tests/test_differential.py``) drives both
+    implementations through random schedules and asserts event-for-event
+    identity.  Simulators always use :class:`EventQueue`; this class exists
+    for testing and as executable documentation of the ordering contract.
+    """
+
+    __slots__ = ("_heap", "_count", "_now", "_processed")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._count = 0
+        self._now = 0
+        self._processed = 0
+
+    def schedule(self, time: int, kind: str, payload: Any = None) -> Event:
+        """Schedule an event at absolute ``time`` (raises on the past)."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event {kind!r} at {time} before current time "
+                f"{self._now}"
+            )
+        event = Event(time, kind, payload)
+        self._count += 1
+        heapq.heappush(self._heap, (time, self._count, event))
+        return event
+
+    def schedule_in(self, delay: int, kind: str, payload: Any = None) -> Event:
+        """Schedule an event ``delay`` cycles after the current time."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule(self._now + delay, kind, payload)
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        return self._processed
+
+    @property
+    def peek_time(self) -> Optional[int]:
         if not self._heap:
             return None
         return self._heap[0][0]
 
     def pop(self) -> Optional[Event]:
-        """Deliver the next event, advancing the simulation clock."""
         if not self._heap:
             return None
         time, _, event = heapq.heappop(self._heap)
@@ -134,14 +329,6 @@ class EventQueue:
         return event
 
     def pop_same_kind(self, kind: str, time: int) -> Optional[Event]:
-        """Deliver the next event only if it matches ``kind`` at ``time``.
-
-        This is the batching primitive of the simulators: a run of worker
-        completions scheduled for the same cycle can be drained in one
-        handler activation without disturbing the delivery order of any
-        interleaved event (the head of the heap -- including its FIFO
-        tie-break -- decides, exactly as :meth:`pop` would).
-        """
         heap = self._heap
         if not heap:
             return None
@@ -154,7 +341,6 @@ class EventQueue:
         return head[2]
 
     def __iter__(self) -> Iterator[Event]:
-        """Iterate over events until the queue drains."""
         heap = self._heap
         heappop = heapq.heappop
         while heap:
@@ -164,13 +350,6 @@ class EventQueue:
             yield event
 
     def iter_until(self, horizon: int) -> Iterator[Event]:
-        """Iterate events stamped no later than ``horizon`` cycles.
-
-        Later events stay queued, so a simulator can stop at a cycle
-        horizon (early abort) and still inspect -- or resume -- the
-        remaining schedule.  The clock only advances through delivered
-        events and therefore never passes the horizon.
-        """
         heap = self._heap
         heappop = heapq.heappop
         while heap and heap[0][0] <= horizon:

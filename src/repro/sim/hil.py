@@ -230,7 +230,7 @@ class HILSimulator:
             self._picos_new_free_at = start + result.occupancy
             for ready in result.ready:
                 self.queue.schedule(start + ready.latency, _EV_TASK_VISIBLE, ready.task_id)
-        if accepted_any and self._uses_master:
+        if accepted_any and self._uses_master and not self._master_busy:
             # Space may have freed in the new-task FIFO: let the master
             # create the next task if it was throttled.
             self._kick_master(now)
@@ -264,7 +264,7 @@ class HILSimulator:
                 self._start_execution(task_id, worker_id, now)
             else:
                 self._master_dispatch_jobs.append((task_id, worker_id))
-        if self._uses_master and self._master_dispatch_jobs:
+        if self._uses_master and self._master_dispatch_jobs and not self._master_busy:
             self._kick_master(now)
 
     def _start_execution(self, task_id: int, worker_id: int, now: int) -> None:
@@ -312,7 +312,7 @@ class HILSimulator:
             if nxt is None:
                 break
             payload = nxt.payload
-        if not hw_only:
+        if not hw_only and not self._master_busy:
             self._kick_master(now)
         self._try_dispatch(now)
 

@@ -174,6 +174,44 @@ def case7() -> TaskProgram:
     return program
 
 
+def random_program(
+    seed: int,
+    num_tasks: int = 50,
+    num_addresses: int = 24,
+    max_deps: int = 8,
+    max_duration: int = 500,
+) -> TaskProgram:
+    """A deterministic pseudo-random task graph (for the differential suite).
+
+    Every parameter set and seed maps to exactly one program: tasks draw a
+    dependence count, a set of *distinct* addresses (OmpSs collapses
+    duplicate addresses within one task, so the generator never emits them)
+    and a direction per dependence from a :class:`random.Random` seeded
+    with ``seed``.  The address universe is small enough that producer/
+    consumer chains, WAW/WAR ordering and DM set sharing all occur, which
+    is what makes the graphs interesting to run through every backend.
+    """
+    import random
+
+    if not 0 <= max_deps <= 15:
+        raise ValueError("max_deps must fit the TMX (0..15 dependences)")
+    if num_addresses < max_deps:
+        raise ValueError("need at least max_deps distinct addresses")
+    rng = random.Random(seed)
+    directions = (Direction.IN, Direction.OUT, Direction.INOUT)
+    program = TaskProgram(name=f"random-{seed}-{num_tasks}x{num_addresses}")
+    for _ in range(num_tasks):
+        num_deps = rng.randint(0, max_deps)
+        deps = [
+            Dependence(_address(16000 + index), rng.choice(directions))
+            for index in rng.sample(range(num_addresses), num_deps)
+        ]
+        program.create_task(
+            deps, duration=rng.randint(1, max_duration), label="random"
+        )
+    return program
+
+
 #: Registry of every synthetic case, in paper order.
 SYNTHETIC_CASES: Dict[str, Callable[[], TaskProgram]] = {
     "case1": case1,

@@ -4,17 +4,22 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import pathlib
 
 import pytest
 
 from repro.bench import (
     BENCH_SCHEMA_VERSION,
+    GATE_SPEC,
+    HEADLINE_SPEC,
+    QUICK_SPEC,
     BenchResult,
     BenchSpec,
     bench_document,
     bench_file_name,
     compare_documents,
     default_specs,
+    gate_specs,
     load_bench_document,
     render_comparison,
     render_results,
@@ -211,3 +216,153 @@ class TestBenchCLI:
 
         assert main(["bench", "--backend", "nope"]) == 2
         assert "unknown backend" in capsys.readouterr().err
+
+
+def _committed_snapshot():
+    """The newest ``BENCH_*.json`` committed at the repository root.
+
+    The date-stamped ``BENCH_2*.json`` pattern (the same one the CI job
+    uses) cannot match the untracked ``BENCH_ci*.json`` files the
+    documented bench commands may have left in a developer checkout.
+    """
+    root = pathlib.Path(__file__).resolve().parent.parent
+    candidates = sorted(root.glob("BENCH_2*.json"))
+    assert candidates, "a BENCH_2*.json snapshot must be committed"
+    return load_bench_document(candidates[-1])
+
+
+def _inflated(document, factor):
+    """A copy of ``document`` with every wall time multiplied by ``factor``."""
+    copy = json.loads(json.dumps(document))
+    for row in copy["results"]:
+        row["wall_seconds"] = row["wall_seconds"] * factor
+    return copy
+
+
+class TestRegressionGate:
+    """The CI gate: >15% wall-time growth against the committed snapshot."""
+
+    def test_committed_snapshot_contains_the_ci_and_headline_cells(self):
+        document = _committed_snapshot()
+        keys = {BenchResult.from_dict(row).key() for row in document["results"]}
+        for request_spec in (QUICK_SPEC, HEADLINE_SPEC, GATE_SPEC):
+            for request in request_spec.requests():
+                key = (
+                    request_spec.workload,
+                    request_spec.block_size,
+                    request_spec.problem_size,
+                    request.backend,
+                    request.num_workers,
+                )
+                assert key in keys, (
+                    f"committed snapshot is missing {key}; the CI bench job "
+                    "would have nothing to compare against"
+                )
+
+    def test_gate_cells_are_a_subset_of_the_full_matrix(self):
+        # Every future full snapshot must be able to serve as the gate
+        # baseline, so the gate cells must stay inside the default matrix.
+        full_cells = set()
+        for spec in default_specs():
+            for request in spec.requests():
+                full_cells.add(
+                    (spec.workload, spec.block_size, spec.problem_size,
+                     request.backend, request.num_workers)
+                )
+        for spec in gate_specs():
+            for request in spec.requests():
+                cell = (spec.workload, spec.block_size, spec.problem_size,
+                        request.backend, request.num_workers)
+                assert cell in full_cells
+
+    def test_sixteen_percent_slowdown_is_flagged_at_the_ci_threshold(self):
+        baseline = _committed_snapshot()
+        comparisons, _, _ = compare_documents(
+            baseline, _inflated(baseline, 1.16), threshold=0.15
+        )
+        assert comparisons
+        assert all(comp.regressed for comp in comparisons)
+
+    def test_fourteen_percent_slowdown_passes_the_ci_threshold(self):
+        baseline = _committed_snapshot()
+        comparisons, _, _ = compare_documents(
+            baseline, _inflated(baseline, 1.14), threshold=0.15
+        )
+        assert comparisons
+        assert not any(comp.regressed for comp in comparisons)
+
+    def test_cli_gate_exits_non_zero_on_regression(self, tmp_path, capsys, monkeypatch):
+        import repro.bench as bench_pkg
+        from repro.experiments import cli
+
+        # One synthetic pre-timed cell so the gate test does not pay for a
+        # real bench run: the fresh "run" produces a fixed wall time that
+        # sits 10x above the baseline document written next to it (the CLI
+        # imports run_bench from the package at call time, so patching the
+        # package attribute is enough).
+        fast = bench_document([_row("hil-full", 0.1)])
+        slow_rows = [_row("hil-full", 1.0)]
+        baseline_path = tmp_path / "BENCH_base.json"
+        baseline_path.write_text(json.dumps(fast))
+        monkeypatch.setattr(
+            bench_pkg, "run_bench", lambda specs, progress=None: slow_rows
+        )
+        out_path = tmp_path / "BENCH_new.json"
+        argv = [
+            "bench",
+            "--quick",
+            "--output",
+            str(out_path),
+            "--compare",
+            str(baseline_path),
+            "--fail-threshold",
+            "0.15",
+            "--fail-on-regression",
+        ]
+        assert cli.main(argv) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "FAIL" in captured.err
+        # Without the gate flag the same comparison only reports.
+        assert cli.main(argv[:-1]) == 0
+
+    @pytest.mark.parametrize(
+        "extra", [["--fail-on-regression"], ["--fail-threshold", "0.15"]]
+    )
+    def test_cli_gate_flags_require_a_compare_baseline(self, extra):
+        # A gate without a baseline would always pass silently.
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit, match="require --compare"):
+            main(["bench", "--gate"] + extra)
+
+    def test_cli_gate_fails_when_no_cell_matches_the_baseline(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # A baseline that shares zero cells with the run gates nothing;
+        # the gate must refuse to pass vacuously.
+        import repro.bench as bench_pkg
+        from repro.experiments import cli
+
+        baseline_path = tmp_path / "BENCH_other.json"
+        baseline_path.write_text(json.dumps(bench_document([_row("nanos", 1.0)])))
+        monkeypatch.setattr(
+            bench_pkg,
+            "run_bench",
+            lambda specs, progress=None: [_row("hil-full", 1.0)],
+        )
+        assert (
+            cli.main(
+                [
+                    "bench",
+                    "--quick",
+                    "--output",
+                    str(tmp_path / "BENCH_new.json"),
+                    "--compare",
+                    str(baseline_path),
+                    "--fail-on-regression",
+                ]
+            )
+            == 1
+        )
+        assert "nothing to compare" in capsys.readouterr().err

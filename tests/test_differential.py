@@ -1,0 +1,246 @@
+"""Cross-backend differential fuzz suite.
+
+Hypothesis generates seeds/shapes for :func:`repro.traces.synthetic.
+random_program` and every generated task graph is run through all five
+backends.  Four families of invariants pin the whole stack:
+
+* **roofline bound** -- the analytic lower bound ``max(critical path,
+  ceil(total work / workers))`` holds for every backend's makespan.  The
+  perfect backend realises that roofline with *zero* overhead, so it
+  anchors the bound family; its makespan is **not** asserted to lower-bound
+  the other backends directly because greedy list scheduling is subject to
+  Graham scheduling anomalies (a backend that pays overhead can still beat
+  the greedy order on adversarial graphs -- the committed golden matrix
+  contains a real instance: ``heat/256 nanos w4`` beats ``perfect w4``);
+* **session parity** -- streaming a program through the ``Session`` API is
+  cycle-identical to the batch path, for every backend;
+* **cache-key stability** -- request cache keys are reproducible across
+  *processes* (they seed the on-disk experiment cache, so any process-local
+  state leaking into them would poison shared caches);
+* **engine equivalence** -- the calendar-queue :class:`EventQueue` delivers
+  random schedules event-for-event identically to the binary-heap
+  reference :class:`HeapEventQueue` (including ``pop_same_kind`` and
+  ``iter_until`` interleavings).
+
+Run deterministically with ``pytest tests/test_differential.py
+--hypothesis-seed=0`` (the CI job does exactly that).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+import sys
+
+import pytest
+
+hypothesis = pytest.importorskip(
+    "hypothesis", reason="the differential suite fuzzes via hypothesis"
+)
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.runtime.dependence_analysis import build_task_graph
+from repro.sim.backend import BUILTIN_BACKENDS
+from repro.sim.driver import simulate_request
+from repro.sim.engine import EventQueue, HeapEventQueue
+from repro.sim.request import SimulationRequest
+from repro.sim.session import open_session
+from repro.traces.synthetic import random_program
+
+#: Keep the graphs small: five backends x many examples must stay in CI
+#: budget, and the invariants are shape-driven, not size-driven.
+graph_params = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=2**32 - 1),
+        "num_tasks": st.integers(min_value=1, max_value=40),
+        "num_addresses": st.integers(min_value=8, max_value=24),
+        "max_deps": st.integers(min_value=0, max_value=8),
+        "max_duration": st.integers(min_value=1, max_value=400),
+    }
+)
+
+workers = st.sampled_from([1, 2, 4, 7])
+
+
+def analytic_lower_bound(program, num_workers: int) -> int:
+    """``max(critical path, ceil(work / P))``: a bound no schedule beats."""
+    graph = build_task_graph(program)
+    work = program.sequential_cycles
+    return max(
+        graph.critical_path_length(), -(-work // num_workers)  # ceil division
+    )
+
+
+class TestCrossBackendInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(params=graph_params, num_workers=workers)
+    def test_roofline_bound_holds_for_every_backend(self, params, num_workers):
+        program = random_program(**params)
+        bound = analytic_lower_bound(program, num_workers)
+        for backend in sorted(BUILTIN_BACKENDS):
+            result = simulate_request(
+                SimulationRequest.for_program(
+                    program, backend=backend, num_workers=num_workers
+                )
+            )
+            assert result.num_tasks == program.num_tasks
+            assert result.makespan >= bound, (
+                f"{backend} makespan {result.makespan} beats the analytic "
+                f"roofline bound {bound}"
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(params=graph_params, num_workers=workers)
+    def test_perfect_realises_the_roofline_anchor(self, params, num_workers):
+        """The zero-overhead backend is exact on trivially parallel graphs.
+
+        With one worker any work-conserving schedule is tight, so the
+        perfect backend must *hit* the bound there, not just respect it.
+        """
+        program = random_program(**params)
+        result = simulate_request(
+            SimulationRequest.for_program(
+                program, backend="perfect", num_workers=1
+            )
+        )
+        assert result.makespan == program.sequential_cycles
+
+    @settings(max_examples=10, deadline=None)
+    @given(params=graph_params, num_workers=workers)
+    def test_streamed_session_equals_batch(self, params, num_workers):
+        program = random_program(**params)
+        for backend in sorted(BUILTIN_BACKENDS):
+            request = SimulationRequest.for_program(
+                program, backend=backend, num_workers=num_workers
+            )
+            batch = simulate_request(request)
+            streaming = SimulationRequest.streaming(
+                program.name, backend=backend, num_workers=num_workers
+            )
+            with open_session(streaming) as session:
+                session.submit_program(iter(program))
+                streamed = session.result()
+            assert dataclasses.asdict(streamed) == dataclasses.asdict(batch)
+
+    @settings(max_examples=10, deadline=None)
+    @given(params=graph_params, num_workers=workers)
+    def test_repeated_runs_are_deterministic(self, params, num_workers):
+        program = random_program(**params)
+        for backend in sorted(BUILTIN_BACKENDS):
+            request = SimulationRequest.for_program(
+                program, backend=backend, num_workers=num_workers
+            )
+            first = simulate_request(request)
+            second = simulate_request(request)
+            assert dataclasses.asdict(first) == dataclasses.asdict(second)
+
+
+class TestCacheKeyStability:
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        num_workers=workers,
+        backend=st.sampled_from(sorted(BUILTIN_BACKENDS)),
+    )
+    def test_cache_keys_are_stable_across_processes(
+        self, seed, num_workers, backend
+    ):
+        """A cache key minted here equals one minted in a fresh interpreter.
+
+        This is what makes the on-disk experiment cache shareable: any
+        process-local state (hash randomisation, id()s, dict order) leaking
+        into the key would make caches unreadable across runs.
+        """
+        script = (
+            "from repro.sim.request import SimulationRequest\n"
+            "from repro.traces.synthetic import random_program\n"
+            f"program = random_program({seed}, num_tasks=10)\n"
+            "request = SimulationRequest.for_program(\n"
+            f"    program, backend={backend!r}, num_workers={num_workers}\n"
+            ")\n"
+            "print(request.cache_key(), end='')\n"
+        )
+        local_request = SimulationRequest.for_program(
+            random_program(seed, num_tasks=10),
+            backend=backend,
+            num_workers=num_workers,
+        )
+        fresh = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert fresh.stdout == local_request.cache_key()
+
+
+# ----------------------------------------------------------------------
+# engine differential: calendar queue vs binary-heap reference
+# ----------------------------------------------------------------------
+#: One fuzzed queue interaction: schedule a batch, then drain some events.
+queue_ops = st.lists(
+    st.tuples(
+        st.lists(  # events to schedule: (delay, kind)
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.sampled_from(["a", "b", "c"]),
+            ),
+            max_size=6,
+        ),
+        st.sampled_from(["pop", "pop2", "same-a", "same-now", "peek", "iter3"]),
+    ),
+    max_size=40,
+)
+
+
+def _drive(queue, ops):
+    """Apply a fuzzed op sequence; returns the observable delivery trace."""
+    trace = []
+    payload = 0
+    for schedules, action in ops:
+        for delay, kind in schedules:
+            queue.schedule(queue.now + delay, kind, payload)
+            payload += 1
+        if action == "peek":
+            trace.append(("peek", queue.peek_time))
+        elif action == "same-a":
+            # Head test for a kind at the head's own time: exercises the
+            # batching primitive against interleaved kinds.
+            time = queue.peek_time
+            if time is not None:
+                event = queue.pop_same_kind("a", time)
+                trace.append(
+                    ("same", None if event is None else (event.time, event.kind, event.payload))
+                )
+        elif action == "same-now":
+            # Miss path: asking at the current clock while the head may be
+            # later must not disturb ordering (the calendar queue once
+            # detached buckets on this peek -- the regression the suite
+            # guards).
+            event = queue.pop_same_kind("b", queue.now)
+            trace.append(
+                ("same-now", None if event is None else (event.time, event.kind, event.payload))
+            )
+        elif action == "iter3":
+            horizon = queue.now + 10
+            for event in queue.iter_until(horizon):
+                trace.append(("iter", event.time, event.kind, event.payload))
+        else:
+            count = 2 if action == "pop2" else 1
+            for _ in range(count):
+                event = queue.pop()
+                trace.append(
+                    ("pop", None if event is None else (event.time, event.kind, event.payload))
+                )
+        trace.append(("state", queue.now, queue.pending, queue.processed))
+    for event in queue:
+        trace.append(("drain", event.time, event.kind, event.payload))
+    trace.append(("final", queue.now, queue.pending, queue.processed, queue.empty))
+    return trace
+
+
+class TestCalendarQueueMatchesHeapReference:
+    @settings(max_examples=200, deadline=None)
+    @given(ops=queue_ops)
+    def test_identical_delivery_under_fuzzed_interleavings(self, ops):
+        assert _drive(EventQueue(), ops) == _drive(HeapEventQueue(), ops)

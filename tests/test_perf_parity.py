@@ -47,8 +47,11 @@ def result_digest(result) -> str:
 
 
 #: (workload, block_size, problem_size, backend, num_workers) ->
-#: (makespan, digest), recorded from the engine as of PR 2 (commit
-#: 60e6fea), before any hot-path optimization.
+#: (makespan, digest).  The case3/cholesky/sparselu rows were recorded from
+#: the engine as of PR 2 (commit 60e6fea), before any hot-path
+#: optimization; the h264dec/heat rows were recorded from the PR-3 engine
+#: (commit b5ae8bc), before the calendar-queue and batched Gateway->DCT
+#: dispatch work, so that change cannot silently drift either.
 GOLDEN = {
     ("case3", None, None, "hil-comm", 1): (74736, "c4c81164e2d9072ab62ef088"),
     ("case3", None, None, "hil-comm", 4): (74798, "cab14620219a88387ca7bb9c"),
@@ -60,6 +63,26 @@ GOLDEN = {
     ("case3", None, None, "nanos", 4): (3701117, "f20a64bed8b20bc74c465051"),
     ("case3", None, None, "perfect", 1): (100, "3480ac05a1b7214ca1a2617c"),
     ("case3", None, None, "perfect", 4): (25, "a838124dd0a7e97c92b77e1d"),
+    ("h264dec", 8, None, "hil-comm", 1): (4636113171, "37815049811cbbbdad4e38fb"),
+    ("h264dec", 8, None, "hil-comm", 4): (1170777717, "7731fe7fe5d7bd27af63f6f1"),
+    ("h264dec", 8, None, "hil-full", 1): (4636117961, "34d64c9af674085d50c186d2"),
+    ("h264dec", 8, None, "hil-full", 4): (1170782507, "bbc2a8568126ea60cbf6a990"),
+    ("h264dec", 8, None, "hil-hw", 1): (4635000617, "911fbcb64ddbf0068d062976"),
+    ("h264dec", 8, None, "hil-hw", 4): (1170082939, "66529f0b5460baa08900e76d"),
+    ("h264dec", 8, None, "nanos", 1): (4668333000, "f728865bf0e48fdca25b7b1b"),
+    ("h264dec", 8, None, "nanos", 4): (1176705363, "060724c248f9c38753e09b9c"),
+    ("h264dec", 8, None, "perfect", 1): (4635000000, "4e78704cb86fd0f1fed78b94"),
+    ("h264dec", 8, None, "perfect", 4): (1165960000, "0e2390f14d6655e469e221cf"),
+    ("heat", 256, None, "hil-comm", 1): (224672915, "02d91c95fd12034f821ced1b"),
+    ("heat", 256, None, "hil-comm", 4): (66711800, "46e06c6b058a8f4f6b892106"),
+    ("heat", 256, None, "hil-full", 1): (224677785, "0be102f114c26f7143e34784"),
+    ("heat", 256, None, "hil-full", 4): (66716670, "9688f1282d779d0e701a16d8"),
+    ("heat", 256, None, "hil-hw", 1): (224640279, "a4b0dc0d27e9ebb2fa99fb93"),
+    ("heat", 256, None, "hil-hw", 4): (66691181, "91eb6a5cfa3e4a67aeb4f20c"),
+    ("heat", 256, None, "nanos", 1): (225470200, "da9b1208ac49da47db7bf26d"),
+    ("heat", 256, None, "nanos", 4): (66789829, "316278e6e163a4f09caf3512"),
+    ("heat", 256, None, "perfect", 1): (224640000, "94767c34ac3afdf7540996b8"),
+    ("heat", 256, None, "perfect", 4): (70200000, "2b609cd244e6bf057d321ba0"),
     ("cholesky", 128, 512, "hil-comm", 1): (19431389, "35b3d1c7e123992b2ea774e8"),
     ("cholesky", 128, 512, "hil-comm", 4): (8806141, "18074018760dbfdfda88cf4c"),
     ("cholesky", 128, 512, "hil-full", 1): (19436179, "dfe5f4d05c98b071eb119f16"),

@@ -81,6 +81,88 @@ class TestEventQueue:
         queue.schedule(7, "on-time")
         assert [e.kind for e in queue.iter_until(7)] == ["on-time"]
 
+    def test_earlier_events_scheduled_after_a_peek_still_go_first(self):
+        # Regression: the calendar queue must not commit to the peeked
+        # bucket -- a handler may still schedule an *earlier* event after a
+        # peek (or a pop_same_kind miss) as long as the clock has not
+        # reached the peeked time.
+        queue = EventQueue()
+        queue.schedule(20, "late")
+        assert queue.peek_time == 20
+        assert queue.pop_same_kind("late", 0) is None  # miss at now=0
+        queue.schedule(10, "early")
+        kinds = [event.kind for event in queue]
+        assert kinds == ["early", "late"]
+
+
+class TestPopSameKindInterleavedKinds:
+    """Regression net for the batching primitive.
+
+    An implementation that scans-and-re-pushes non-matching same-time
+    events degrades to O(n) per delivered event when many kinds interleave
+    at one cycle; the head-test contract below is what keeps the calendar
+    queue O(1): a miss inspects only the head and mutates nothing.
+    """
+
+    def test_drains_only_the_matching_head_run(self):
+        queue = EventQueue()
+        for index, kind in enumerate(["a", "a", "b", "a", "b"]):
+            queue.schedule(5, kind, index)
+        first = queue.pop()
+        assert (first.kind, first.payload) == ("a", 0)
+        # The run of "a"s at the head drains; the first "b" stops it even
+        # though more "a"s wait behind it.
+        run = []
+        while True:
+            event = queue.pop_same_kind("a", 5)
+            if event is None:
+                break
+            run.append(event.payload)
+        assert run == [1]
+        # Delivery order of the remainder is untouched.
+        assert [(e.kind, e.payload) for e in queue] == [
+            ("b", 2),
+            ("a", 3),
+            ("b", 4),
+        ]
+
+    def test_a_miss_is_pure(self):
+        # The O(1) guarantee hinges on misses not touching queue state: no
+        # re-push, no clock movement, no counter drift.
+        queue = EventQueue()
+        for index in range(100):
+            queue.schedule(3, "a" if index % 2 else "b", index)
+        queue.pop()  # head is now ("a", 1)
+        before = (queue.now, queue.pending, queue.processed, queue.peek_time)
+        for _ in range(1000):
+            assert queue.pop_same_kind("b", 3) is None
+        assert (queue.now, queue.pending, queue.processed, queue.peek_time) == before
+        # And the full interleaved cycle drains every event exactly once.
+        drained = [event.payload for event in queue]
+        assert drained == list(range(1, 100))
+
+    def test_interleaved_kinds_drain_in_linear_operation_count(self):
+        # 2000 same-cycle events of alternating kinds: the alternating-popper
+        # loop below performs one hit or one miss per delivered event, so a
+        # correct head-test implementation finishes in ~2 operations per
+        # event.  (A scan-and-re-push implementation performs ~n list moves
+        # per miss; this test then takes quadratic time and trips the suite's
+        # runtime budget rather than an assertion.)
+        queue = EventQueue()
+        total = 2000
+        for index in range(total):
+            queue.schedule(1, "a" if index % 2 else "b", index)
+        delivered = 0
+        operations = 0
+        while not queue.empty:
+            for kind in ("a", "b"):
+                event = queue.pop_same_kind(kind, 1)
+                operations += 1
+                if event is not None:
+                    delivered += 1
+        assert delivered == total
+        assert operations <= 2 * total
+
 
 class TestWorkerPool:
     def test_reserve_and_release_cycle(self):

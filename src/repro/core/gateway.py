@@ -10,12 +10,25 @@ performance results:
 * when the DCT cannot store a dependence (DM conflict or full VM), the
   submission pipeline stalls mid-task; the GW keeps the partially-dispatched
   task and resumes from the blocked dependence once resources free up.
+
+Cycle-identity contract
+-----------------------
+
+The Gateway's dependence traffic is batched (maximal consecutive runs per
+DCT bank, see ``docs/engine.md``) but must stay *cycle-identical* to the
+per-dependence reference flow, with exact per-delivered-event accounting:
+every stored dependence still counts one Arbiter TRS message, every
+routed-but-stalled dependence one DCT message, and the stall points,
+stats and resume indices are those of the single-packet path.  The
+contract is pinned by the golden-digest matrix and batched-vs-reference
+loops in ``tests/test_perf_parity.py``, the Gateway unit suite in
+``tests/test_core_gateway.py``, and the seed-pinned cross-backend fuzz in
+``tests/test_differential.py``.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.arbiter import Arbiter
@@ -39,32 +52,85 @@ class GatewayStatus(enum.Enum):
     STALLED = "stalled"
 
 
-@dataclass
 class PendingSubmission:
-    """A task whose dispatch stalled partway through its dependences."""
+    """A task whose dispatch stalled partway through its dependences.
 
-    task: Task
-    trs_id: int
-    tm_index: int
-    next_dep_index: int
-    reason: StallReason
-    retries: int = 0
+    A ``__slots__`` value class (like the packets it replaced a dataclass
+    for): one is allocated per stall, and saturated runs stall often.
+    """
+
+    __slots__ = ("task", "trs_id", "tm_index", "next_dep_index", "reason", "retries")
+
+    def __init__(
+        self,
+        task: Task,
+        trs_id: int,
+        tm_index: int,
+        next_dep_index: int,
+        reason: StallReason,
+        retries: int = 0,
+    ) -> None:
+        self.task = task
+        self.trs_id = trs_id
+        self.tm_index = tm_index
+        self.next_dep_index = next_dep_index
+        self.reason = reason
+        self.retries = retries
+
+    def __repr__(self) -> str:
+        return (
+            f"PendingSubmission(task={self.task!r}, trs_id={self.trs_id}, "
+            f"tm_index={self.tm_index}, next_dep_index={self.next_dep_index}, "
+            f"reason={self.reason!r}, retries={self.retries})"
+        )
 
 
-@dataclass
 class GatewayResult:
-    """What happened when the Gateway processed a new task."""
+    """What happened when the Gateway processed a new task.
 
-    status: GatewayStatus
-    task: Task
-    #: Execute packets produced during the dispatch (task became ready).
-    execute: List[ExecuteTaskPacket] = field(default_factory=list)
-    #: Stall reason when ``status`` is ``STALLED``.
-    stall_reason: Optional[StallReason] = None
-    #: Number of dependences dispatched during this attempt.
-    dependences_dispatched: int = 0
-    #: Number of retry attempts consumed so far (for stall-cycle accounting).
-    retries: int = 0
+    A ``__slots__`` value class: one is allocated per submission *attempt*,
+    and on a run with a saturated Task Memory most attempts are stalls
+    retried after every create and finish.
+    """
+
+    __slots__ = (
+        "status",
+        "task",
+        "execute",
+        "stall_reason",
+        "dependences_dispatched",
+        "retries",
+    )
+
+    def __init__(
+        self,
+        status: GatewayStatus,
+        task: Task,
+        execute: Optional[List[ExecuteTaskPacket]] = None,
+        stall_reason: Optional[StallReason] = None,
+        dependences_dispatched: int = 0,
+        retries: int = 0,
+    ) -> None:
+        self.status = status
+        self.task = task
+        #: Execute packets produced during the dispatch (task became ready).
+        self.execute: List[ExecuteTaskPacket] = (
+            execute if execute is not None else []
+        )
+        #: Stall reason when ``status`` is ``STALLED``.
+        self.stall_reason = stall_reason
+        #: Number of dependences dispatched during this attempt.
+        self.dependences_dispatched = dependences_dispatched
+        #: Number of retry attempts consumed so far (for stall-cycle accounting).
+        self.retries = retries
+
+    def __repr__(self) -> str:
+        return (
+            f"GatewayResult(status={self.status!r}, task={self.task!r}, "
+            f"execute={self.execute!r}, stall_reason={self.stall_reason!r}, "
+            f"dependences_dispatched={self.dependences_dispatched}, "
+            f"retries={self.retries})"
+        )
 
 
 class Gateway:
@@ -84,6 +150,12 @@ class Gateway:
         self.arbiter = arbiter
         self.stats = stats if stats is not None else PicosStats()
         self._next_trs = 0
+        # With the prototype's single TRS the round-robin selection loop
+        # collapses to one free-slot test; submissions retry after every
+        # create/finish, so most calls on a saturated run are stalled
+        # attempts and this is their hot path.
+        self._single_trs = trs_instances[0] if len(self.trs_instances) == 1 else None
+        self._max_deps = config.max_deps_per_task
         self._pending: Optional[PendingSubmission] = None
         #: task_id -> (trs_id, tm_index) for in-flight tasks, so finished
         #: notifications can be routed without a search.
@@ -119,12 +191,15 @@ class Gateway:
             raise RuntimeError(
                 "the Gateway has a stalled submission; call resume() first"
             )
-        if task.num_dependences > self.config.max_deps_per_task:
+        if task.num_dependences > self._max_deps:
             raise ValueError(
                 f"task {task.task_id} carries {task.num_dependences} dependences; "
-                f"the TMX supports at most {self.config.max_deps_per_task}"
+                f"the TMX supports at most {self._max_deps}"
             )
-        trs_id = self._select_trs()
+        if self._single_trs is not None:
+            trs_id: Optional[int] = 0 if self._single_trs.has_free_slot else None
+        else:
+            trs_id = self._select_trs()
         if trs_id is None:
             self.stats.tm_full_stalls += 1
             return GatewayResult(

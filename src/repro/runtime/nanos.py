@@ -171,6 +171,8 @@ class NanosRuntimeSimulator:
 
         # Precomputed handler table instead of a string-comparison ladder;
         # this loop delivers one event per task submission and completion.
+        # The table is consumed by the engine's shared dispatch loop, the
+        # same one driving the HIL simulator (see repro.sim.engine).
         handlers = {
             _EV_SUBMITTED: on_submitted,
             _EV_MASTER_JOINS: on_master_joins,
@@ -178,11 +180,7 @@ class NanosRuntimeSimulator:
                 on_task_done_batched if self.batch_completions else on_task_done
             ),
         }
-        for event in queue:
-            handler = handlers.get(event.kind)
-            if handler is None:  # pragma: no cover - defensive
-                raise RuntimeError(f"unknown event kind {event.kind!r}")
-            handler(event.payload, event.time)
+        queue.dispatch(handlers)
 
         if finished != program.num_tasks:
             raise RuntimeError(

@@ -25,6 +25,30 @@ resource whose per-operation occupancy and readiness latencies come from the
 functional :class:`~repro.core.picos.PicosAccelerator`, the ARM core is a
 serial resource handling communication (and Nanos++ work in full-system
 mode), and workers execute task bodies for their traced duration.
+
+Cycle-identity contract
+-----------------------
+
+This module sits on the measured hot path of every full-system run, and
+every optimization to it must be *cycle-identical*: the schedule --
+per-task created/submitted/ready/started/finished stamps, the makespan and
+the delivered-event count -- must not move by a single cycle.  The
+optimized paths therefore keep reference twins that can be selected per
+run: ``batch_completions=False`` re-enables event-per-event worker
+completion delivery, and ``batch_ready_events=False`` re-enables one
+engine event per ready-task visibility notification (instead of one
+``READY_BATCH`` event per cycle-cluster).  Three test nets pin the
+contract:
+
+* the golden-digest matrix in ``tests/test_perf_parity.py`` (full results
+  recorded from the pre-optimization engine, all five backends);
+* the batched-vs-reference parity classes in ``tests/test_perf_parity.py``
+  and the master-job edge cases in ``tests/test_hil_master.py``;
+* the cross-backend differential fuzz suite in
+  ``tests/test_differential.py`` (seed-pinned in CI).
+
+See ``docs/hil.md`` for the design of the master-job state machine and the
+cycle-cluster batching invariant.
 """
 
 from __future__ import annotations
@@ -94,6 +118,7 @@ _JOB_FINISH = "finish"
 
 # event kinds
 _EV_TASK_VISIBLE = "task-visible"
+_EV_READY_BATCH = "ready-batch"
 _EV_WORKER_DONE = "worker-done"
 _EV_MASTER_DONE = "master-done"
 
@@ -113,6 +138,7 @@ class HILSimulator:
         num_workers: int = 12,
         policy: SchedulingPolicy = SchedulingPolicy.FIFO,
         batch_completions: bool = True,
+        batch_ready_events: bool = True,
     ) -> None:
         if num_workers < 1:
             raise ValueError("at least one worker is required")
@@ -126,6 +152,14 @@ class HILSimulator:
         #: parity suite pins this); ``False`` selects the reference
         #: event-per-event loop the optimized path is checked against.
         self.batch_completions = batch_completions
+        #: Coalesce the ready-task visibility notifications one accelerator
+        #: operation produces for the same target cycle into a single
+        #: ``READY_BATCH`` engine event (one per cycle-cluster), and drain
+        #: adjacent same-cycle batches via ``pop_same_kind``.  Cycle-
+        #: identical to one event per notification; ``False`` selects the
+        #: reference per-notification emission the batched path is parity-
+        #: checked against.
+        self.batch_ready_events = batch_ready_events
         # Mode flags cached as plain booleans: the enum properties cost a
         # dict lookup and comparison on every event otherwise.
         self._uses_master = mode.uses_master
@@ -151,6 +185,35 @@ class HILSimulator:
         self._next_create_index = 0
         self._finished_tasks = 0
         self._submission_blocked = False
+        #: Extra delivered-notification count carried by consumed
+        #: ``READY_BATCH`` events (``len(batch) - 1`` each), so the
+        #: ``events_processed`` counter keeps per-delivered-event accounting
+        #: exactly equal to the reference per-notification loop.
+        self._ready_batch_extra = 0
+        # The master-job costs are pure functions of the job kind (and, for
+        # creates in full-system mode, the dependence count, bounded by the
+        # TMX capacity), so _kick_master reduces to deque pops plus one
+        # list index instead of a call chain per kick.
+        config = self.config
+        self._comm_cycles = config.comm_cycles
+        self._num_tasks = program.num_tasks
+        self._new_fifo_depth = self.NEW_TASK_FIFO_DEPTH
+        if self._full_system:
+            self._create_cost = [
+                config.comm_cycles + config.nanos_submission_cycles(n)
+                for n in range(config.max_deps_per_task + 1)
+            ]
+        else:
+            self._create_cost = [config.comm_cycles] * (
+                config.max_deps_per_task + 1
+            )
+        # Flat table-driven master-job dispatch (kind -> completion
+        # handler): the state machine is one dict hit per master event.
+        self._master_done_handlers = {
+            _JOB_CREATE: self._on_master_created,
+            _JOB_DISPATCH: self._on_master_dispatched,
+            _JOB_FINISH: self._on_master_finished,
+        }
 
     # ------------------------------------------------------------------
     # public entry point
@@ -180,9 +243,11 @@ class HILSimulator:
 
         # Precomputed handler table: one dict hit per event instead of a
         # string-comparison ladder (this loop delivers hundreds of
-        # thousands of events on the fine-grained workloads).
+        # thousands of events on the fine-grained workloads).  Both ready
+        # kinds stay registered so a run can mix emission modes safely.
         handlers = {
             _EV_TASK_VISIBLE: self._on_task_visible,
+            _EV_READY_BATCH: self._on_ready_batch,
             _EV_WORKER_DONE: (
                 self._on_worker_done_batched
                 if self.batch_completions
@@ -190,16 +255,7 @@ class HILSimulator:
             ),
             _EV_MASTER_DONE: self._on_master_done,
         }
-        events = (
-            iter(self.queue)
-            if stop_at_cycle is None
-            else self.queue.iter_until(stop_at_cycle)
-        )
-        for event in events:
-            handler = handlers.get(event.kind)
-            if handler is None:  # pragma: no cover - defensive
-                raise RuntimeError(f"unknown event kind {event.kind!r}")
-            handler(event.payload, event.time)
+        self.queue.dispatch(handlers, horizon=stop_at_cycle)
 
         return self._build_result(aborted_at=stop_at_cycle)
 
@@ -207,65 +263,159 @@ class HILSimulator:
     # Picos pipeline
     # ------------------------------------------------------------------
     def _process_submissions(self, now: int) -> None:
-        """Feed the Gateway with waiting tasks while it makes progress."""
-        accepted_any = False
-        while self._pending_new:
-            head = self._pending_new[0]
-            start = max(now, self._picos_new_free_at)
-            if self.accel.has_pending_submission:
-                if not self.accel.can_resume():
+        """Feed the Gateway with waiting tasks while it makes progress.
+
+        May free space in the new-task FIFO; the enclosing event handler
+        re-arms the master afterwards (every call path in a master-mediated
+        mode ends in :meth:`_on_master_done`), so no kick happens here.
+        """
+        pending_new = self._pending_new
+        if not pending_new:
+            return
+        accel = self.accel
+        timelines = self._timelines
+        free_at = self._picos_new_free_at
+        stalled = SubmitStatus.STALLED
+        while pending_new:
+            head = pending_new[0]
+            start = now if now > free_at else free_at
+            if accel.has_pending_submission:
+                if not accel.can_resume():
                     self._submission_blocked = True
                     break
-                result = self.accel.resume_submission()
+                result = accel.resume_submission()
             else:
-                result = self.accel.submit_task(head)
-            if result.status is SubmitStatus.STALLED:
+                result = accel.submit_task(head)
+            if result.status is stalled:
                 self._submission_blocked = True
                 break
             self._submission_blocked = False
-            accepted_any = True
-            self._pending_new.popleft()
-            timeline = self._timelines[head.task_id]
-            timeline.submitted = start
-            self._picos_new_free_at = start + result.occupancy
-            for ready in result.ready:
-                self.queue.schedule(start + ready.latency, _EV_TASK_VISIBLE, ready.task_id)
-        if accepted_any and self._uses_master and not self._master_busy:
-            # Space may have freed in the new-task FIFO: let the master
-            # create the next task if it was throttled.
-            self._kick_master(now)
+            pending_new.popleft()
+            timelines[head.task_id].submitted = start
+            free_at = start + result.occupancy
+            if result.ready:
+                self._schedule_ready(start, result.ready)
+        self._picos_new_free_at = free_at
 
     def _process_finish(self, task_id: int, now: int) -> None:
         """Run the finished-task path through the accelerator."""
         start = max(now, self._picos_finish_free_at)
         result = self.accel.notify_finish(task_id)
         self._picos_finish_free_at = start + result.occupancy
-        for ready in result.ready:
-            self.queue.schedule(start + ready.latency, _EV_TASK_VISIBLE, ready.task_id)
+        if result.ready:
+            self._schedule_ready(start, result.ready)
         # Finishes free TM entries, DM ways and VM versions: retry any
         # blocked submission.
         self._process_submissions(now)
+
+    def _schedule_ready(self, start: int, ready_list) -> None:
+        """Schedule the visibility notifications of one accelerator op.
+
+        In the batched mode the notifications targeting the same cycle are
+        coalesced into one ``READY_BATCH`` engine event carrying the
+        task-id cluster; since nothing else can be scheduled between the
+        members of one emit loop, the collapsed event occupies exactly the
+        calendar-bucket position the first member would have had, so FIFO
+        order against every interleaved event is preserved.  The reference
+        mode emits one ``task-visible`` event per notification.
+        """
+        schedule = self.queue.schedule
+        if not self.batch_ready_events:
+            for ready in ready_list:
+                schedule(start + ready.latency, _EV_TASK_VISIBLE, ready.task_id)
+            return
+        if len(ready_list) == 1:
+            # The overwhelmingly common case: a singleton cluster travels
+            # as a bare task id, no list allocation on the hot path.
+            ready = ready_list[0]
+            schedule(start + ready.latency, _EV_READY_BATCH, ready.task_id)
+            return
+        # Group by target cycle, preserving first-occurrence order (wake-up
+        # latencies grow with chain depth, so the groups are typically
+        # contiguous runs already).
+        clusters: Dict[int, list] = {}
+        for ready in ready_list:
+            time = start + ready.latency
+            cluster = clusters.get(time)
+            if cluster is None:
+                clusters[time] = [ready.task_id]
+            else:
+                cluster.append(ready.task_id)
+        for time, task_ids in clusters.items():
+            if len(task_ids) == 1:
+                schedule(time, _EV_READY_BATCH, task_ids[0])
+            else:
+                schedule(time, _EV_READY_BATCH, task_ids)
 
     # ------------------------------------------------------------------
     # ready tasks and workers
     # ------------------------------------------------------------------
     def _on_task_visible(self, task_id: int, now: int) -> None:
-        timeline = self._timelines[task_id]
-        timeline.ready = now
+        """Reference handler: one visibility notification per engine event."""
+        self._timelines[task_id].ready = now
         self.ready.push(task_id)
         self._try_dispatch(now)
+        self._kick_master(now)
+
+    def _on_ready_batch(self, payload, now: int) -> None:
+        """Deliver a cycle-cluster of ready-task visibility notifications.
+
+        The payload is the task-id cluster one accelerator operation made
+        visible at this cycle; adjacent same-cycle clusters (from other
+        operations) are drained through ``pop_same_kind`` in the same
+        activation.  Each task still gets its own push + dispatch pass --
+        that keeps the schedule cycle-identical to the per-notification
+        reference for *every* scheduling policy (a priority scheduler could
+        otherwise see two tasks at once and pick the later, better one) and
+        keeps the ready-queue high-water counter exact.  Only the master
+        re-arm is shared, which is safe because a dispatch pass in a
+        master-mediated mode only queues jobs: the first queued dispatch
+        job is the one an eager per-task re-arm would have started, at the
+        same cycle and cost.
+        """
+        timelines = self._timelines
+        ready = self.ready
+        try_dispatch = self._try_dispatch
+        pop_same_kind = self.queue.pop_same_kind
+        extra = self._ready_batch_extra
+        while True:
+            if payload.__class__ is list:
+                extra += len(payload) - 1
+                for task_id in payload:
+                    timelines[task_id].ready = now
+                    ready.push(task_id)
+                    try_dispatch(now)
+            else:
+                # Singleton cluster: the payload is the bare task id.
+                timelines[payload].ready = now
+                ready.push(payload)
+                try_dispatch(now)
+            nxt = pop_same_kind(_EV_READY_BATCH, now)
+            if nxt is None:
+                break
+            payload = nxt.payload
+        self._ready_batch_extra = extra
+        self._kick_master(now)
 
     def _try_dispatch(self, now: int) -> None:
-        """Hand ready tasks to idle workers (directly or via the ARM core)."""
-        while self.workers.has_idle and len(self.ready):
-            task_id = self.ready.pop()
-            worker_id = self.workers.reserve(task_id)
-            if self._hw_only:
+        """Hand ready tasks to idle workers (directly or via the ARM core).
+
+        Pure draining: re-arming the master is the enclosing event
+        handler's job (the batch re-arm points), so this can run once per
+        delivered notification without re-scanning the job queues.
+        """
+        workers = self.workers
+        ready = self.ready
+        if self._hw_only:
+            while workers.has_idle and len(ready):
+                task_id = ready.pop()
+                worker_id = workers.reserve(task_id)
                 self._start_execution(task_id, worker_id, now)
-            else:
-                self._master_dispatch_jobs.append((task_id, worker_id))
-        if self._uses_master and self._master_dispatch_jobs and not self._master_busy:
-            self._kick_master(now)
+        else:
+            dispatch_jobs = self._master_dispatch_jobs
+            while workers.has_idle and len(ready):
+                task_id = ready.pop()
+                dispatch_jobs.append((task_id, workers.reserve(task_id)))
 
     def _start_execution(self, task_id: int, worker_id: int, now: int) -> None:
         task = self.program.task(task_id)
@@ -274,6 +424,7 @@ class HILSimulator:
         self.queue.schedule(end, _EV_WORKER_DONE, (worker_id, task_id))
 
     def _on_worker_done(self, payload: Tuple[int, int], now: int) -> None:
+        """Reference handler: one worker completion per engine event."""
         worker_id, task_id = payload
         self._timelines[task_id].finished = now
         self.workers.release(worker_id)
@@ -282,8 +433,8 @@ class HILSimulator:
             self._process_finish(task_id, now)
         else:
             self._master_finish_jobs.append(task_id)
-            self._kick_master(now)
         self._try_dispatch(now)
+        self._kick_master(now)
 
     def _on_worker_done_batched(self, payload: Tuple[int, int], now: int) -> None:
         """Drain the run of worker completions scheduled for this cycle.
@@ -297,86 +448,106 @@ class HILSimulator:
         reference loop; only which physical worker id picks up a given
         ready task may differ, and workers are homogeneous.
         """
-        queue = self.queue
+        timelines = self._timelines
+        release = self.workers.release
+        pop_same_kind = self.queue.pop_same_kind
         hw_only = self._hw_only
+        finish_jobs = self._master_finish_jobs
+        finished = self._finished_tasks
         while True:
             worker_id, task_id = payload
-            self._timelines[task_id].finished = now
-            self.workers.release(worker_id)
-            self._finished_tasks += 1
+            timelines[task_id].finished = now
+            release(worker_id)
+            finished += 1
             if hw_only:
                 self._process_finish(task_id, now)
             else:
-                self._master_finish_jobs.append(task_id)
-            nxt = queue.pop_same_kind(_EV_WORKER_DONE, now)
+                finish_jobs.append(task_id)
+            nxt = pop_same_kind(_EV_WORKER_DONE, now)
             if nxt is None:
                 break
             payload = nxt.payload
-        if not hw_only and not self._master_busy:
-            self._kick_master(now)
+        self._finished_tasks = finished
         self._try_dispatch(now)
+        self._kick_master(now)
 
     # ------------------------------------------------------------------
     # the ARM core (master) in HW+comm and Full-system modes
     # ------------------------------------------------------------------
-    def _master_can_create(self) -> bool:
-        return (
-            self._next_create_index < self.program.num_tasks
-            and len(self._pending_new) < self.NEW_TASK_FIFO_DEPTH
-        )
-
-    def _next_master_job(self) -> Optional[Tuple[str, object]]:
-        """Pick the next job for the ARM core (finish > dispatch > create)."""
-        if self._master_finish_jobs:
-            return (_JOB_FINISH, self._master_finish_jobs.popleft())
-        if self._master_dispatch_jobs:
-            return (_JOB_DISPATCH, self._master_dispatch_jobs.popleft())
-        if self._master_can_create():
-            task = self.program[self._next_create_index]
-            self._next_create_index += 1
-            return (_JOB_CREATE, task)
-        return None
-
-    def _master_job_cost(self, kind: str, payload: object) -> int:
-        if kind == _JOB_CREATE:
-            assert isinstance(payload, Task)
-            cost = self.config.comm_cycles
-            if self._full_system:
-                cost += self.config.nanos_submission_cycles(payload.num_dependences)
-            return cost
-        # dispatch and finish forwarding are one AXI-stream message each.
-        return self.config.comm_cycles
-
     def _kick_master(self, now: int) -> None:
-        if not self._uses_master or self._master_busy:
+        """Arm the idle ARM core with its next job (the batch re-arm point).
+
+        The flat master state machine: job selection (finish > dispatch >
+        create, matching the AXI-stream arbitration of the prototype), the
+        job cost and the timeline stamp happen inline over precomputed
+        locals -- this runs once per event-handler activation, the largest
+        measured hot spot before the rewrite.  Each top-level event handler
+        re-arms exactly once at its end instead of at every inner call
+        site; by then the job queues hold everything the activation
+        produced, and because picking a job only pops a deque and schedules
+        one event, a deferred re-arm selects the same job at the same cycle
+        as the eager per-site kicks did.
+        """
+        if self._master_busy or not self._uses_master:
             return
-        job = self._next_master_job()
-        if job is None:
-            return
-        kind, payload = job
-        cost = self._master_job_cost(kind, payload)
+        finish_jobs = self._master_finish_jobs
+        dispatch_jobs = self._master_dispatch_jobs
+        if finish_jobs:
+            job = (_JOB_FINISH, finish_jobs.popleft())
+            cost = self._comm_cycles
+        elif dispatch_jobs:
+            job = (_JOB_DISPATCH, dispatch_jobs.popleft())
+            cost = self._comm_cycles
+        else:
+            index = self._next_create_index
+            if (
+                index >= self._num_tasks
+                or len(self._pending_new) >= self._new_fifo_depth
+            ):
+                return
+            task = self.program[index]
+            self._next_create_index = index + 1
+            job = (_JOB_CREATE, task)
+            num_deps = task.num_dependences
+            costs = self._create_cost
+            # Tasks beyond the TMX capacity are rejected later by the
+            # Gateway; cost them through the config call so that error
+            # surfaces instead of an index error here.
+            cost = (
+                costs[num_deps]
+                if num_deps < len(costs)
+                else self._master_create_cost(num_deps)
+            )
+            self._timelines[task.task_id].created = now
         self._master_busy = True
-        if kind == _JOB_CREATE:
-            assert isinstance(payload, Task)
-            self._timelines[payload.task_id].created = now
         self.queue.schedule(now + cost, _EV_MASTER_DONE, job)
+
+    def _master_create_cost(self, num_deps: int) -> int:
+        """Creation cost past the precomputed table (oversized tasks)."""
+        cost = self.config.comm_cycles
+        if self._full_system:
+            cost += self.config.nanos_submission_cycles(num_deps)
+        return cost
 
     def _on_master_done(self, job: Tuple[str, object], now: int) -> None:
         self._master_busy = False
         kind, payload = job
-        if kind == _JOB_CREATE:
-            assert isinstance(payload, Task)
-            self._pending_new.append(payload)
-            self._process_submissions(now)
-        elif kind == _JOB_DISPATCH:
-            task_id, worker_id = payload  # type: ignore[misc]
-            self._start_execution(task_id, worker_id, now)
-        elif kind == _JOB_FINISH:
-            assert isinstance(payload, int)
-            self._process_finish(payload, now)
-        else:  # pragma: no cover - defensive
+        handler = self._master_done_handlers.get(kind)
+        if handler is None:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown master job {kind!r}")
+        handler(payload, now)
         self._kick_master(now)
+
+    def _on_master_created(self, task: Task, now: int) -> None:
+        self._pending_new.append(task)
+        self._process_submissions(now)
+
+    def _on_master_dispatched(self, payload: Tuple[int, int], now: int) -> None:
+        task_id, worker_id = payload
+        self._start_execution(task_id, worker_id, now)
+
+    def _on_master_finished(self, task_id: int, now: int) -> None:
+        self._process_finish(task_id, now)
 
     # ------------------------------------------------------------------
     # results
@@ -396,7 +567,11 @@ class HILSimulator:
         )
         counters = self.accel.stats.as_dict()
         counters["ready_queue_high_water"] = self.ready.max_occupancy
-        counters["events_processed"] = self.queue.processed
+        # Per-delivered-event accounting: a consumed READY_BATCH engine
+        # event counts once per visibility notification it carried, so the
+        # counter equals the reference per-notification loop's exactly
+        # (tests/test_perf_parity.py asserts field-for-field equality).
+        counters["events_processed"] = self.queue.processed + self._ready_batch_extra
         if aborted:
             counters["aborted_at_cycle"] = aborted_at
             counters["finished_tasks"] = self._finished_tasks

@@ -145,6 +145,21 @@ class TestReferenceLoopParity:
         ).run()
         assert dataclasses.asdict(batched) == dataclasses.asdict(reference)
 
+    @pytest.mark.parametrize("mode", list(HILMode))
+    @pytest.mark.parametrize("workers", [1, 3, 8])
+    def test_hil_ready_batching_matches_reference(self, mode, workers):
+        """READY_BATCH cycle-cluster delivery equals per-notification events."""
+        program = build_workload("cholesky", 128, 512)
+        batched = HILSimulator(program, mode=mode, num_workers=workers).run()
+        reference = HILSimulator(
+            program,
+            mode=mode,
+            num_workers=workers,
+            batch_completions=False,
+            batch_ready_events=False,
+        ).run()
+        assert dataclasses.asdict(batched) == dataclasses.asdict(reference)
+
     @pytest.mark.parametrize("workers", [1, 3, 8])
     def test_nanos_batched_matches_reference(self, workers):
         program = build_workload("sparselu", 128, 512)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repository's markdown docs.
+
+Scans ``README.md`` and ``docs/*.md`` for inline markdown links
+(``[text](target)`` and ``![alt](target)``), resolves every relative
+target against the file it appears in, and exits non-zero listing the
+targets that do not exist on disk.  External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#section``) are skipped; a
+``path#fragment`` target is checked for the path part only.
+
+Run from the repository root (CI's docs job does exactly this)::
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline markdown link/image: ``[text](target)`` with no nested brackets.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Targets that are not files in this repository.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files(root: Path) -> List[Path]:
+    """The markdown set the repository promises to keep link-clean."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.is_file()]
+
+
+def broken_links(path: Path) -> Iterable[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every dangling relative link."""
+    for line_number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            if not (path.parent / file_part).exists():
+                yield line_number, target
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path.cwd()
+    failures = []
+    checked = 0
+    for path in doc_files(root):
+        checked += 1
+        for line_number, target in broken_links(path):
+            failures.append(f"{path.relative_to(root)}:{line_number}: broken link -> {target}")
+    if not checked:
+        print("no markdown files found; run from the repository root", file=sys.stderr)
+        return 2
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print(f"\n{len(failures)} broken link(s) in {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"{checked} markdown file(s) link-clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -26,11 +26,14 @@ from repro.bench.harness import (
     default_specs,
     gate_specs,
     load_bench_document,
+    profile_cell,
+    profile_specs,
     render_comparison,
     render_results,
     run_bench,
     run_spec,
     write_bench_file,
+    write_profile_file,
 )
 
 __all__ = [
@@ -48,9 +51,12 @@ __all__ = [
     "default_specs",
     "gate_specs",
     "load_bench_document",
+    "profile_cell",
+    "profile_specs",
     "render_comparison",
     "render_results",
     "run_bench",
     "run_spec",
     "write_bench_file",
+    "write_profile_file",
 ]

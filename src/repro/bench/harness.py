@@ -223,6 +223,84 @@ def run_bench(
     return results
 
 
+# ----------------------------------------------------------------------
+# profiling
+# ----------------------------------------------------------------------
+#: Functions kept per cell by the ``--profile`` report.
+PROFILE_TOP_FUNCTIONS = 25
+
+
+def profile_cell(request: SimulationRequest) -> str:
+    """One cell's cProfile report: top cumulative functions, as text.
+
+    The profiled run is *separate* from the timed ones (profiling
+    multiplies wall time several-fold), so a ``--profile`` bench still
+    writes honest timings; the report answers "where did that cell's time
+    go", not "how long did it take".
+    """
+    import cProfile
+    import io
+    import pstats
+
+    normalized = request.normalize()
+    normalized.build_program()  # keep generation out of the profile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    simulate_request(normalized)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(PROFILE_TOP_FUNCTIONS)
+    return buffer.getvalue()
+
+
+def profile_specs(
+    specs: Sequence[BenchSpec],
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[Tuple[str, str]]:
+    """Profile every cell of ``specs``; returns ``(label, report)`` pairs."""
+    reports: List[Tuple[str, str]] = []
+    for spec in specs:
+        for backend in spec.backends:
+            for workers in spec.worker_counts:
+                request = SimulationRequest.for_workload(
+                    spec.workload,
+                    block_size=spec.block_size,
+                    problem_size=spec.problem_size,
+                    backend=backend,
+                    num_workers=workers,
+                )
+                block = f"/{spec.block_size}" if spec.block_size is not None else ""
+                size = (
+                    f"@{spec.problem_size}" if spec.problem_size is not None else ""
+                )
+                label = f"{spec.workload}{block}{size} {backend} w{workers}"
+                if progress is not None:
+                    progress(f"profiling {label}")
+                reports.append((label, profile_cell(request)))
+    return reports
+
+
+def write_profile_file(
+    reports: Sequence[Tuple[str, str]], bench_path: Union[str, Path]
+) -> Path:
+    """Write the per-cell profile reports next to a bench snapshot.
+
+    ``BENCH_<date>.json`` gets a sibling ``BENCH_<date>.profile.txt`` so
+    the wall-time numbers and the hot-function breakdown that explains
+    them travel together.
+    """
+    snapshot = Path(bench_path)
+    path = snapshot.with_name(snapshot.stem + ".profile.txt")
+    with path.open("w", encoding="utf-8") as stream:
+        for label, report in reports:
+            stream.write(f"==== {label} ====\n")
+            stream.write(report)
+            if not report.endswith("\n"):
+                stream.write("\n")
+    return path
+
+
 #: The CI smoke matrix: a small Cholesky on every backend at two worker
 #: counts.  Also part of the full matrix, so a committed full snapshot is
 #: directly comparable against the quick run the CI bench job executes.
@@ -436,6 +514,11 @@ def render_comparison(
     for label in only_new:
         lines.append(f"{label:<42} (only in the new snapshot)")
     regressed = sum(1 for c in comparisons if c.regressed)
+    # Matrix drift (cells present in only one snapshot) is reported, not an
+    # error: snapshots recorded before a spec change stay usable baselines.
+    drift = ""
+    if only_old or only_new:
+        drift = f", {len(only_new)} cell(s) added, {len(only_old)} removed"
     if comparisons:
         geomean = 1.0
         for comp in comparisons:
@@ -443,8 +526,8 @@ def render_comparison(
         geomean **= 1.0 / len(comparisons)
         lines.append(
             f"{len(comparisons)} cells compared, geometric-mean speedup "
-            f"{geomean:.2f}x, {regressed} regression(s)"
+            f"{geomean:.2f}x, {regressed} regression(s){drift}"
         )
     else:
-        lines.append("no comparable cells between the two snapshots")
+        lines.append(f"no comparable cells between the two snapshots{drift}")
     return "\n".join(lines)

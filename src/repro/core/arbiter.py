@@ -82,6 +82,31 @@ class Arbiter:
             run_start = run_end
             route = next_route
 
+    def iter_dct_address_runs(self, addresses, start: int, end: int):
+        """Yield ``(dct_index, run_start, run_end)`` over same-route runs.
+
+        The flat-datapath twin of :meth:`iter_dct_runs`: ``addresses`` is a
+        plain sequence of dependence addresses (the finish path of the
+        integer-handle datapath carries parallel lists instead of packet
+        objects).  Routing only -- callers account the traffic.
+        """
+        index_for = self.dct_index_for
+        run_start = start
+        if run_start >= end:
+            return
+        route = index_for(addresses[run_start])
+        while run_start < end:
+            run_end = run_start + 1
+            next_route = route
+            while run_end < end:
+                next_route = index_for(addresses[run_end])
+                if next_route != route:
+                    break
+                run_end += 1
+            yield route, run_start, run_end
+            run_start = run_end
+            route = next_route
+
     def count_dct_messages(self, index: int, count: int) -> None:
         """Record ``count`` dependence packets routed to DCT ``index``.
 
@@ -100,6 +125,18 @@ class Arbiter:
             raise ValueError(f"slot references unknown TRS instance {slot.trs_id}")
         self.messages_to_trs += 1
         return slot.trs_id
+
+    def trs_for_slot_index(self, trs_index: int) -> int:
+        """TRS instance ``trs_index`` (decoded from a packed slot handle).
+
+        The flat-datapath twin of :meth:`trs_for_slot`: the caller decodes
+        the TRS id from the integer slot handle; the Arbiter validates the
+        route and counts the notification exactly like the packet form.
+        """
+        if not 0 <= trs_index < self.num_trs:
+            raise ValueError(f"slot references unknown TRS instance {trs_index}")
+        self.messages_to_trs += 1
+        return trs_index
 
     def count_trs_messages(self, count: int) -> None:
         """Record ``count`` DCT->TRS notifications routed as one batch.

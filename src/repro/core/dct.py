@@ -18,8 +18,19 @@ finish processing (F4)
     and DM entries once a version chain is completely finished.
 
 Structural hazards -- a full DM set (conflict) or a full VM -- are reported
-through :class:`DctStall` so the Gateway can hold the new task, exactly like
-the prototype stalls its pipeline.
+through the returned stall reason so the Gateway can hold the new task,
+exactly like the prototype stalls its pipeline.
+
+Flat datapath
+-------------
+
+Both halves run directly over the parallel flat arrays of the DM, VM and
+TMX (see ``docs/datapath.md``): the DM compare is a C-speed tag scan
+returning an integer way handle, versions and task slots are integer
+indices with ``-1`` for *none*, and no packet or outcome object is
+allocated per dependence.  The object-based reference implementation lives
+in :mod:`repro.core.reference` and the differential suite pins the two
+cycle-identical.
 """
 
 from __future__ import annotations
@@ -29,15 +40,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import PicosConfig
 from repro.core.dependence_memory import DependenceMemory
-from repro.core.packets import (
-    DependencePacket,
-    DependentPacket,
-    FinishPacket,
-    ReadyPacket,
-    TaskSlotRef,
-)
 from repro.core.stats import PicosStats
-from repro.core.version_memory import VersionEntry, VersionMemory
+from repro.core.version_memory import VersionMemory
 from repro.runtime.task import Direction
 
 
@@ -56,77 +60,6 @@ class DctStall(Exception):
         super().__init__(f"DCT stall ({reason.value}) on address {address:#x}")
         self.reason = reason
         self.address = address
-
-
-class DependenceOutcome:
-    """Result of processing one new dependence.
-
-    A ``__slots__`` value class: one is allocated per dependence of every
-    submitted task.
-    """
-
-    __slots__ = ("ready", "vm_index", "predecessor")
-
-    def __init__(
-        self,
-        ready: bool,
-        vm_index: int,
-        predecessor: Optional[TaskSlotRef] = None,
-    ) -> None:
-        #: ``True`` when the dependence is immediately ready.
-        self.ready = ready
-        #: VM entry (version) the dependence was attached to.
-        self.vm_index = vm_index
-        #: Consumer-chain predecessor to store in the TMX (waiting consumers
-        #: only).
-        self.predecessor = predecessor
-
-    def __repr__(self) -> str:
-        return (
-            f"DependenceOutcome(ready={self.ready}, vm_index={self.vm_index}, "
-            f"predecessor={self.predecessor!r})"
-        )
-
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, DependenceOutcome):
-            return NotImplemented
-        return (
-            self.ready == other.ready
-            and self.vm_index == other.vm_index
-            and self.predecessor == other.predecessor
-        )
-
-    def to_packet(self, slot: TaskSlotRef):
-        """Render the outcome as the packet the DCT sends to the TRS."""
-        if self.ready:
-            return ReadyPacket(slot=slot, vm_index=self.vm_index)
-        return DependentPacket(
-            slot=slot, vm_index=self.vm_index, predecessor=self.predecessor
-        )
-
-
-class FinishOutcome:
-    """Result of processing one dependence-release (finish) packet."""
-
-    __slots__ = ("wakeups", "version_released", "address_released")
-
-    def __init__(self) -> None:
-        #: Wake-ups produced by this release: consumer chains are woken
-        #: through their last consumer; completed versions wake the next
-        #: producer.
-        self.wakeups: List[ReadyPacket] = []
-        #: Whether a VM entry was recycled.
-        self.version_released = False
-        #: Whether the DM way of the address was recycled (chain fully
-        #: finished).
-        self.address_released = False
-
-    def __repr__(self) -> str:
-        return (
-            f"FinishOutcome(wakeups={self.wakeups!r}, "
-            f"version_released={self.version_released}, "
-            f"address_released={self.address_released})"
-        )
 
 
 class DependenceChainTracker:
@@ -156,80 +89,69 @@ class DependenceChainTracker:
         Used by the Gateway to decide whether to resume a stalled
         submission without paying for a failed attempt.
         """
-        way = self.dm.find_way(address)
-        if way is not None:
+        dm = self.dm
+        if dm.lookup(address) >= 0:
             if direction.writes:
                 return not self.vm.full
             return True
-        if self.dm.set_is_full(self.dm.set_index(address)):
+        if dm.set_is_full(dm.set_index(address)):
             return False
         return not self.vm.full
 
-    def process_dependence(self, packet: DependencePacket) -> DependenceOutcome:
-        """Handle one new dependence; may raise :class:`DctStall`.
-
-        A batch of one: the packet itself carries ``address``/``direction``
-        like a :class:`~repro.runtime.task.Dependence`, so it can ride
-        through :meth:`process_batch` directly.  Kept as the single-packet
-        surface for exploratory drivers and the unit tests; the Gateway
-        dispatches whole tasks through :meth:`process_batch`.
-        """
-        outcomes, stall_reason = self.process_batch((packet.slot,), (packet,), 0, 1)
-        if stall_reason is not None:
-            raise DctStall(stall_reason, packet.address)
-        ready, vm_index, predecessor = outcomes[0]
-        return DependenceOutcome(
-            ready=ready, vm_index=vm_index, predecessor=predecessor
-        )
-
     def process_batch(
         self,
-        slots: Sequence[TaskSlotRef],
+        slots: Sequence[int],
         dependences: Sequence,
         start: int,
         end: int,
-    ) -> Tuple[List[Tuple[bool, int, Optional[TaskSlotRef]]], Optional[StallReason]]:
+    ) -> Tuple[List[Tuple[bool, int, int]], Optional[StallReason]]:
         """Handle all of ``dependences[start:end]`` in one pass (N5, batched).
 
-        ``slots[k - start]`` is the TMX slot reference of
+        ``slots[k - start]`` is the packed TMX slot handle of
         ``dependences[k]``; each dependence only needs ``.address`` and
         ``.direction`` attributes (:class:`~repro.runtime.task.Dependence`
-        and :class:`~repro.core.packets.DependencePacket` both qualify).
+        qualifies).
 
         This is the Gateway's hot path: one call per task (per DCT bank)
-        instead of one packet round-trip per dependence.  The set index of
-        every address resolves through the memoized DM hash, the DM/VM
-        mutations happen through locals hoisted out of the loop, and the
-        stats and watermark updates are folded to one write per batch --
-        all observably identical to running :meth:`process_dependence`
-        dependence by dependence, which the parity suite pins.
-
-        Returns ``(outcomes, stall_reason)``: one ``(ready, vm_index,
-        predecessor)`` triple per dependence processed, in order.  On a
-        structural hazard the batch stops -- ``outcomes`` covers the
-        dependences stored before the blocked one and ``stall_reason`` says
-        why (the stalled dependence itself is *not* stored, exactly like
-        the raising single-packet path); the Gateway resumes from
-        ``start + len(outcomes)`` once resources free up.
+        instead of one packet round-trip per dependence, fused directly
+        over the flat DM/VM arrays with hoisted locals.  Returns
+        ``(outcomes, stall_reason)``: one ``(ready, vm_index,
+        predecessor)`` triple per dependence processed, in order, with
+        integer slot handles (``-1`` for no predecessor).  On a structural
+        hazard the batch stops -- ``outcomes`` covers the dependences
+        stored before the blocked one and ``stall_reason`` says why (the
+        stalled dependence itself is *not* stored); the Gateway resumes
+        from ``start + len(outcomes)`` once resources free up.  The
+        reference implementation pins this loop branch for branch.
         """
-        # The DM compare and the DM/VM allocations are inlined over locals:
-        # this loop runs once per dependence of every submitted task and a
-        # method call per memory access costs as much as the access.  The
-        # single-packet surfaces (DependenceMemory.lookup/allocate,
-        # VersionMemory.allocate) define the semantics; the parity suite
-        # pins this loop to them cycle-for-cycle.
         dm = self.dm
         vm = self.vm
         stats = self.stats
         blocked = self._blocked_addresses
         index_of = dm._index_of
-        dm_sets = dm._sets
+        ways = dm.ways_per_set
+        dm_valid = dm._valid
+        dm_tag = dm._tag
+        dm_input_only = dm._input_only
+        dm_latest = dm._latest_vm_index
+        dm_live = dm._live_versions
+        dm_access = dm._access_count
         vm_free = vm._free
-        vm_slots = vm._slots
         vm_entries = vm.entries
+        v_valid = vm._valid
+        v_address = vm._address
+        v_producer = vm._producer
+        v_producer_finished = vm._producer_finished
+        v_last_consumer = vm._last_consumer
+        v_consumers_arrived = vm._consumers_arrived
+        v_consumers_finished = vm._consumers_finished
+        v_next_version = vm._next_version
+        v_dm_handle = vm._dm_handle
         writer = Direction.OUT
         readwriter = Direction.INOUT
-        outcomes: List[Tuple[bool, int, Optional[TaskSlotRef]]] = []
+        tag_scan = dm_tag.index
+        free_scan = dm_valid.index
+        outcomes: List[Tuple[bool, int, int]] = []
         append = outcomes.append
         stall_reason: Optional[StallReason] = None
         ready_count = 0
@@ -239,20 +161,20 @@ class DependenceChainTracker:
             direction = dep.direction
             writes = direction is writer or direction is readwriter
             slot = slots[index - start]
-            # DM compare: way 0 has the highest priority (Figure 4); the
-            # first free way doubles as the allocation target on a miss.
-            way = None
-            free_way = None
-            for candidate in dm_sets[index_of(address)]:
-                if candidate.valid:
-                    if candidate.tag == address:
-                        way = candidate
-                        break
-                elif free_way is None:
-                    free_way = candidate
-            if way is None:
+            # DM compare: way 0 has the highest priority (Figure 4).  The
+            # tag scan runs at C speed; released ways hold tag -1, so a
+            # match is always a valid way.
+            base = index_of(address) * ways
+            limit = base + ways
+            try:
+                way = tag_scan(address, base, limit)
+            except ValueError:
+                way = -1
+            if way < 0:
                 # First live access: allocate DM way + first version.
-                if free_way is None:
+                try:
+                    way = free_scan(False, base, limit)
+                except ValueError:
                     self._record_conflict(address)
                     stall_reason = StallReason.DM_CONFLICT
                     break
@@ -260,32 +182,39 @@ class DependenceChainTracker:
                     stats.vm_full_stalls += 1
                     stall_reason = StallReason.VM_FULL
                     break
-                free_way.valid = True
-                free_way.tag = address
-                free_way.input_only = not writes
+                dm_valid[way] = True
+                dm_tag[way] = address
+                dm_input_only[way] = not writes
                 dm.allocations += 1
                 dm._occupied += 1
                 if dm._occupied > dm._high_water:
                     dm._high_water = dm._occupied
                 vm_index = vm_free.pop()
-                version = VersionEntry(vm_index=vm_index, address=address)
-                vm_slots[vm_index] = version
+                v_valid[vm_index] = True
+                v_address[vm_index] = address
+                v_producer_finished[vm_index] = False
+                v_last_consumer[vm_index] = -1
+                v_consumers_finished[vm_index] = 0
+                v_next_version[vm_index] = -1
+                v_dm_handle[vm_index] = way
                 vm._total_allocations += 1
                 occupied = vm_entries - len(vm_free)
                 if occupied > vm._high_water:
                     vm._high_water = occupied
                 stats.dm_allocations += 1
                 stats.vm_allocations += 1
-                free_way.latest_vm_index = vm_index
-                free_way.live_versions = 1
-                free_way.access_count = 1
+                dm_latest[way] = vm_index
+                dm_live[way] = 1
+                dm_access[way] = 1
                 if writes:
-                    version.producer = slot
+                    v_producer[vm_index] = slot
+                    v_consumers_arrived[vm_index] = 0
                 else:
-                    version.consumers_arrived = 1
+                    v_producer[vm_index] = -1
+                    v_consumers_arrived[vm_index] = 1
                 # The very first access to an address never waits.
                 ready_count += 1
-                append((True, vm_index, None))
+                append((True, vm_index, -1))
             elif writes:
                 # A writer opens a new version chained after the latest
                 # live one; it always waits (WAW/WAR ordering).
@@ -293,34 +222,40 @@ class DependenceChainTracker:
                     stats.vm_full_stalls += 1
                     stall_reason = StallReason.VM_FULL
                     break
-                previous = vm_slots[way.latest_vm_index]
+                previous = dm_latest[way]
                 vm_index = vm_free.pop()
-                version = VersionEntry(vm_index=vm_index, address=address)
-                vm_slots[vm_index] = version
+                v_valid[vm_index] = True
+                v_address[vm_index] = address
+                v_producer[vm_index] = slot
+                v_producer_finished[vm_index] = False
+                v_last_consumer[vm_index] = -1
+                v_consumers_arrived[vm_index] = 0
+                v_consumers_finished[vm_index] = 0
+                v_next_version[vm_index] = -1
+                v_dm_handle[vm_index] = way
                 vm._total_allocations += 1
                 occupied = vm_entries - len(vm_free)
                 if occupied > vm._high_water:
                     vm._high_water = occupied
                 stats.vm_allocations += 1
-                version.producer = slot
-                previous.next_version = vm_index
-                way.latest_vm_index = vm_index
-                way.live_versions += 1
-                way.input_only = False
-                way.access_count += 1
-                append((False, vm_index, None))
+                v_next_version[previous] = vm_index
+                dm_latest[way] = vm_index
+                dm_live[way] += 1
+                dm_input_only[way] = False
+                dm_access[way] += 1
+                append((False, vm_index, -1))
             else:
                 # A reader joins the latest live version of the address.
-                version = vm_slots[way.latest_vm_index]
-                way.access_count += 1
-                version.consumers_arrived += 1
-                if version.producer is None or version.producer_finished:
+                vm_index = dm_latest[way]
+                dm_access[way] += 1
+                v_consumers_arrived[vm_index] += 1
+                if v_producer[vm_index] < 0 or v_producer_finished[vm_index]:
                     ready_count += 1
-                    append((True, version.vm_index, None))
+                    append((True, vm_index, -1))
                 else:
-                    predecessor = version.last_consumer
-                    version.last_consumer = slot
-                    append((False, version.vm_index, predecessor))
+                    predecessor = v_last_consumer[vm_index]
+                    v_last_consumer[vm_index] = slot
+                    append((False, vm_index, predecessor))
             blocked.discard(address)
         stored = len(outcomes)
         stats.dependences_processed += stored
@@ -342,111 +277,95 @@ class DependenceChainTracker:
     # ------------------------------------------------------------------
     # finish path (F4)
     # ------------------------------------------------------------------
-    def process_finish(self, packet: FinishPacket) -> FinishOutcome:
-        """Handle the release of one dependence of a finished task."""
-        outcome = FinishOutcome()
-        version = self.vm.entry(packet.vm_index)
-        self.stats.finish_packets += 1
+    def process_finish_run(
+        self,
+        slots: Sequence[int],
+        vm_indices: Sequence[int],
+        start: int,
+        end: int,
+    ) -> List[Tuple[int, int]]:
+        """Handle finish notifications ``start:end`` in one pass (F4).
 
-        is_producer_finish = (
-            version.producer is not None
-            and not version.producer_finished
-            and version.producer == packet.slot
-        )
-        if is_producer_finish:
-            version.producer_finished = True
-            if version.last_consumer is not None:
-                # Wake the consumer chain starting from the last consumer
-                # (link 1 of Figure 5); the TRS walks the chain backwards.
-                outcome.wakeups.append(
-                    ReadyPacket(slot=version.last_consumer, vm_index=version.vm_index)
-                )
-                self.stats.wakeup_packets += 1
-        else:
-            version.consumers_finished += 1
-
-        if version.complete:
-            outcome.version_released = True
-            outcome.address_released = self._retire_version(
-                version, outcome.wakeups
-            )
-        return outcome
-
-    def process_finish_batch(
-        self, packets: Sequence[FinishPacket], start: int, end: int
-    ) -> List[ReadyPacket]:
-        """Handle ``packets[start:end]`` in one pass (F4, batched).
-
-        The finish-side counterpart of :meth:`process_batch`: one call per
-        finishing task (per DCT bank) instead of one packet round-trip per
-        released dependence.  Returns the wake-ups of the whole run in
-        release order -- exactly the concatenation of the per-packet
-        ``FinishOutcome.wakeups`` lists, which the parity suite pins.
+        ``slots``/``vm_indices`` are the parallel sequences a TRS emitted
+        from :meth:`~repro.core.trs.TaskReservationStation.handle_finished`.
+        Returns the wake-ups of the whole run in release order as
+        ``(slot, vm_index)`` pairs -- consumer chains are woken through
+        their last consumer, completed versions wake the next producer.
         """
-        vm_slots = self.vm._slots
+        vm = self.vm
         stats = self.stats
-        wakeups: List[ReadyPacket] = []
+        v_valid = vm._valid
+        v_producer = vm._producer
+        v_producer_finished = vm._producer_finished
+        v_last_consumer = vm._last_consumer
+        v_consumers_arrived = vm._consumers_arrived
+        v_consumers_finished = vm._consumers_finished
+        wakeups: List[Tuple[int, int]] = []
         append = wakeups.append
         finished = 0
         woken = 0
         for index in range(start, end):
-            packet = packets[index]
-            version = vm_slots[packet.vm_index]
-            if version is None:
-                # Same diagnostic the single-packet path gets from
-                # vm.entry(): a stale/duplicate release must name the
-                # violated invariant, not die on an attribute of None.
-                raise KeyError(f"VM entry {packet.vm_index} is not occupied")
+            vm_index = vm_indices[index]
+            if not v_valid[vm_index]:
+                # A stale/duplicate release must name the violated
+                # invariant, not corrupt a recycled entry.
+                raise KeyError(f"VM entry {vm_index} is not occupied")
             finished += 1
-            producer = version.producer
+            producer = v_producer[vm_index]
             if (
-                producer is not None
-                and not version.producer_finished
-                and producer == packet.slot
+                producer >= 0
+                and not v_producer_finished[vm_index]
+                and producer == slots[index]
             ):
-                version.producer_finished = True
-                last_consumer = version.last_consumer
-                if last_consumer is not None:
-                    append(
-                        ReadyPacket(slot=last_consumer, vm_index=version.vm_index)
-                    )
+                v_producer_finished[vm_index] = True
+                last_consumer = v_last_consumer[vm_index]
+                if last_consumer >= 0:
+                    # Wake the consumer chain starting from the last
+                    # consumer (link 1 of Figure 5); the TRS walks the
+                    # chain backwards.
+                    append((last_consumer, vm_index))
                     woken += 1
             else:
-                version.consumers_finished += 1
+                v_consumers_finished[vm_index] += 1
             if (
-                producer is None or version.producer_finished
-            ) and version.consumers_arrived == version.consumers_finished:
-                self._retire_version(version, wakeups)
+                producer < 0 or v_producer_finished[vm_index]
+            ) and v_consumers_arrived[vm_index] == v_consumers_finished[vm_index]:
+                self._retire_version(vm_index, wakeups)
         stats.finish_packets += finished
         stats.wakeup_packets += woken
         return wakeups
 
-    def _retire_version(self, version, wakeups: List[ReadyPacket]) -> bool:
+    def _retire_version(
+        self, vm_index: int, wakeups: List[Tuple[int, int]]
+    ) -> bool:
         """Recycle a completed version, waking the next producer if any.
 
         Appends the producer wake-up (when the address has a next version)
         to ``wakeups`` and returns whether the DM way was recycled too.
+        The DM way handle was cached at allocation; the tag check guards
+        the cache against any handle-stability bug.
         """
-        way = self.dm.find_way(version.address)
-        if way is None:
+        dm = self.dm
+        vm = self.vm
+        way = vm._dm_handle[vm_index]
+        address = vm._address[vm_index]
+        if way < 0 or dm._tag[way] != address:
             raise RuntimeError(
-                f"version {version.vm_index} refers to address "
-                f"{version.address:#x} which is not in the DM"
+                f"version {vm_index} refers to address "
+                f"{address:#x} which is not in the DM"
             )
-        if version.next_version is not None:
-            next_version = self.vm.entry(version.next_version)
-            if next_version.producer is None:
+        next_version = vm._next_version[vm_index]
+        if next_version >= 0:
+            producer = vm._producer[next_version]
+            if producer < 0:
                 raise RuntimeError("chained version without a producer")
-            wakeups.append(
-                ReadyPacket(
-                    slot=next_version.producer, vm_index=next_version.vm_index
-                )
-            )
+            wakeups.append((producer, next_version))
             self.stats.wakeup_packets += 1
-        self.vm.release(version.vm_index)
-        way.live_versions -= 1
-        if way.live_versions <= 0:
-            self.dm.release_way(way)
+        vm.release(vm_index)
+        live = dm._live_versions[way] - 1
+        dm._live_versions[way] = live
+        if live <= 0:
+            dm.release_handle(way)
             return True
         return False
 
@@ -454,7 +373,7 @@ class DependenceChainTracker:
     # bookkeeping
     # ------------------------------------------------------------------
     def _update_memory_watermarks(self) -> None:
-        # Branches instead of max(): this runs once per processed dependence
+        # Branches instead of max(): this runs once per processed batch
         # and the watermark moves only a handful of times per run.
         stats = self.stats
         dm_occupied = self.dm.occupied

@@ -19,12 +19,26 @@ design         ways   set index                      VM entries
 When a new address maps to a set whose ways are all valid with different
 tags, the dependence cannot be stored: this is a *DM conflict* (Table II)
 and the whole new-task pipeline stalls until one of the ways is recycled.
+
+Flat layout
+-----------
+
+The way state lives in parallel flat lists indexed by the integer *way
+handle* ``set_index * ways_per_set + way_index`` -- exactly how the
+hardware addresses its SRAM banks, and how every structure of the hot
+datapath is laid out (see ``docs/datapath.md``).  ``lookup`` returns a
+handle (or ``-1`` on a miss) instead of allocating a result object, and
+the tag scan runs through ``list.index`` at C speed.  Released ways reset
+their tag to ``-1`` so a stale tag can never alias a live address; the
+invariant ``valid[h] <=> tag[h] != -1`` is what makes the tag scan
+equivalent to the valid-qualified compare of the reference model
+(:mod:`repro.core.reference.dependence_memory`), which the differential
+suite pins.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.core.config import DMDesign
 from repro.core.hashing import make_index_function
@@ -41,103 +55,8 @@ class DependenceMemoryConflict(RuntimeError):
         self.set_index = set_index
 
 
-class DMWay:
-    """One way of one DM set (a ``__slots__`` record on the compare path)."""
-
-    __slots__ = (
-        "valid",
-        "input_only",
-        "tag",
-        "latest_vm_index",
-        "live_versions",
-        "access_count",
-    )
-
-    def __init__(
-        self,
-        valid: bool = False,
-        input_only: bool = True,
-        tag: int = 0,
-        latest_vm_index: Optional[int] = None,
-        live_versions: int = 0,
-        access_count: int = 0,
-    ) -> None:
-        self.valid = valid
-        self.input_only = input_only
-        self.tag = tag
-        #: VM index of the most recent live version of this address.
-        self.latest_vm_index = latest_vm_index
-        #: Number of live versions of this address (the entry is recycled
-        #: when this drops to zero).
-        self.live_versions = live_versions
-        #: Total accesses (producer or consumer) recorded since allocation;
-        #: mirrors the "count" field of Figure 4.
-        self.access_count = access_count
-
-    def __repr__(self) -> str:
-        return (
-            f"DMWay(valid={self.valid}, input_only={self.input_only}, "
-            f"tag={self.tag:#x}, latest_vm_index={self.latest_vm_index}, "
-            f"live_versions={self.live_versions}, access_count={self.access_count})"
-        )
-
-    def __eq__(self, other: object) -> bool:
-        # Field-wise equality, matching the dataclass this class replaced
-        # (mutable, so instances stay unhashable).
-        if not isinstance(other, DMWay):
-            return NotImplemented
-        return (
-            self.valid == other.valid
-            and self.input_only == other.input_only
-            and self.tag == other.tag
-            and self.latest_vm_index == other.latest_vm_index
-            and self.live_versions == other.live_versions
-            and self.access_count == other.access_count
-        )
-
-    __hash__ = None  # type: ignore[assignment]
-
-
-class DMLookupResult:
-    """Outcome of a DM compare operation.
-
-    A ``__slots__`` value class: one is allocated per DM compare, which
-    happens several times per task.
-    """
-
-    __slots__ = ("hit", "set_index", "way_index", "way")
-
-    def __init__(
-        self,
-        hit: bool,
-        set_index: int,
-        way_index: Optional[int],
-        way: Optional[DMWay],
-    ) -> None:
-        self.hit = hit
-        self.set_index = set_index
-        self.way_index = way_index
-        self.way = way
-
-    def __repr__(self) -> str:
-        return (
-            f"DMLookupResult(hit={self.hit}, set_index={self.set_index}, "
-            f"way_index={self.way_index}, way={self.way!r})"
-        )
-
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, DMLookupResult):
-            return NotImplemented
-        return (
-            self.hit == other.hit
-            and self.set_index == other.set_index
-            and self.way_index == other.way_index
-            and self.way == other.way
-        )
-
-
 class DependenceMemory:
-    """A 64-set, N-way, cache-like dependence memory."""
+    """A 64-set, N-way, cache-like dependence memory (flat SoA layout)."""
 
     def __init__(self, design: DMDesign, num_sets: int = 64) -> None:
         if num_sets < 1:
@@ -145,9 +64,14 @@ class DependenceMemory:
         self.design = design
         self.num_sets = num_sets
         self.ways_per_set = design.ways
-        self._sets: List[List[DMWay]] = [
-            [DMWay() for _ in range(self.ways_per_set)] for _ in range(num_sets)
-        ]
+        total = num_sets * self.ways_per_set
+        #: One entry per way handle ``set * ways_per_set + way``.
+        self._valid: List[bool] = [False] * total
+        self._input_only: List[bool] = [True] * total
+        self._tag: List[int] = [-1] * total
+        self._latest_vm_index: List[int] = [-1] * total
+        self._live_versions: List[int] = [0] * total
+        self._access_count: List[int] = [0] * total
         self.conflicts = 0
         self.allocations = 0
         self._occupied = 0
@@ -183,76 +107,68 @@ class DependenceMemory:
 
     def set_is_full(self, set_index: int) -> bool:
         """Whether every way of ``set_index`` is valid."""
-        return all(way.valid for way in self._sets[set_index])
+        base = set_index * self.ways_per_set
+        return False not in self._valid[base : base + self.ways_per_set]
 
     # ------------------------------------------------------------------
     # compare / allocate / release
     # ------------------------------------------------------------------
-    def lookup(self, address: int) -> DMLookupResult:
-        """DM compare: search the set of ``address`` for a matching tag.
+    def lookup(self, address: int) -> int:
+        """DM compare: the way handle holding ``address``, or ``-1``.
 
         Way 0 has the highest priority, way N-1 the lowest, as in the
-        priority encoder of Figure 4.
+        priority encoder of Figure 4 (``list.index`` returns the first
+        match).  No result object is allocated on the compare path.
         """
-        set_index = self._index_of(address)
-        for way_index, way in enumerate(self._sets[set_index]):
-            if way.valid and way.tag == address:
-                return DMLookupResult(True, set_index, way_index, way)
-        return DMLookupResult(False, set_index, None, None)
+        base = self._index_of(address) * self.ways_per_set
+        try:
+            return self._tag.index(address, base, base + self.ways_per_set)
+        except ValueError:
+            return -1
 
-    def find_way(self, address: int) -> Optional[DMWay]:
-        """The valid way holding ``address``, or ``None`` (fast compare).
-
-        Semantically ``lookup(address).way``, without allocating a
-        :class:`DMLookupResult`; this is the form the DCT uses on its
-        per-dependence hot path.
-        """
-        for way in self._sets[self._index_of(address)]:
-            if way.valid and way.tag == address:
-                return way
-        return None
-
-    def allocate(self, address: int, input_only: bool) -> Tuple[int, DMWay]:
+    def allocate(self, address: int, input_only: bool) -> int:
         """Store a new address in its set (the *New DM address* of Figure 4).
 
-        Returns the ``(way_index, way)`` pair used.  Raises
+        Returns the way handle used.  Raises
         :class:`DependenceMemoryConflict` -- and counts one conflict -- when
         the set has no free way.
         """
         set_index = self._index_of(address)
-        ways = self._sets[set_index]
-        for way_index, way in enumerate(ways):
-            if not way.valid:
-                way.valid = True
-                way.tag = address
-                way.input_only = input_only
-                way.latest_vm_index = None
-                way.live_versions = 0
-                way.access_count = 0
-                self.allocations += 1
-                self._occupied += 1
-                self._high_water = max(self._high_water, self._occupied)
-                return way_index, way
-        self.conflicts += 1
-        raise DependenceMemoryConflict(address, set_index)
+        base = set_index * self.ways_per_set
+        try:
+            handle = self._valid.index(False, base, base + self.ways_per_set)
+        except ValueError:
+            self.conflicts += 1
+            raise DependenceMemoryConflict(address, set_index) from None
+        self._valid[handle] = True
+        self._tag[handle] = address
+        self._input_only[handle] = input_only
+        self._latest_vm_index[handle] = -1
+        self._live_versions[handle] = 0
+        self._access_count[handle] = 0
+        self.allocations += 1
+        self._occupied += 1
+        if self._occupied > self._high_water:
+            self._high_water = self._occupied
+        return handle
 
     def release(self, address: int) -> None:
         """Invalidate the way holding ``address`` (all versions finished)."""
-        way = self.find_way(address)
-        if way is None:
+        handle = self.lookup(address)
+        if handle < 0:
             raise KeyError(f"address {address:#x} is not stored in the DM")
-        self.release_way(way)
+        self.release_handle(handle)
 
-    def release_way(self, way: DMWay) -> None:
-        """Invalidate ``way`` directly (the caller already matched it).
+    def release_handle(self, handle: int) -> None:
+        """Invalidate the way at ``handle`` directly (already matched).
 
-        The finish hot path looks the way up once to update its version
-        chain and then recycles it; releasing by way skips the second set
-        scan :meth:`release` would pay.
+        Resetting the tag to ``-1`` keeps the flat compare safe: the tag
+        scan can only ever match a live address.
         """
-        way.valid = False
-        way.latest_vm_index = None
-        way.live_versions = 0
+        self._valid[handle] = False
+        self._tag[handle] = -1
+        self._latest_vm_index[handle] = -1
+        self._live_versions[handle] = 0
         self._occupied -= 1
 
     # ------------------------------------------------------------------
@@ -260,12 +176,9 @@ class DependenceMemory:
     # ------------------------------------------------------------------
     def live_addresses(self) -> List[int]:
         """Every address currently stored (order: set, then way priority)."""
-        addresses: List[int] = []
-        for ways in self._sets:
-            for way in ways:
-                if way.valid:
-                    addresses.append(way.tag)
-        return addresses
+        valid = self._valid
+        tag = self._tag
+        return [tag[h] for h in range(len(valid)) if valid[h]]
 
     def set_occupancy_histogram(self) -> Dict[int, int]:
         """Mapping of set index to the number of valid ways it holds.
@@ -275,8 +188,11 @@ class DependenceMemory:
         hash nearly every address lands in a handful of sets.
         """
         histogram: Dict[int, int] = {}
-        for set_index, ways in enumerate(self._sets):
-            valid = sum(1 for way in ways if way.valid)
-            if valid:
-                histogram[set_index] = valid
+        ways = self.ways_per_set
+        valid = self._valid
+        for set_index in range(self.num_sets):
+            base = set_index * ways
+            count = sum(valid[base : base + ways])
+            if count:
+                histogram[set_index] = count
         return histogram

@@ -34,12 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.arbiter import Arbiter
 from repro.core.config import PicosConfig
 from repro.core.dct import DependenceChainTracker, StallReason
-from repro.core.packets import (
-    ExecuteTaskPacket,
-    FinishPacket,
-    FinishedTaskPacket,
-    NewTaskPacket,
-)
+from repro.core.packets import ExecuteTaskPacket
 from repro.core.stats import PicosStats
 from repro.core.trs import TaskReservationStation
 from repro.runtime.task import Task
@@ -208,23 +203,17 @@ class Gateway:
                 stall_reason=StallReason.TM_FULL,
             )
         trs = self.trs_instances[trs_id]
-        packet = NewTaskPacket(
-            task_id=task.task_id,
-            trs_id=trs_id,
-            tm_index=0,  # placeholder, replaced after allocation
-            num_deps=task.num_dependences,
-        )
-        entry, execute = trs.accept_new_task(packet)
-        self._slot_of_task[task.task_id] = (trs_id, entry.tm_index)
+        tm_index, ready = trs.accept_task(task.task_id, task.num_dependences)
+        self._slot_of_task[task.task_id] = (trs_id, tm_index)
         result = GatewayResult(status=GatewayStatus.ACCEPTED, task=task)
-        if execute is not None:
+        if ready:
             result.execute.append(
                 ExecuteTaskPacket(
-                    task_id=task.task_id, trs_id=trs_id, tm_index=entry.tm_index
+                    task_id=task.task_id, trs_id=trs_id, tm_index=tm_index
                 )
             )
             return result
-        return self._dispatch_dependences(task, trs_id, entry.tm_index, 0, result)
+        return self._dispatch_dependences(task, trs_id, tm_index, 0, result)
 
     def resume(self) -> GatewayResult:
         """Retry a stalled submission from the blocked dependence."""
@@ -310,11 +299,12 @@ class Gateway:
                 # the Arbiter, which still counts one message per
                 # dependence.
                 arbiter.count_trs_messages(stored)
-                execute = trs.apply_submission_outcomes(
-                    tm_index, run_start, outcomes
-                )
-                if execute is not None:
-                    result.execute.append(execute)
+                if trs.apply_submission_outcomes(tm_index, run_start, outcomes):
+                    result.execute.append(
+                        ExecuteTaskPacket(
+                            task_id=task.task_id, trs_id=trs_id, tm_index=tm_index
+                        )
+                    )
             if stall_reason is not None:
                 # Drop the TMX slots recorded past the last stored
                 # dependence so the retry records them again cleanly.
@@ -335,19 +325,20 @@ class Gateway:
     # ------------------------------------------------------------------
     # finished-task path
     # ------------------------------------------------------------------
-    def notify_finished(self, task_id: int) -> List[FinishPacket]:
+    def notify_finished(
+        self, task_id: int
+    ) -> Tuple[Sequence[int], List[int], List[int]]:
         """Process a finished-task notification (F1-F3).
 
-        Returns the finish packets the owning TRS emitted towards the DCTs;
-        the caller (the accelerator facade) routes them and collects the
-        wake-ups.
+        Returns the finish run the owning TRS emitted towards the DCTs --
+        ``(slots, vm_indices, addresses)`` parallel sequences, one element
+        per dependence of the task; the caller (the accelerator facade)
+        routes the run and collects the wake-ups.
         """
         if task_id not in self._slot_of_task:
             raise KeyError(f"task {task_id} is not in flight")
         trs_id, tm_index = self._slot_of_task.pop(task_id)
-        trs = self.trs_instances[trs_id]
-        packet = FinishedTaskPacket(task_id=task_id, trs_id=trs_id, tm_index=tm_index)
-        return trs.handle_finished(packet)
+        return self.trs_instances[trs_id].handle_finished(task_id, tm_index)
 
     def slot_of(self, task_id: int) -> Tuple[int, int]:
         """(TRS id, TM index) of an in-flight task."""

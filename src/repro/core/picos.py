@@ -22,6 +22,7 @@ schedule; purely functional users may ignore them.
 from __future__ import annotations
 
 import enum
+import os
 from collections import deque
 from typing import Dict, List, Optional
 
@@ -29,11 +30,21 @@ from repro.core.arbiter import Arbiter
 from repro.core.config import PicosConfig
 from repro.core.dct import DependenceChainTracker, StallReason
 from repro.core.gateway import Gateway, GatewayStatus
-from repro.core.packets import ReadyPacket
 from repro.core.scheduler import SchedulingPolicy, TaskScheduler
 from repro.core.stats import PicosStats
 from repro.core.trs import TaskReservationStation
 from repro.runtime.task import Task
+
+#: Environment override forcing the object-based reference datapath
+#: (:mod:`repro.core.reference`) regardless of the configuration; used by
+#: the CI differential leg.  Any value except ``""`` and ``"0"`` counts.
+REFERENCE_DATAPATH_ENV = "REPRO_REFERENCE_DATAPATH"
+
+
+def _use_reference_datapath(config: PicosConfig) -> bool:
+    if config.reference_datapath:
+        return True
+    return os.environ.get(REFERENCE_DATAPATH_ENV, "0") not in ("", "0")
 
 
 class SubmitStatus(enum.Enum):
@@ -142,14 +153,31 @@ class PicosAccelerator:
         self.config = config if config is not None else PicosConfig()
         self.stats = PicosStats()
         self.arbiter = Arbiter(self.config.num_trs, self.config.num_dct)
+        if _use_reference_datapath(self.config):
+            # The object-based oracle, behind the same integer-handle
+            # surface (cycle-identical by contract -- docs/datapath.md).
+            from repro.core.reference.adapter import (
+                ReferenceDependenceChainTracker,
+                ReferenceTaskReservationStation,
+            )
+
+            trs_class = ReferenceTaskReservationStation
+            dct_class = ReferenceDependenceChainTracker
+        else:
+            trs_class = TaskReservationStation
+            dct_class = DependenceChainTracker
         self.trs_instances = [
-            TaskReservationStation(i, self.config, self.stats)
+            trs_class(i, self.config, self.stats)
             for i in range(self.config.num_trs)
         ]
         self.dct_instances = [
-            DependenceChainTracker(i, self.config, self.stats)
+            dct_class(i, self.config, self.stats)
             for i in range(self.config.num_dct)
         ]
+        #: Slot handles pack ``trs_id * slots_per_trs + tm_index * max_deps
+        #: + dep_index``; the wake-walk decodes the owning TRS with one
+        #: integer division.
+        self._slots_per_trs = self.config.tm_entries * self.config.max_deps_per_task
         self.gateway = Gateway(
             self.config, self.trs_instances, self.dct_instances, self.arbiter, self.stats
         )
@@ -243,55 +271,66 @@ class PicosAccelerator:
     # ------------------------------------------------------------------
     def notify_finish(self, task_id: int) -> FinishResult:
         """Notify that a worker finished ``task_id`` (packets F1-F4)."""
-        finish_packets = self.gateway.notify_finished(task_id)
-        num_deps = self._deps_of_task.pop(task_id, len(finish_packets))
+        slots, vm_indices, addresses = self.gateway.notify_finished(task_id)
+        num_deps = self._deps_of_task.pop(task_id, len(slots))
         occupancy = self._finish_occupancy[num_deps]
         self.stats.busy_cycles += occupancy
         result = FinishResult(task_id=task_id, occupancy=occupancy)
 
-        # Route the finish packets to their DCTs in consecutive same-bank
-        # runs (one batch per finishing task with the prototype's single
-        # DCT) and collect the wake-ups, then walk consumer chains through
-        # the owning TRS instances.  Unlike the dispatch path, every
-        # finish packet is delivered (releases cannot stall), so each
-        # run's full length is accounted.
+        # Route the finish run to its DCTs in consecutive same-bank runs
+        # (one batch per finishing task with the prototype's single DCT)
+        # and collect the wake-ups, then walk consumer chains through the
+        # owning TRS instances.  Unlike the dispatch path, every finish
+        # notification is delivered (releases cannot stall), so each run's
+        # full length is accounted.
         pending_wakeups: deque = deque()
+        extend_wakeups = pending_wakeups.extend
         dct_instances = self.dct_instances
-        total = len(finish_packets)
+        total = len(slots)
         if len(dct_instances) == 1:
-            wakeups = dct_instances[0].process_finish_batch(
-                finish_packets, 0, total
+            extend_wakeups(
+                (wake_slot, wake_vm, 0)
+                for wake_slot, wake_vm in dct_instances[0].process_finish_run(
+                    slots, vm_indices, 0, total
+                )
             )
-            for wake in wakeups:
-                pending_wakeups.append((wake, 0))
         else:
             arbiter = self.arbiter
-            for route, run_start, run_end in arbiter.iter_dct_runs(
-                finish_packets, 0, total
+            for route, run_start, run_end in arbiter.iter_dct_address_runs(
+                addresses, 0, total
             ):
                 arbiter.count_dct_messages(route, run_end - run_start)
-                wakeups = dct_instances[route].process_finish_batch(
-                    finish_packets, run_start, run_end
+                extend_wakeups(
+                    (wake_slot, wake_vm, 0)
+                    for wake_slot, wake_vm in dct_instances[
+                        route
+                    ].process_finish_run(slots, vm_indices, run_start, run_end)
                 )
-                for wake in wakeups:
-                    pending_wakeups.append((wake, 0))
 
+        arbiter = self.arbiter
+        trs_instances = self.trs_instances
+        slots_per_trs = self._slots_per_trs
+        wake_latency = self.config.wake_latency
+        chain_hop_cycles = self.config.chain_hop_cycles
+        auto_enqueue = self.auto_enqueue
+        scheduler_push = self.scheduler.push
+        ready_append = result.ready.append
+        popleft = pending_wakeups.popleft
         while pending_wakeups:
-            wake, depth = pending_wakeups.popleft()
-            trs = self.trs_instances[self.arbiter.trs_for_slot(wake.slot)]
-            ready_result = trs.handle_ready(wake)
-            latency = (
-                occupancy
-                + self.config.wake_latency
-                + depth * self.config.chain_hop_cycles
-            )
-            for execute in ready_result.execute:
-                ready = ReadyTask(task_id=execute.task_id, latency=latency)
-                result.ready.append(ready)
-                if self.auto_enqueue:
-                    self.scheduler.push(ready.task_id)
-            for chained in ready_result.chained:
-                pending_wakeups.append((chained, depth + 1))
+            wake_slot, wake_vm, depth = popleft()
+            trs = trs_instances[
+                arbiter.trs_for_slot_index(wake_slot // slots_per_trs)
+            ]
+            ready_task_id, chained = trs.handle_ready_slot(wake_slot, wake_vm)
+            if ready_task_id is not None:
+                latency = occupancy + wake_latency + depth * chain_hop_cycles
+                ready_append(ReadyTask(task_id=ready_task_id, latency=latency))
+                if auto_enqueue:
+                    scheduler_push(ready_task_id)
+            if chained >= 0:
+                # The chained wake-up carries the same VM index (the
+                # earlier consumer belongs to the same version).
+                pending_wakeups.append((chained, wake_vm, depth + 1))
 
         self._finished += 1
         return result

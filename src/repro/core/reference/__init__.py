@@ -1,0 +1,37 @@
+"""Object-based reference implementation of the Picos hot datapath.
+
+This package preserves the pre-flat per-object model of the DM, VM, TM,
+TRS and DCT -- one ``__slots__`` record per way, version and task slot,
+:class:`~repro.core.packets.TaskSlotRef` objects instead of packed integer
+handles.  It is kept as the *differential oracle* of the flat datapath in
+:mod:`repro.core` (the same pattern as
+:class:`~repro.sim.engine.HeapEventQueue` for the calendar queue): the
+semantics of every structure are defined here in their most explicit form,
+and the fuzz/parity suites pin the flat implementation to this one
+cycle-for-cycle.
+
+Select it at run time with ``PicosConfig(reference_datapath=True)`` or the
+``REPRO_REFERENCE_DATAPATH`` environment variable; the
+:mod:`~repro.core.reference.adapter` module wraps these classes behind the
+integer-handle surface the Gateway and accelerator facade speak.
+"""
+
+from repro.core.reference.adapter import (
+    ReferenceDependenceChainTracker,
+    ReferenceTaskReservationStation,
+)
+from repro.core.reference.dct import DependenceChainTracker
+from repro.core.reference.dependence_memory import DependenceMemory
+from repro.core.reference.task_memory import TaskMemory
+from repro.core.reference.trs import TaskReservationStation
+from repro.core.reference.version_memory import VersionMemory
+
+__all__ = [
+    "DependenceChainTracker",
+    "DependenceMemory",
+    "ReferenceDependenceChainTracker",
+    "ReferenceTaskReservationStation",
+    "TaskMemory",
+    "TaskReservationStation",
+    "VersionMemory",
+]

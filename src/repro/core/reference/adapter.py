@@ -1,0 +1,218 @@
+"""Integer-handle adapters over the object-based reference datapath.
+
+The Gateway and the accelerator facade speak the flat integer-handle
+surface (see ``docs/datapath.md``): packed slot handles, ``-1`` sentinels,
+parallel finish runs.  These adapters implement that surface on top of the
+reference TRS/DCT classes, converting handles to
+:class:`~repro.core.packets.TaskSlotRef` objects at the boundary, so one
+single-source Gateway/accelerator drives either datapath and the
+differential suites can run them against each other on identical inputs.
+
+Performance is irrelevant here -- the adapters exist for correctness
+checking and debugging only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import PicosConfig
+from repro.core.packets import (
+    FinishPacket,
+    FinishedTaskPacket,
+    NewTaskPacket,
+    ReadyPacket,
+    TaskSlotRef,
+)
+from repro.core.reference.dct import DependenceChainTracker as _ReferenceDct
+from repro.core.reference.trs import TaskReservationStation as _ReferenceTrs
+from repro.core.stats import PicosStats
+
+
+class _SlotCodec:
+    """Packed slot handle <-> :class:`TaskSlotRef` conversion.
+
+    The encoding is the one the flat datapath uses:
+    ``slot = trs_id * (tm_entries * max_deps) + tm_index * max_deps +
+    dep_index``, shared by every TRS/DCT instance of one accelerator.
+    """
+
+    def __init__(self, config: PicosConfig) -> None:
+        self.stride = config.max_deps_per_task
+        self.per_trs = config.tm_entries * self.stride
+
+    def encode(self, ref: TaskSlotRef) -> int:
+        return ref.trs_id * self.per_trs + ref.tm_index * self.stride + ref.dep_index
+
+    def decode(self, slot: int) -> TaskSlotRef:
+        trs_id, local = divmod(slot, self.per_trs)
+        tm_index, dep_index = divmod(local, self.stride)
+        return TaskSlotRef(trs_id=trs_id, tm_index=tm_index, dep_index=dep_index)
+
+
+class ReferenceTaskReservationStation:
+    """Reference TRS behind the flat integer-handle surface."""
+
+    def __init__(
+        self,
+        trs_id: int,
+        config: PicosConfig,
+        stats: Optional[PicosStats] = None,
+    ) -> None:
+        self._inner = _ReferenceTrs(trs_id, config, stats)
+        self._codec = _SlotCodec(config)
+        self.trs_id = trs_id
+        self.config = config
+        self.stats = self._inner.stats
+        self.task_memory = self._inner.task_memory
+        self.slot_stride = self._codec.stride
+        self.slots_per_trs = self._codec.per_trs
+        self.slot_base = trs_id * self._codec.per_trs
+
+    # -- capacity ------------------------------------------------------
+    @property
+    def has_free_slot(self) -> bool:
+        return self._inner.has_free_slot
+
+    @property
+    def in_flight(self) -> int:
+        return self._inner.in_flight
+
+    # -- new-task path -------------------------------------------------
+    def accept_task(self, task_id: int, num_deps: int) -> Tuple[int, bool]:
+        entry, execute = self._inner.accept_new_task(
+            NewTaskPacket(
+                task_id=task_id, trs_id=self.trs_id, tm_index=0, num_deps=num_deps
+            )
+        )
+        return entry.tm_index, execute is not None
+
+    def record_dependences(
+        self, tm_index: int, dependences: Sequence, start: int, end: int
+    ) -> range:
+        self._inner.record_dependences(tm_index, dependences, start, end)
+        base = self.slot_base + tm_index * self.slot_stride
+        return range(base + start, base + end)
+
+    def drop_dependence_slots(self, tm_index: int, count: int) -> None:
+        self._inner.drop_dependence_slots(tm_index, count)
+
+    def apply_submission_outcomes(
+        self,
+        tm_index: int,
+        start: int,
+        outcomes: Sequence[Tuple[bool, int, int]],
+    ) -> bool:
+        decode = self._codec.decode
+        converted = [
+            (ready, vm_index, decode(predecessor) if predecessor >= 0 else None)
+            for ready, vm_index, predecessor in outcomes
+        ]
+        execute = self._inner.apply_submission_outcomes(tm_index, start, converted)
+        return execute is not None
+
+    def handle_ready_slot(
+        self, slot: int, vm_index: int
+    ) -> Tuple[Optional[int], int]:
+        result = self._inner.handle_ready(
+            ReadyPacket(slot=self._codec.decode(slot), vm_index=vm_index)
+        )
+        task_id = result.execute[0].task_id if result.execute else None
+        chained = (
+            self._codec.encode(result.chained[0].slot) if result.chained else -1
+        )
+        return task_id, chained
+
+    # -- finished-task path --------------------------------------------
+    def handle_finished(
+        self, task_id: int, tm_index: int
+    ) -> Tuple[List[int], List[int], List[int]]:
+        packets = self._inner.handle_finished(
+            FinishedTaskPacket(task_id=task_id, trs_id=self.trs_id, tm_index=tm_index)
+        )
+        encode = self._codec.encode
+        slots = [encode(packet.slot) for packet in packets]
+        vm_indices = [packet.vm_index for packet in packets]
+        addresses = [packet.address for packet in packets]
+        return slots, vm_indices, addresses
+
+    # -- lookup helpers ------------------------------------------------
+    def tm_index_of(self, task_id: int) -> int:
+        return self._inner.tm_index_of(task_id)
+
+    def holds_task(self, task_id: int) -> bool:
+        return self._inner.holds_task(task_id)
+
+
+class ReferenceDependenceChainTracker:
+    """Reference DCT behind the flat integer-handle surface."""
+
+    def __init__(
+        self,
+        dct_id: int,
+        config: PicosConfig,
+        stats: Optional[PicosStats] = None,
+    ) -> None:
+        self._inner = _ReferenceDct(dct_id, config, stats)
+        self._codec = _SlotCodec(config)
+        self.dct_id = dct_id
+        self.config = config
+        self.stats = self._inner.stats
+        self.dm = self._inner.dm
+        self.vm = self._inner.vm
+
+    # -- new-dependence path -------------------------------------------
+    def can_accept(self, address, direction) -> bool:
+        return self._inner.can_accept(address, direction)
+
+    def process_batch(
+        self,
+        slots: Sequence[int],
+        dependences: Sequence,
+        start: int,
+        end: int,
+    ):
+        decode = self._codec.decode
+        refs = [decode(slot) for slot in slots]
+        outcomes, stall_reason = self._inner.process_batch(
+            refs, dependences, start, end
+        )
+        encode = self._codec.encode
+        converted = [
+            (
+                ready,
+                vm_index,
+                encode(predecessor) if predecessor is not None else -1,
+            )
+            for ready, vm_index, predecessor in outcomes
+        ]
+        return converted, stall_reason
+
+    # -- finish path ---------------------------------------------------
+    def process_finish_run(
+        self,
+        slots: Sequence[int],
+        vm_indices: Sequence[int],
+        start: int,
+        end: int,
+    ) -> List[Tuple[int, int]]:
+        decode = self._codec.decode
+        packets = [
+            FinishPacket(slot=decode(slots[index]), vm_index=vm_indices[index])
+            for index in range(start, end)
+        ]
+        wakeups = self._inner.process_finish_batch(packets, 0, len(packets))
+        encode = self._codec.encode
+        return [(encode(wake.slot), wake.vm_index) for wake in wakeups]
+
+    # -- bookkeeping ---------------------------------------------------
+    @property
+    def live_addresses(self) -> int:
+        return self._inner.live_addresses
+
+    @property
+    def live_versions(self) -> int:
+        return self._inner.live_versions
+
+    def is_idle(self) -> bool:
+        return self._inner.is_idle()

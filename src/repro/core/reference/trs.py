@@ -1,0 +1,274 @@
+"""Task Reservation Station (TRS).
+
+The TRS is the major task-management unit of Picos (Section III-A): it
+stores in-flight tasks in its Task Memory, tracks the readiness of new tasks
+by counting the ready notifications arriving from the DCT, walks consumer
+chains backwards when a wake-up arrives (links 2-3 of Figure 5), and manages
+the deletion of finished tasks, emitting one finish packet per dependence
+towards the DCT.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import PicosConfig
+from repro.core.packets import (
+    DependentPacket,
+    ExecuteTaskPacket,
+    FinishPacket,
+    FinishedTaskPacket,
+    NewTaskPacket,
+    ReadyPacket,
+    TaskSlotRef,
+)
+from repro.core.stats import PicosStats
+from repro.core.reference.task_memory import TaskEntry, TaskMemory
+from repro.runtime.task import Task
+
+
+class ReadyResult:
+    """Outcome of delivering one ready notification to the TRS.
+
+    A ``__slots__`` class: one is allocated per ready notification, i.e.
+    per dependence of every task.
+    """
+
+    __slots__ = ("execute", "chained")
+
+    def __init__(self) -> None:
+        #: Tasks that became fully ready because of this notification.
+        self.execute: List[ExecuteTaskPacket] = []
+        #: Chained ready notifications the TRS emits towards earlier
+        #: consumers of the same version (routed through the Arbiter).
+        self.chained: List[ReadyPacket] = []
+
+    def __repr__(self) -> str:
+        return f"ReadyResult(execute={self.execute!r}, chained={self.chained!r})"
+
+
+class TaskReservationStation:
+    """One TRS instance: TM0/TMX storage plus the readiness control logic."""
+
+    def __init__(
+        self,
+        trs_id: int,
+        config: PicosConfig,
+        stats: Optional[PicosStats] = None,
+    ) -> None:
+        self.trs_id = trs_id
+        self.config = config
+        self.stats = stats if stats is not None else PicosStats()
+        self.task_memory = TaskMemory(
+            entries=config.tm_entries, max_deps_per_task=config.max_deps_per_task
+        )
+
+    # ------------------------------------------------------------------
+    # capacity
+    # ------------------------------------------------------------------
+    @property
+    def has_free_slot(self) -> bool:
+        """Whether a New Entry Request would succeed."""
+        return not self.task_memory.full
+
+    @property
+    def in_flight(self) -> int:
+        """Number of tasks currently stored in this TRS."""
+        return self.task_memory.occupied
+
+    # ------------------------------------------------------------------
+    # new-task path (N3, N5, N6)
+    # ------------------------------------------------------------------
+    def accept_new_task(self, packet: NewTaskPacket) -> Tuple[TaskEntry, Optional[ExecuteTaskPacket]]:
+        """Store a new task in the assigned TM entry.
+
+        Returns the created entry and, when the task has no dependences, the
+        execute packet sent straight to the Task Scheduler (N6).
+        """
+        entry = self.task_memory.allocate(packet.task_id, packet.num_deps)
+        self.stats.tasks_accepted += 1
+        self.stats.tm_high_water = max(
+            self.stats.tm_high_water, self.task_memory.occupied
+        )
+        if packet.num_deps == 0:
+            self.stats.tasks_without_deps += 1
+            return entry, ExecuteTaskPacket(
+                task_id=packet.task_id, trs_id=self.trs_id, tm_index=entry.tm_index
+            )
+        return entry, None
+
+    def record_dependence(
+        self, tm_index: int, dep_index: int, address: int, is_producer: bool
+    ) -> TaskSlotRef:
+        """Reserve the TMX slot for one dependence of an in-flight task."""
+        self.task_memory.add_dependence_slot(tm_index, dep_index, address, is_producer)
+        return TaskSlotRef(trs_id=self.trs_id, tm_index=tm_index, dep_index=dep_index)
+
+    def record_dependences(
+        self, tm_index: int, dependences: Sequence, start: int, end: int
+    ) -> List[TaskSlotRef]:
+        """Reserve TMX slots for a run of dependences of an in-flight task.
+
+        The batched form of :meth:`record_dependence`: one TM entry read
+        records ``dependences[start:end]`` (each needs ``.address`` and
+        ``.direction``) and returns their slot references in order, ready
+        to travel to the DCT as one batch.
+        """
+        entry = self.task_memory.add_dependence_slots(
+            tm_index, dependences, start, end
+        )
+        trs_id = self.trs_id
+        dep_slots = entry.dep_slots
+        refs: List[TaskSlotRef] = []
+        append = refs.append
+        for dep_index in range(start, end):
+            ref = TaskSlotRef(trs_id=trs_id, tm_index=tm_index, dep_index=dep_index)
+            # Stored on the TMX slot so the finish path can reuse the same
+            # reference instead of minting a new one per dependence.
+            dep_slots[dep_index].slot_ref = ref
+            append(ref)
+        return refs
+
+    def drop_dependence_slots(self, tm_index: int, count: int) -> None:
+        """Drop the last ``count`` recorded TMX slots (stalled dispatch)."""
+        if count:
+            self.task_memory.drop_dependence_slots(tm_index, count)
+
+    def apply_submission_outcomes(
+        self,
+        tm_index: int,
+        start: int,
+        outcomes: Sequence[Tuple[bool, int, Optional[TaskSlotRef]]],
+    ) -> Optional[ExecuteTaskPacket]:
+        """Store a run of DCT outcomes for dependences ``start``.. of a task.
+
+        The batched equivalent of one :meth:`handle_ready` /
+        :meth:`handle_dependent` call per dependence during submission: a
+        *ready* outcome marks its slot ready (a freshly inserted dependence
+        has no predecessor, so no chained wake-up can occur), a *dependent*
+        outcome stores the version and consumer-chain link.  Returns the
+        execute packet when the task became fully ready (only the last
+        dependence of the task can complete readiness), else ``None``.
+        """
+        entry = self.task_memory.entry(tm_index)
+        dep_slots = entry.dep_slots
+        ready_added = 0
+        index = start
+        for ready, vm_index, predecessor in outcomes:
+            slot = dep_slots[index]
+            index += 1
+            slot.vm_index = vm_index
+            if ready:
+                slot.ready = True
+                ready_added += 1
+            else:
+                slot.predecessor = predecessor
+        entry.ready_deps += ready_added
+        if entry.all_ready:
+            return ExecuteTaskPacket(
+                task_id=entry.task_id, trs_id=self.trs_id, tm_index=entry.tm_index
+            )
+        return None
+
+    def handle_dependent(self, packet: DependentPacket) -> None:
+        """Store a *dependent* notification (the dependence must wait)."""
+        slot = self.task_memory.dependence_slot(
+            packet.slot.tm_index, packet.slot.dep_index
+        )
+        slot.vm_index = packet.vm_index
+        slot.predecessor = packet.predecessor
+
+    def handle_ready(self, packet: ReadyPacket) -> ReadyResult:
+        """Mark one dependence slot ready and propagate chained wake-ups."""
+        result = ReadyResult()
+        # One TM read serves both the entry and the slot scan (the TMX of a
+        # task holds at most a handful of dependences).
+        entry = self.task_memory.entry(packet.slot.tm_index)
+        dep_index = packet.slot.dep_index
+        slot = None
+        for candidate in entry.dep_slots:
+            if candidate.dep_index == dep_index:
+                slot = candidate
+                break
+        if slot is None:
+            raise KeyError(
+                f"task at TM entry {packet.slot.tm_index} has no dependence "
+                f"slot {dep_index}"
+            )
+        if slot.ready:
+            # Idempotence guard: the hardware never sends two ready
+            # notifications for the same slot, but being robust here keeps
+            # the model safe under exploratory drivers.
+            return result
+        slot.ready = True
+        if slot.vm_index is None:
+            slot.vm_index = packet.vm_index
+        entry.ready_deps += 1
+        if slot.predecessor is not None:
+            # Walk the consumer chain backwards: the earlier consumer of the
+            # same version is woken next (links 2-3 of Figure 5).
+            result.chained.append(
+                ReadyPacket(slot=slot.predecessor, vm_index=packet.vm_index)
+            )
+            self.stats.chain_hops += 1
+        if entry.all_ready:
+            result.execute.append(
+                ExecuteTaskPacket(
+                    task_id=entry.task_id,
+                    trs_id=self.trs_id,
+                    tm_index=entry.tm_index,
+                )
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # finished-task path (F2, F3)
+    # ------------------------------------------------------------------
+    def handle_finished(self, packet: FinishedTaskPacket) -> List[FinishPacket]:
+        """Retire a finished task: emit finish packets and recycle its entry."""
+        entry = self.task_memory.entry(packet.tm_index)
+        if entry.task_id != packet.task_id:
+            raise ValueError(
+                f"finished task {packet.task_id} does not match TM entry "
+                f"{packet.tm_index} (holds task {entry.task_id})"
+            )
+        if not entry.all_ready:
+            raise RuntimeError(
+                f"task {packet.task_id} reported finished before all its "
+                "dependences were ready"
+            )
+        finish_packets: List[FinishPacket] = []
+        append = finish_packets.append
+        trs_id = self.trs_id
+        tm_index = packet.tm_index
+        for slot in entry.dep_slots:
+            if slot.vm_index is None:
+                raise RuntimeError(
+                    f"dependence {slot.dep_index} of task {packet.task_id} has "
+                    "no version assigned"
+                )
+            slot_ref = slot.slot_ref
+            if slot_ref is None:
+                # Slot recorded through the single-dependence surface.
+                slot_ref = TaskSlotRef(
+                    trs_id=trs_id, tm_index=tm_index, dep_index=slot.dep_index
+                )
+            append(
+                FinishPacket(
+                    slot=slot_ref, vm_index=slot.vm_index, address=slot.address
+                )
+            )
+        self.task_memory.release(packet.tm_index)
+        self.stats.tasks_retired += 1
+        return finish_packets
+
+    # ------------------------------------------------------------------
+    # lookup helpers used by the Gateway
+    # ------------------------------------------------------------------
+    def tm_index_of(self, task_id: int) -> int:
+        """TM entry currently holding ``task_id``."""
+        return self.task_memory.entry_for_task(task_id).tm_index
+
+    def holds_task(self, task_id: int) -> bool:
+        """Whether ``task_id`` is in flight in this TRS."""
+        return self.task_memory.has_task(task_id)

@@ -10,13 +10,26 @@ the backwards wake-up of Figure 5 possible.
 The memories support the four actions described in the paper: read, write,
 *New Entry Request* (allocate a free entry) and *Finished Entry Request*
 (recycle an entry).
+
+Flat layout
+-----------
+
+TM0 fields are parallel lists indexed by the TM entry; TMX fields are
+parallel lists indexed by the local slot offset ``tm_index *
+max_deps_per_task + dep_index`` (the TMX is a fixed-stride SRAM in the
+prototype, so the offset arithmetic is exactly the hardware's address
+computation).  Consumer-chain predecessors are packed integer slot handles
+with ``-1`` for *none*; see ``docs/datapath.md``.  Recording a dependence
+resets every TMX field of its slot, so an entry recycled through a
+Finished Entry Request can never leak stale chain state into the next
+task -- the property the reference model got for free by allocating fresh
+slot objects (:mod:`repro.core.reference.task_memory`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-from repro.core.packets import TaskSlotRef
 from repro.runtime.task import Direction
 
 
@@ -24,95 +37,8 @@ class TaskMemoryFullError(RuntimeError):
     """Raised on a New Entry Request when every TM entry is occupied."""
 
 
-class DependenceSlot:
-    """One TMX slot: the state of one dependence of an in-flight task.
-
-    A ``__slots__`` record: one is allocated per dependence of every
-    submitted task.
-    """
-
-    __slots__ = (
-        "dep_index",
-        "address",
-        "vm_index",
-        "ready",
-        "predecessor",
-        "is_producer",
-        "slot_ref",
-    )
-
-    def __init__(
-        self,
-        dep_index: int,
-        address: int,
-        vm_index: Optional[int] = None,
-        ready: bool = False,
-        predecessor: Optional[TaskSlotRef] = None,
-        is_producer: bool = False,
-    ) -> None:
-        #: Index of the dependence within its task (pragma order).
-        self.dep_index = dep_index
-        #: Address of the dependence (kept for bookkeeping / debug).
-        self.address = address
-        #: VM entry (version) this dependence was attached to by the DCT.
-        self.vm_index = vm_index
-        #: Whether the dependence has been marked ready.
-        self.ready = ready
-        #: Consumer-chain link: the previous consumer of the same version,
-        #: to be woken after this slot (Section III-D).
-        self.predecessor = predecessor
-        #: Whether this dependence writes its address (producer role).
-        self.is_producer = is_producer
-        #: The TaskSlotRef minted for this slot at dispatch time, reused by
-        #: the finish path so retiring a task does not re-allocate one
-        #: reference per dependence (``None`` for slots recorded through
-        #: the single-dependence legacy surface).
-        self.slot_ref: Optional[TaskSlotRef] = None
-
-    def __repr__(self) -> str:
-        return (
-            f"DependenceSlot(dep_index={self.dep_index}, address={self.address:#x}, "
-            f"vm_index={self.vm_index}, ready={self.ready}, "
-            f"predecessor={self.predecessor!r}, is_producer={self.is_producer})"
-        )
-
-
-class TaskEntry:
-    """One TM0 entry plus its TMX dependence slots."""
-
-    __slots__ = ("tm_index", "task_id", "num_deps", "ready_deps", "dep_slots")
-
-    def __init__(
-        self,
-        tm_index: int,
-        task_id: int,
-        num_deps: int,
-        ready_deps: int = 0,
-        dep_slots: Optional[List[DependenceSlot]] = None,
-    ) -> None:
-        self.tm_index = tm_index
-        self.task_id = task_id
-        self.num_deps = num_deps
-        self.ready_deps = ready_deps
-        self.dep_slots: List[DependenceSlot] = (
-            dep_slots if dep_slots is not None else []
-        )
-
-    def __repr__(self) -> str:
-        return (
-            f"TaskEntry(tm_index={self.tm_index}, task_id={self.task_id}, "
-            f"num_deps={self.num_deps}, ready_deps={self.ready_deps}, "
-            f"dep_slots={self.dep_slots!r})"
-        )
-
-    @property
-    def all_ready(self) -> bool:
-        """``True`` when every dependence of the task has been marked ready."""
-        return self.ready_deps >= self.num_deps
-
-
 class TaskMemory:
-    """The TM0/TMX memory pair of one TRS instance."""
+    """The TM0/TMX memory pair of one TRS instance (flat SoA layout)."""
 
     def __init__(self, entries: int = 256, max_deps_per_task: int = 15) -> None:
         if entries < 1:
@@ -121,7 +47,21 @@ class TaskMemory:
             raise ValueError("TMX must hold at least one dependence per task")
         self.entries = entries
         self.max_deps_per_task = max_deps_per_task
-        self._slots: List[Optional[TaskEntry]] = [None] * entries
+        # TM0: one entry per in-flight task.
+        self._valid: List[bool] = [False] * entries
+        self._task_id: List[int] = [-1] * entries
+        self._num_deps: List[int] = [0] * entries
+        self._ready_deps: List[int] = [0] * entries
+        #: Number of TMX slots currently recorded for the entry (trails
+        #: ``num_deps`` while a stalled dispatch waits to resume).
+        self._dep_count: List[int] = [0] * entries
+        # TMX: fixed stride of ``max_deps_per_task`` slots per entry.
+        total = entries * max_deps_per_task
+        self._slot_address: List[int] = [0] * total
+        self._slot_vm_index: List[int] = [-1] * total
+        self._slot_ready: List[bool] = [False] * total
+        self._slot_predecessor: List[int] = [-1] * total
+        self._slot_is_producer: List[bool] = [False] * total
         self._free: List[int] = list(range(entries - 1, -1, -1))
         self._by_task_id: Dict[int, int] = {}
         self._high_water = 0
@@ -151,15 +91,13 @@ class TaskMemory:
     # ------------------------------------------------------------------
     # New Entry Request / Finished Entry Request
     # ------------------------------------------------------------------
-    def allocate(self, task_id: int, num_deps: int) -> TaskEntry:
+    def allocate(self, task_id: int, num_deps: int) -> int:
         """Allocate a TM entry for a new task (New Entry Request).
 
-        Raises
-        ------
-        TaskMemoryFullError
-            when no free entry exists (the GW must hold the new task).
-        ValueError
-            when the task declares more dependences than the TMX can hold.
+        Returns the TM index.  Raises
+        :class:`TaskMemoryFullError` when no free entry exists (the GW must
+        hold the new task) and :class:`ValueError` when the task declares
+        more dependences than the TMX can hold.
         """
         if num_deps > self.max_deps_per_task:
             raise ValueError(
@@ -171,70 +109,58 @@ class TaskMemory:
         if not self._free:
             raise TaskMemoryFullError("no free TM entry")
         tm_index = self._free.pop()
-        entry = TaskEntry(tm_index=tm_index, task_id=task_id, num_deps=num_deps)
-        self._slots[tm_index] = entry
+        self._valid[tm_index] = True
+        self._task_id[tm_index] = task_id
+        self._num_deps[tm_index] = num_deps
+        self._ready_deps[tm_index] = 0
+        self._dep_count[tm_index] = 0
         self._by_task_id[task_id] = tm_index
         occupied = self.entries - len(self._free)
         if occupied > self._high_water:
             self._high_water = occupied
-        return entry
+        return tm_index
 
     def release(self, tm_index: int) -> None:
         """Recycle a TM entry after its task retired (Finished Entry Request)."""
-        entry = self._slots[tm_index]
-        if entry is None:
+        if not self._valid[tm_index]:
             raise KeyError(f"TM entry {tm_index} is not occupied")
-        del self._by_task_id[entry.task_id]
-        self._slots[tm_index] = None
+        del self._by_task_id[self._task_id[tm_index]]
+        self._valid[tm_index] = False
         self._free.append(tm_index)
 
     # ------------------------------------------------------------------
     # reads / writes
     # ------------------------------------------------------------------
-    def entry(self, tm_index: int) -> TaskEntry:
-        """Return the occupied entry at ``tm_index``."""
-        entry = self._slots[tm_index]
-        if entry is None:
+    def check_occupied(self, tm_index: int) -> None:
+        """Raise the canonical diagnostic when ``tm_index`` is free."""
+        if not self._valid[tm_index]:
             raise KeyError(f"TM entry {tm_index} is not occupied")
-        return entry
 
-    def entry_for_task(self, task_id: int) -> TaskEntry:
-        """Return the entry holding ``task_id``."""
+    def tm_index_for_task(self, task_id: int) -> int:
+        """TM entry currently holding ``task_id``."""
         if task_id not in self._by_task_id:
             raise KeyError(f"task {task_id} is not in flight")
-        return self.entry(self._by_task_id[task_id])
-
-    def add_dependence_slot(
-        self, tm_index: int, dep_index: int, address: int, is_producer: bool
-    ) -> DependenceSlot:
-        """Record a dependence of the task stored at ``tm_index`` in the TMX."""
-        entry = self.entry(tm_index)
-        if dep_index >= self.max_deps_per_task:
-            raise ValueError("dependence index exceeds TMX capacity")
-        slot = DependenceSlot(
-            dep_index=dep_index, address=address, is_producer=is_producer
-        )
-        entry.dep_slots.append(slot)
-        return slot
+        return self._by_task_id[task_id]
 
     def add_dependence_slots(
         self, tm_index: int, dependences: Sequence, start: int, end: int
-    ) -> TaskEntry:
+    ) -> None:
         """Record ``dependences[start:end]`` of the task at ``tm_index``.
 
-        The batched form of :meth:`add_dependence_slot`, used by the
-        Gateway when it dispatches a whole run of dependences to one DCT:
-        one entry read serves every slot of the run.  Each dependence needs
+        One entry read serves every slot of the run.  Each dependence needs
         ``.address`` and ``.direction`` attributes; slot ``k`` is recorded
-        for dependence index ``start + k``, preserving pragma order (and
-        the invariant that ``entry.dep_slots[i]`` holds dependence ``i``).
-        Returns the task entry so the caller can keep working on it.
+        for dependence index ``start + k``, preserving pragma order.  Every
+        TMX field of each slot is reset (see the module docstring).
         """
-        entry = self.entry(tm_index)
+        self.check_occupied(tm_index)
         if end > self.max_deps_per_task:
             raise ValueError("dependence index exceeds TMX capacity")
-        dep_slots = entry.dep_slots
-        append = dep_slots.append
+        base = tm_index * self.max_deps_per_task
+        s_address = self._slot_address
+        s_vm_index = self._slot_vm_index
+        s_ready = self._slot_ready
+        s_predecessor = self._slot_predecessor
+        s_is_producer = self._slot_is_producer
         # Identity checks against hoisted members instead of the
         # Direction.writes property: one descriptor call per dependence of
         # every task adds up.
@@ -243,14 +169,13 @@ class TaskMemory:
         for dep_index in range(start, end):
             dep = dependences[dep_index]
             direction = dep.direction
-            append(
-                DependenceSlot(
-                    dep_index=dep_index,
-                    address=dep.address,
-                    is_producer=direction is writer or direction is readwriter,
-                )
-            )
-        return entry
+            offset = base + dep_index
+            s_address[offset] = dep.address
+            s_vm_index[offset] = -1
+            s_ready[offset] = False
+            s_predecessor[offset] = -1
+            s_is_producer[offset] = direction is writer or direction is readwriter
+        self._dep_count[tm_index] = end
 
     def drop_dependence_slots(self, tm_index: int, count: int) -> None:
         """Remove the ``count`` most recently recorded TMX slots.
@@ -259,19 +184,11 @@ class TaskMemory:
         recorded past the last stored dependence are dropped so the retry
         records them again cleanly.
         """
-        dep_slots = self.entry(tm_index).dep_slots
-        del dep_slots[len(dep_slots) - count :]
-
-    def dependence_slot(self, tm_index: int, dep_index: int) -> DependenceSlot:
-        """Return the TMX slot of one dependence of an in-flight task."""
-        entry = self.entry(tm_index)
-        for slot in entry.dep_slots:
-            if slot.dep_index == dep_index:
-                return slot
-        raise KeyError(
-            f"task at TM entry {tm_index} has no dependence slot {dep_index}"
-        )
+        self.check_occupied(tm_index)
+        self._dep_count[tm_index] -= count
 
     def in_flight_task_ids(self) -> List[int]:
         """Identifiers of every task currently stored, in TM-index order."""
-        return [entry.task_id for entry in self._slots if entry is not None]
+        valid = self._valid
+        task_id = self._task_id
+        return [task_id[i] for i in range(self.entries) if valid[i]]

@@ -4,8 +4,22 @@ The TRS is the major task-management unit of Picos (Section III-A): it
 stores in-flight tasks in its Task Memory, tracks the readiness of new tasks
 by counting the ready notifications arriving from the DCT, walks consumer
 chains backwards when a wake-up arrives (links 2-3 of Figure 5), and manages
-the deletion of finished tasks, emitting one finish packet per dependence
-towards the DCT.
+the deletion of finished tasks, emitting one finish notification per
+dependence towards the DCT.
+
+Integer-handle surface
+----------------------
+
+The hot datapath identifies a dependence slot by the packed integer handle
+
+    ``slot = trs_id * (tm_entries * max_deps) + tm_index * max_deps + dep_index``
+
+with ``-1`` meaning *none* -- no object is allocated per notification (the
+reference model's :class:`~repro.core.packets.TaskSlotRef` objects survive
+only in :mod:`repro.core.reference`).  The handle arithmetic is exactly the
+TMX SRAM address computation of the prototype; ``docs/datapath.md``
+documents the encoding and the cycle-identity contract against the
+reference implementation.
 """
 
 from __future__ import annotations
@@ -13,38 +27,8 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.config import PicosConfig
-from repro.core.packets import (
-    DependentPacket,
-    ExecuteTaskPacket,
-    FinishPacket,
-    FinishedTaskPacket,
-    NewTaskPacket,
-    ReadyPacket,
-    TaskSlotRef,
-)
 from repro.core.stats import PicosStats
-from repro.core.task_memory import TaskEntry, TaskMemory
-from repro.runtime.task import Task
-
-
-class ReadyResult:
-    """Outcome of delivering one ready notification to the TRS.
-
-    A ``__slots__`` class: one is allocated per ready notification, i.e.
-    per dependence of every task.
-    """
-
-    __slots__ = ("execute", "chained")
-
-    def __init__(self) -> None:
-        #: Tasks that became fully ready because of this notification.
-        self.execute: List[ExecuteTaskPacket] = []
-        #: Chained ready notifications the TRS emits towards earlier
-        #: consumers of the same version (routed through the Arbiter).
-        self.chained: List[ReadyPacket] = []
-
-    def __repr__(self) -> str:
-        return f"ReadyResult(execute={self.execute!r}, chained={self.chained!r})"
+from repro.core.task_memory import TaskMemory
 
 
 class TaskReservationStation:
@@ -62,6 +46,10 @@ class TaskReservationStation:
         self.task_memory = TaskMemory(
             entries=config.tm_entries, max_deps_per_task=config.max_deps_per_task
         )
+        #: Slot-handle geometry (shared by every TRS/DCT of one accelerator).
+        self.slot_stride = config.max_deps_per_task
+        self.slots_per_trs = config.tm_entries * self.slot_stride
+        self.slot_base = trs_id * self.slots_per_trs
 
     # ------------------------------------------------------------------
     # capacity
@@ -79,55 +67,37 @@ class TaskReservationStation:
     # ------------------------------------------------------------------
     # new-task path (N3, N5, N6)
     # ------------------------------------------------------------------
-    def accept_new_task(self, packet: NewTaskPacket) -> Tuple[TaskEntry, Optional[ExecuteTaskPacket]]:
-        """Store a new task in the assigned TM entry.
+    def accept_task(self, task_id: int, num_deps: int) -> Tuple[int, bool]:
+        """Store a new task in a free TM entry.
 
-        Returns the created entry and, when the task has no dependences, the
-        execute packet sent straight to the Task Scheduler (N6).
+        Returns ``(tm_index, ready)``; ``ready`` is ``True`` when the task
+        has no dependences and goes straight to the Task Scheduler (N6).
         """
-        entry = self.task_memory.allocate(packet.task_id, packet.num_deps)
-        self.stats.tasks_accepted += 1
-        self.stats.tm_high_water = max(
-            self.stats.tm_high_water, self.task_memory.occupied
-        )
-        if packet.num_deps == 0:
-            self.stats.tasks_without_deps += 1
-            return entry, ExecuteTaskPacket(
-                task_id=packet.task_id, trs_id=self.trs_id, tm_index=entry.tm_index
-            )
-        return entry, None
-
-    def record_dependence(
-        self, tm_index: int, dep_index: int, address: int, is_producer: bool
-    ) -> TaskSlotRef:
-        """Reserve the TMX slot for one dependence of an in-flight task."""
-        self.task_memory.add_dependence_slot(tm_index, dep_index, address, is_producer)
-        return TaskSlotRef(trs_id=self.trs_id, tm_index=tm_index, dep_index=dep_index)
+        tm = self.task_memory
+        tm_index = tm.allocate(task_id, num_deps)
+        stats = self.stats
+        stats.tasks_accepted += 1
+        occupied = tm.occupied
+        if occupied > stats.tm_high_water:
+            stats.tm_high_water = occupied
+        if num_deps == 0:
+            stats.tasks_without_deps += 1
+            return tm_index, True
+        return tm_index, False
 
     def record_dependences(
         self, tm_index: int, dependences: Sequence, start: int, end: int
-    ) -> List[TaskSlotRef]:
+    ) -> range:
         """Reserve TMX slots for a run of dependences of an in-flight task.
 
-        The batched form of :meth:`record_dependence`: one TM entry read
-        records ``dependences[start:end]`` (each needs ``.address`` and
-        ``.direction``) and returns their slot references in order, ready
-        to travel to the DCT as one batch.
+        One TM entry read records ``dependences[start:end]`` (each needs
+        ``.address`` and ``.direction``) and the returned ``range`` holds
+        their packed slot handles in order -- no per-dependence reference
+        object travels to the DCT.
         """
-        entry = self.task_memory.add_dependence_slots(
-            tm_index, dependences, start, end
-        )
-        trs_id = self.trs_id
-        dep_slots = entry.dep_slots
-        refs: List[TaskSlotRef] = []
-        append = refs.append
-        for dep_index in range(start, end):
-            ref = TaskSlotRef(trs_id=trs_id, tm_index=tm_index, dep_index=dep_index)
-            # Stored on the TMX slot so the finish path can reuse the same
-            # reference instead of minting a new one per dependence.
-            dep_slots[dep_index].slot_ref = ref
-            append(ref)
-        return refs
+        self.task_memory.add_dependence_slots(tm_index, dependences, start, end)
+        base = self.slot_base + tm_index * self.slot_stride
+        return range(base + start, base + end)
 
     def drop_dependence_slots(self, tm_index: int, count: int) -> None:
         """Drop the last ``count`` recorded TMX slots (stalled dispatch)."""
@@ -138,136 +108,119 @@ class TaskReservationStation:
         self,
         tm_index: int,
         start: int,
-        outcomes: Sequence[Tuple[bool, int, Optional[TaskSlotRef]]],
-    ) -> Optional[ExecuteTaskPacket]:
+        outcomes: Sequence[Tuple[bool, int, int]],
+    ) -> bool:
         """Store a run of DCT outcomes for dependences ``start``.. of a task.
 
-        The batched equivalent of one :meth:`handle_ready` /
-        :meth:`handle_dependent` call per dependence during submission: a
-        *ready* outcome marks its slot ready (a freshly inserted dependence
-        has no predecessor, so no chained wake-up can occur), a *dependent*
-        outcome stores the version and consumer-chain link.  Returns the
-        execute packet when the task became fully ready (only the last
-        dependence of the task can complete readiness), else ``None``.
+        Each outcome is a ``(ready, vm_index, predecessor)`` triple with an
+        integer predecessor handle (``-1`` for none): a *ready* outcome
+        marks its slot ready (a freshly inserted dependence has no
+        predecessor, so no chained wake-up can occur), a *dependent*
+        outcome stores the version and consumer-chain link.  Returns
+        whether the task became fully ready (only the last dependence of
+        the task can complete readiness).
         """
-        entry = self.task_memory.entry(tm_index)
-        dep_slots = entry.dep_slots
+        tm = self.task_memory
+        base = tm_index * self.slot_stride
+        s_vm_index = tm._slot_vm_index
+        s_ready = tm._slot_ready
+        s_predecessor = tm._slot_predecessor
         ready_added = 0
-        index = start
+        offset = base + start
         for ready, vm_index, predecessor in outcomes:
-            slot = dep_slots[index]
-            index += 1
-            slot.vm_index = vm_index
+            s_vm_index[offset] = vm_index
             if ready:
-                slot.ready = True
+                s_ready[offset] = True
                 ready_added += 1
             else:
-                slot.predecessor = predecessor
-        entry.ready_deps += ready_added
-        if entry.all_ready:
-            return ExecuteTaskPacket(
-                task_id=entry.task_id, trs_id=self.trs_id, tm_index=entry.tm_index
-            )
-        return None
+                s_predecessor[offset] = predecessor
+            offset += 1
+        ready_deps = tm._ready_deps[tm_index] + ready_added
+        tm._ready_deps[tm_index] = ready_deps
+        return ready_deps >= tm._num_deps[tm_index]
 
-    def handle_dependent(self, packet: DependentPacket) -> None:
-        """Store a *dependent* notification (the dependence must wait)."""
-        slot = self.task_memory.dependence_slot(
-            packet.slot.tm_index, packet.slot.dep_index
-        )
-        slot.vm_index = packet.vm_index
-        slot.predecessor = packet.predecessor
+    def handle_ready_slot(self, slot: int, vm_index: int) -> Tuple[Optional[int], int]:
+        """Mark one dependence slot ready and propagate the chained wake-up.
 
-    def handle_ready(self, packet: ReadyPacket) -> ReadyResult:
-        """Mark one dependence slot ready and propagate chained wake-ups."""
-        result = ReadyResult()
-        # One TM read serves both the entry and the slot scan (the TMX of a
-        # task holds at most a handful of dependences).
-        entry = self.task_memory.entry(packet.slot.tm_index)
-        dep_index = packet.slot.dep_index
-        slot = None
-        for candidate in entry.dep_slots:
-            if candidate.dep_index == dep_index:
-                slot = candidate
-                break
-        if slot is None:
+        Returns ``(task_id, chained)``: ``task_id`` is the task that became
+        fully ready (``None`` otherwise) and ``chained`` the slot handle of
+        the earlier consumer of the same version to wake next (``-1`` for
+        none; the chained wake-up carries the same VM index).
+        """
+        tm = self.task_memory
+        local = slot - self.slot_base
+        tm_index = local // self.slot_stride
+        tm.check_occupied(tm_index)
+        dep_index = local - tm_index * self.slot_stride
+        if dep_index >= tm._dep_count[tm_index]:
             raise KeyError(
-                f"task at TM entry {packet.slot.tm_index} has no dependence "
+                f"task at TM entry {tm_index} has no dependence "
                 f"slot {dep_index}"
             )
-        if slot.ready:
+        if tm._slot_ready[local]:
             # Idempotence guard: the hardware never sends two ready
             # notifications for the same slot, but being robust here keeps
             # the model safe under exploratory drivers.
-            return result
-        slot.ready = True
-        if slot.vm_index is None:
-            slot.vm_index = packet.vm_index
-        entry.ready_deps += 1
-        if slot.predecessor is not None:
+            return None, -1
+        tm._slot_ready[local] = True
+        if tm._slot_vm_index[local] < 0:
+            tm._slot_vm_index[local] = vm_index
+        ready_deps = tm._ready_deps[tm_index] + 1
+        tm._ready_deps[tm_index] = ready_deps
+        chained = tm._slot_predecessor[local]
+        if chained >= 0:
             # Walk the consumer chain backwards: the earlier consumer of the
             # same version is woken next (links 2-3 of Figure 5).
-            result.chained.append(
-                ReadyPacket(slot=slot.predecessor, vm_index=packet.vm_index)
-            )
             self.stats.chain_hops += 1
-        if entry.all_ready:
-            result.execute.append(
-                ExecuteTaskPacket(
-                    task_id=entry.task_id,
-                    trs_id=self.trs_id,
-                    tm_index=entry.tm_index,
-                )
-            )
-        return result
+        if ready_deps >= tm._num_deps[tm_index]:
+            return tm._task_id[tm_index], chained
+        return None, chained
 
     # ------------------------------------------------------------------
     # finished-task path (F2, F3)
     # ------------------------------------------------------------------
-    def handle_finished(self, packet: FinishedTaskPacket) -> List[FinishPacket]:
-        """Retire a finished task: emit finish packets and recycle its entry."""
-        entry = self.task_memory.entry(packet.tm_index)
-        if entry.task_id != packet.task_id:
+    def handle_finished(
+        self, task_id: int, tm_index: int
+    ) -> Tuple[range, List[int], List[int]]:
+        """Retire a finished task: release its entry and emit the finish run.
+
+        Returns ``(slots, vm_indices, addresses)`` -- three parallel
+        sequences, one element per dependence of the task in pragma order,
+        forming the batched F3 traffic towards the DCTs.
+        """
+        tm = self.task_memory
+        tm.check_occupied(tm_index)
+        if tm._task_id[tm_index] != task_id:
             raise ValueError(
-                f"finished task {packet.task_id} does not match TM entry "
-                f"{packet.tm_index} (holds task {entry.task_id})"
+                f"finished task {task_id} does not match TM entry "
+                f"{tm_index} (holds task {tm._task_id[tm_index]})"
             )
-        if not entry.all_ready:
+        if tm._ready_deps[tm_index] < tm._num_deps[tm_index]:
             raise RuntimeError(
-                f"task {packet.task_id} reported finished before all its "
+                f"task {task_id} reported finished before all its "
                 "dependences were ready"
             )
-        finish_packets: List[FinishPacket] = []
-        append = finish_packets.append
-        trs_id = self.trs_id
-        tm_index = packet.tm_index
-        for slot in entry.dep_slots:
-            if slot.vm_index is None:
+        base = tm_index * self.slot_stride
+        count = tm._dep_count[tm_index]
+        vm_indices = tm._slot_vm_index[base : base + count]
+        for dep_index, vm_index in enumerate(vm_indices):
+            if vm_index < 0:
                 raise RuntimeError(
-                    f"dependence {slot.dep_index} of task {packet.task_id} has "
+                    f"dependence {dep_index} of task {task_id} has "
                     "no version assigned"
                 )
-            slot_ref = slot.slot_ref
-            if slot_ref is None:
-                # Slot recorded through the single-dependence surface.
-                slot_ref = TaskSlotRef(
-                    trs_id=trs_id, tm_index=tm_index, dep_index=slot.dep_index
-                )
-            append(
-                FinishPacket(
-                    slot=slot_ref, vm_index=slot.vm_index, address=slot.address
-                )
-            )
-        self.task_memory.release(packet.tm_index)
+        addresses = tm._slot_address[base : base + count]
+        first = self.slot_base + base
+        tm.release(tm_index)
         self.stats.tasks_retired += 1
-        return finish_packets
+        return range(first, first + count), vm_indices, addresses
 
     # ------------------------------------------------------------------
     # lookup helpers used by the Gateway
     # ------------------------------------------------------------------
     def tm_index_of(self, task_id: int) -> int:
         """TM entry currently holding ``task_id``."""
-        return self.task_memory.entry_for_task(task_id).tm_index
+        return self.task_memory.tm_index_for_task(task_id)
 
     def holds_task(self, task_id: int) -> bool:
         """Whether ``task_id`` is in flight in this TRS."""

@@ -13,94 +13,50 @@ creates.  Section III-D describes how versions are chained:
 
 The VM of the prototype has 512 entries (1024 for the 16-way design), with
 Read/Write/New Entry Request/Finished Entry Request actions like the TM.
+
+Flat layout
+-----------
+
+Version state lives in parallel flat lists indexed by the VM index, the
+way the hardware addresses its version SRAM.  Task-slot references
+(producer, last consumer) are stored as packed integer handles with ``-1``
+meaning *none* (see ``docs/datapath.md``); each entry also caches the DM
+way handle of its address so the finish path retires versions without
+re-scanning the DM set.  The free list is kept as ``range(entries-1, -1,
+-1)`` popped from the end, reproducing the exact VM-index assignment order
+of the reference model (:mod:`repro.core.reference.version_memory`) --
+entries 0, 1, 2, ... -- which the differential suite pins.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
-
-from repro.core.packets import TaskSlotRef
+from typing import List
 
 
 class VersionMemoryFullError(RuntimeError):
     """Raised when a new version is needed but every VM entry is occupied."""
 
 
-class VersionEntry:
-    """One VM entry: a single live version of one dependence address.
-
-    A ``__slots__`` record: one is allocated per producer version of every
-    address, several times per task on write-heavy graphs.
-    """
-
-    __slots__ = (
-        "vm_index",
-        "address",
-        "producer",
-        "producer_finished",
-        "last_consumer",
-        "consumers_arrived",
-        "consumers_finished",
-        "next_version",
-    )
-
-    def __init__(
-        self,
-        vm_index: int,
-        address: int,
-        producer: Optional[TaskSlotRef] = None,
-        producer_finished: bool = False,
-        last_consumer: Optional[TaskSlotRef] = None,
-        consumers_arrived: int = 0,
-        consumers_finished: int = 0,
-        next_version: Optional[int] = None,
-    ) -> None:
-        self.vm_index = vm_index
-        self.address = address
-        #: Producer slot of this version; ``None`` for a version opened by
-        #: readers before any writer appeared (all its consumers are ready).
-        self.producer = producer
-        self.producer_finished = producer_finished
-        #: Most recently arrived consumer of this version (head of the
-        #: backwards wake-up chain the DCT keeps; earlier consumers are
-        #: linked through the TMX of later ones).
-        self.last_consumer = last_consumer
-        self.consumers_arrived = consumers_arrived
-        self.consumers_finished = consumers_finished
-        #: Forward producer-producer chain link (the next version of the
-        #: same address), ``None`` for the most recent version.
-        self.next_version = next_version
-
-    def __repr__(self) -> str:
-        return (
-            f"VersionEntry(vm_index={self.vm_index}, address={self.address:#x}, "
-            f"producer={self.producer!r}, producer_finished={self.producer_finished}, "
-            f"last_consumer={self.last_consumer!r}, "
-            f"consumers_arrived={self.consumers_arrived}, "
-            f"consumers_finished={self.consumers_finished}, "
-            f"next_version={self.next_version})"
-        )
-
-    @property
-    def readers_ready(self) -> bool:
-        """Whether consumers of this version may execute immediately."""
-        return self.producer is None or self.producer_finished
-
-    @property
-    def complete(self) -> bool:
-        """Whether the producer and every arrived consumer have finished."""
-        producer_done = self.producer is None or self.producer_finished
-        return producer_done and self.consumers_arrived == self.consumers_finished
-
-
 class VersionMemory:
-    """The VM of one DCT instance: a pool of :class:`VersionEntry` slots."""
+    """The VM of one DCT instance, held as parallel flat arrays."""
 
     def __init__(self, entries: int = 512) -> None:
         if entries < 1:
             raise ValueError("VM needs at least one entry")
         self.entries = entries
-        self._slots: List[Optional[VersionEntry]] = [None] * entries
+        #: One entry per VM index; slot handles use ``-1`` for *none*.
+        self._valid: List[bool] = [False] * entries
+        self._address: List[int] = [0] * entries
+        self._producer: List[int] = [-1] * entries
+        self._producer_finished: List[bool] = [False] * entries
+        self._last_consumer: List[int] = [-1] * entries
+        self._consumers_arrived: List[int] = [0] * entries
+        self._consumers_finished: List[int] = [0] * entries
+        self._next_version: List[int] = [-1] * entries
+        #: DM way handle of the entry's address, cached at allocation so
+        #: retirement skips the DM set scan (a way is stable from the
+        #: first allocation of its address until its last version dies).
+        self._dm_handle: List[int] = [-1] * entries
         self._free: List[int] = list(range(entries - 1, -1, -1))
         self._high_water = 0
         self._total_allocations = 0
@@ -131,52 +87,59 @@ class VersionMemory:
     # ------------------------------------------------------------------
     # allocation / recycling
     # ------------------------------------------------------------------
-    def allocate(self, address: int) -> VersionEntry:
-        """Allocate a VM entry for a new version of ``address``."""
+    def allocate(self, address: int) -> int:
+        """Allocate a VM entry for a new version of ``address``.
+
+        Returns the VM index; every field of the entry is reset so a
+        recycled slot can never leak stale chain state.
+        """
         if not self._free:
             raise VersionMemoryFullError("no free VM entry")
         vm_index = self._free.pop()
-        entry = VersionEntry(vm_index=vm_index, address=address)
-        self._slots[vm_index] = entry
+        self._valid[vm_index] = True
+        self._address[vm_index] = address
+        self._producer[vm_index] = -1
+        self._producer_finished[vm_index] = False
+        self._last_consumer[vm_index] = -1
+        self._consumers_arrived[vm_index] = 0
+        self._consumers_finished[vm_index] = 0
+        self._next_version[vm_index] = -1
+        self._dm_handle[vm_index] = -1
         self._total_allocations += 1
         occupied = self.entries - len(self._free)
         if occupied > self._high_water:
             self._high_water = occupied
-        return entry
+        return vm_index
 
     def release(self, vm_index: int) -> None:
         """Recycle a VM entry once its version is complete and woken."""
-        if self._slots[vm_index] is None:
+        if not self._valid[vm_index]:
             raise KeyError(f"VM entry {vm_index} is not occupied")
-        self._slots[vm_index] = None
+        self._valid[vm_index] = False
         self._free.append(vm_index)
 
     # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------
-    def entry(self, vm_index: int) -> VersionEntry:
-        """Return the occupied entry at ``vm_index``."""
-        entry = self._slots[vm_index]
-        if entry is None:
-            raise KeyError(f"VM entry {vm_index} is not occupied")
-        return entry
+    def is_occupied(self, vm_index: int) -> bool:
+        """Whether ``vm_index`` currently holds a live version."""
+        return self._valid[vm_index]
 
-    def live_entries(self) -> List[VersionEntry]:
-        """Every live version, in VM-index order (used by tests/debug)."""
-        return [entry for entry in self._slots if entry is not None]
+    def live_indices(self) -> List[int]:
+        """Every occupied VM index, in VM-index order (tests/debug)."""
+        valid = self._valid
+        return [index for index in range(self.entries) if valid[index]]
 
-    def live_versions_of(self, address: int) -> List[VersionEntry]:
-        """Live versions of one address, oldest-allocated first."""
-        return [entry for entry in self.live_entries() if entry.address == address]
+    def live_versions_of(self, address: int) -> List[int]:
+        """Occupied VM indices holding versions of ``address``."""
+        valid = self._valid
+        addresses = self._address
+        return [
+            index
+            for index in range(self.entries)
+            if valid[index] and addresses[index] == address
+        ]
 
     def utilisation(self) -> float:
         """Fraction of the VM currently occupied (0.0 - 1.0)."""
         return self.occupied / self.entries
-
-    def snapshot(self) -> Dict[int, VersionEntry]:
-        """Mapping of occupied VM index to entry (debugging aid)."""
-        return {
-            index: entry
-            for index, entry in enumerate(self._slots)
-            if entry is not None
-        }

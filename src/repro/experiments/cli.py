@@ -36,9 +36,14 @@ seconds, engine events per second, peak RSS) and snapshots the numbers as
     picos-experiment bench                      # the full default matrix
     picos-experiment bench --quick              # the CI smoke matrix
     picos-experiment bench --compare BENCH_2026-07-01.json
+    picos-experiment bench --quick --profile    # + per-cell cProfile report
 
 ``--compare`` additionally diffs the fresh run against an earlier
-snapshot, flagging wall-time regressions cell by cell.
+snapshot, flagging wall-time regressions cell by cell (cells present in
+only one snapshot are reported as added/removed, never an error).
+``--profile`` re-runs each cell under ``cProfile`` after the timed pass
+and writes the top cumulative functions per cell to a
+``<snapshot>.profile.txt`` sibling of the JSON snapshot.
 """
 
 from __future__ import annotations
@@ -262,10 +267,12 @@ def run_bench_command(args: argparse.Namespace) -> int:
         default_specs,
         gate_specs,
         load_bench_document,
+        profile_specs,
         render_comparison,
         render_results,
         run_bench,
         write_bench_file,
+        write_profile_file,
     )
 
     if args.compare is None and (
@@ -299,6 +306,12 @@ def run_bench_command(args: argparse.Namespace) -> int:
     else:
         out_path = write_bench_file(results)
     print(f"\nwrote {out_path}")
+    if args.profile:
+        # Separate profiled pass: the timings above stay honest, and the
+        # report explaining them lands next to the snapshot.
+        reports = profile_specs(specs, progress=print)
+        profile_path = write_profile_file(reports, out_path)
+        print(f"wrote {profile_path}")
     if baseline is not None:
         threshold = (
             args.fail_threshold
@@ -441,6 +454,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="diff the fresh run against an earlier BENCH_*.json snapshot",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="after timing, re-run each cell under cProfile and write the "
+        "top-25 cumulative functions per cell to <snapshot>.profile.txt "
+        "next to the BENCH_<date>.json snapshot",
     )
     bench.add_argument(
         "--repeats",

@@ -34,8 +34,8 @@ every optimization to it must be *cycle-identical*: the schedule --
 per-task created/submitted/ready/started/finished stamps, the makespan and
 the delivered-event count -- must not move by a single cycle.  The
 optimized paths therefore keep reference twins that can be selected per
-run: ``batch_completions=False`` re-enables event-per-event worker
-completion delivery, and ``batch_ready_events=False`` re-enables one
+run: ``batch_completions=False`` re-enables event-per-event worker *and
+master* completion delivery, and ``batch_ready_events=False`` re-enables one
 engine event per ready-task visibility notification (instead of one
 ``READY_BATCH`` event per cycle-cluster).  Three test nets pin the
 contract:
@@ -147,10 +147,12 @@ class HILSimulator:
         self.mode = mode
         self.num_workers = num_workers
         self.policy = policy
-        #: Drain runs of same-cycle worker completions in one handler
-        #: activation.  Cycle-identical to one-at-a-time delivery (the
-        #: parity suite pins this); ``False`` selects the reference
-        #: event-per-event loop the optimized path is checked against.
+        #: Drain runs of same-cycle worker completions -- and, for the
+        #: serial ARM master, same-cycle zero-cost job completions -- in
+        #: one handler activation.  Cycle-identical to one-at-a-time
+        #: delivery (the parity suite pins this); ``False`` selects the
+        #: reference event-per-event loops the optimized paths are checked
+        #: against.
         self.batch_completions = batch_completions
         #: Coalesce the ready-task visibility notifications one accelerator
         #: operation produces for the same target cycle into a single
@@ -253,7 +255,11 @@ class HILSimulator:
                 if self.batch_completions
                 else self._on_worker_done
             ),
-            _EV_MASTER_DONE: self._on_master_done,
+            _EV_MASTER_DONE: (
+                self._on_master_done_batched
+                if self.batch_completions
+                else self._on_master_done
+            ),
         }
         self.queue.dispatch(handlers, horizon=stop_at_cycle)
 
@@ -474,7 +480,7 @@ class HILSimulator:
     # ------------------------------------------------------------------
     # the ARM core (master) in HW+comm and Full-system modes
     # ------------------------------------------------------------------
-    def _kick_master(self, now: int) -> None:
+    def _kick_master(self, now: int) -> Optional[int]:
         """Arm the idle ARM core with its next job (the batch re-arm point).
 
         The flat master state machine: job selection (finish > dispatch >
@@ -487,9 +493,14 @@ class HILSimulator:
         produced, and because picking a job only pops a deque and schedules
         one event, a deferred re-arm selects the same job at the same cycle
         as the eager per-site kicks did.
+
+        Returns the absolute cycle the armed job completes at, or ``None``
+        when the master stays idle (busy, unused, or out of work) -- the
+        lazy completion drain in :meth:`_on_master_done` uses it to decide
+        whether a same-cycle completion cluster can form at all.
         """
         if self._master_busy or not self._uses_master:
-            return
+            return None
         finish_jobs = self._master_finish_jobs
         dispatch_jobs = self._master_dispatch_jobs
         if finish_jobs:
@@ -504,7 +515,7 @@ class HILSimulator:
                 index >= self._num_tasks
                 or len(self._pending_new) >= self._new_fifo_depth
             ):
-                return
+                return None
             task = self.program[index]
             self._next_create_index = index + 1
             job = (_JOB_CREATE, task)
@@ -520,7 +531,9 @@ class HILSimulator:
             )
             self._timelines[task.task_id].created = now
         self._master_busy = True
-        self.queue.schedule(now + cost, _EV_MASTER_DONE, job)
+        done_at = now + cost
+        self.queue.schedule(done_at, _EV_MASTER_DONE, job)
+        return done_at
 
     def _master_create_cost(self, num_deps: int) -> int:
         """Creation cost past the precomputed table (oversized tasks)."""
@@ -530,6 +543,7 @@ class HILSimulator:
         return cost
 
     def _on_master_done(self, job: Tuple[str, object], now: int) -> None:
+        """Reference master-completion delivery: one job per activation."""
         self._master_busy = False
         kind, payload = job
         handler = self._master_done_handlers.get(kind)
@@ -537,6 +551,36 @@ class HILSimulator:
             raise RuntimeError(f"unknown master job {kind!r}")
         handler(payload, now)
         self._kick_master(now)
+
+    def _on_master_done_batched(self, job: Tuple[str, object], now: int) -> None:
+        """Retire a master job, then lazily drain same-cycle successors.
+
+        The master is serial, so a completion cluster can only form when a
+        re-arm lands at the current cycle (zero-cost jobs, ``comm_cycles ==
+        0``).  Only in that case is ``pop_same_kind`` consulted: if the
+        just-armed ``MASTER_DONE`` is the head of the timeline it is
+        retired in this same activation, skipping a full queue round-trip
+        per job.  ``pop_same_kind`` refuses anything that is not the exact
+        FIFO head and counts the delivery like a normal dispatch, so the
+        schedule and ``events_processed`` stay bit-exact with the
+        one-activation-per-job reference loop (:meth:`_on_master_done`),
+        which ``batch_completions=False`` re-selects.
+        """
+        handlers = self._master_done_handlers
+        pop_same_kind = self.queue.pop_same_kind
+        while True:
+            self._master_busy = False
+            kind, payload = job
+            handler = handlers.get(kind)
+            if handler is None:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown master job {kind!r}")
+            handler(payload, now)
+            if self._kick_master(now) != now:
+                break
+            nxt = pop_same_kind(_EV_MASTER_DONE, now)
+            if nxt is None:
+                break
+            job = nxt.payload
 
     def _on_master_created(self, task: Task, now: int) -> None:
         self._pending_new.append(task)

@@ -21,13 +21,17 @@ from repro.bench import (
     default_specs,
     gate_specs,
     load_bench_document,
+    profile_cell,
+    profile_specs,
     render_comparison,
     render_results,
     run_bench,
     run_spec,
     write_bench_file,
+    write_profile_file,
 )
 from repro.sim.backend import BUILTIN_BACKENDS
+from repro.sim.request import SimulationRequest
 
 
 SMOKE_SPEC = BenchSpec(
@@ -192,6 +196,61 @@ class TestCompare:
         rendered = render_comparison(comparisons, only_old, only_new)
         assert "1.00x" in rendered and "0 regression(s)" in rendered
 
+    def test_drifted_matrices_render_counts_not_errors(self):
+        # A spec change between snapshots must degrade to a reported drift,
+        # never a KeyError: the shared cells still compare, the others are
+        # listed and counted on the verdict line.
+        old = bench_document([_row("hil-full", 1.0), _row("nanos", 1.0)])
+        new = bench_document([_row("hil-full", 1.0), _row("perfect", 1.0)])
+        rendered = render_comparison(*compare_documents(old, new))
+        assert "1 cells compared" in rendered
+        assert "(only in the old snapshot)" in rendered
+        assert "(only in the new snapshot)" in rendered
+        assert "1 cell(s) added, 1 removed" in rendered
+
+    def test_fully_disjoint_matrices_render_a_drift_summary(self):
+        old = bench_document([_row("hil-full", 1.0)])
+        new = bench_document([_row("nanos", 1.0)])
+        rendered = render_comparison(*compare_documents(old, new))
+        assert "no comparable cells" in rendered
+        assert "1 cell(s) added, 1 removed" in rendered
+
+
+class TestProfile:
+    def test_profile_cell_reports_hot_functions(self):
+        report = profile_cell(
+            SimulationRequest.for_workload(
+                "cholesky",
+                block_size=128,
+                problem_size=512,
+                backend="hil-full",
+                num_workers=2,
+            )
+        )
+        # A cumulative-sorted table with the simulation entry point on it.
+        assert "cumulative" in report
+        assert "simulate_request" in report
+
+    def test_profile_specs_labels_match_the_bench_cells(self):
+        lines = []
+        reports = profile_specs(
+            [dataclasses.replace(SMOKE_SPEC, backends=("perfect",))],
+            progress=lines.append,
+        )
+        assert [label for label, _ in reports] == ["cholesky/128@512 perfect w2"]
+        assert lines == ["profiling cholesky/128@512 perfect w2"]
+        assert "cumulative" in reports[0][1]
+
+    def test_write_profile_file_lands_next_to_the_snapshot(self, tmp_path):
+        path = write_profile_file(
+            [("cell-a", "report a"), ("cell-b", "report b\n")],
+            tmp_path / "BENCH_x.json",
+        )
+        assert path == tmp_path / "BENCH_x.profile.txt"
+        assert path.read_text() == (
+            "==== cell-a ====\nreport a\n==== cell-b ====\nreport b\n"
+        )
+
 
 class TestBenchCLI:
     def test_cli_bench_quick_writes_snapshot_and_compares(self, tmp_path, capsys):
@@ -210,6 +269,23 @@ class TestBenchCLI:
         document = load_bench_document(second)
         backends = {row["backend"] for row in document["results"]}
         assert backends == set(BUILTIN_BACKENDS)
+
+    def test_cli_bench_profile_writes_sibling_report(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out = tmp_path / "BENCH_prof.json"
+        argv = [
+            "bench", "--quick", "--backend", "perfect",
+            "--profile", "--output", str(out),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr().out
+        assert "profiling" in captured
+        profile_path = tmp_path / "BENCH_prof.profile.txt"
+        assert str(profile_path) in captured
+        text = profile_path.read_text()
+        assert text.startswith("==== cholesky/128@1024 perfect w2 ====")
+        assert "cumulative" in text
 
     def test_cli_bench_rejects_unknown_backend(self, capsys):
         from repro.experiments.cli import main

@@ -5,7 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import DMDesign, PicosConfig
-from repro.core.dct import DctStall, DependenceChainTracker, StallReason
+from repro.core.dct import DctStall, StallReason
+from repro.core.reference.dct import DependenceChainTracker
 from repro.core.packets import DependencePacket, TaskSlotRef
 from repro.runtime.task import Direction
 

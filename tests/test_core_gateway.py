@@ -115,8 +115,8 @@ class TestConflictStallAndResume:
         # Finishing one of the earlier tasks releases its DM way; the Gateway
         # only runs the TRS half of the finish path, so route the release
         # packets to the DCT explicitly (the accelerator facade does this).
-        for packet in gateway.notify_finished(0):
-            dcts[0].process_finish(packet)
+        slots, vm_indices, _ = gateway.notify_finished(0)
+        dcts[0].process_finish_run(slots, vm_indices, 0, len(slots))
         assert gateway.can_resume()
         result = gateway.resume()
         assert result.status is GatewayStatus.ACCEPTED
@@ -138,8 +138,8 @@ class TestConflictStallAndResume:
         result = gateway.submit(blocked)
         assert result.status is GatewayStatus.STALLED
         assert result.dependences_dispatched == 1
-        for packet in gateway.notify_finished(1):  # frees a way in set 0
-            dct[0].process_finish(packet)
+        slots, vm_indices, _ = gateway.notify_finished(1)  # frees a way in set 0
+        dct[0].process_finish_run(slots, vm_indices, 0, len(slots))
         resumed = gateway.resume()
         assert resumed.status is GatewayStatus.ACCEPTED
         assert resumed.dependences_dispatched == 1  # only the blocked one remained
@@ -152,8 +152,9 @@ class TestFinishedPath:
     def test_notify_finished_returns_release_packets(self):
         gateway, _, _ = build_gateway(PicosConfig())
         gateway.submit(task(0, [(A, Direction.OUT), (B, Direction.IN)]))
-        packets = gateway.notify_finished(0)
-        assert len(packets) == 2
+        slots, vm_indices, addresses = gateway.notify_finished(0)
+        assert len(slots) == len(vm_indices) == len(addresses) == 2
+        assert set(addresses) == {A, B}
         assert gateway.in_flight_tasks() == 0
 
     def test_notify_unknown_task_raises(self):

@@ -5,10 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import DMDesign
-from repro.core.dependence_memory import DependenceMemory, DependenceMemoryConflict
+from repro.core.reference.dependence_memory import (
+    DependenceMemory,
+    DependenceMemoryConflict,
+)
 from repro.core.packets import TaskSlotRef
-from repro.core.task_memory import TaskMemory, TaskMemoryFullError
-from repro.core.version_memory import VersionMemory, VersionMemoryFullError
+from repro.core.reference.task_memory import TaskMemory, TaskMemoryFullError
+from repro.core.reference.version_memory import VersionMemory, VersionMemoryFullError
 
 
 class TestTaskMemory:
@@ -260,8 +263,9 @@ class TestDMWayRecycling:
 
     def test_dct_conflict_then_recycle_resumes_cleanly(self):
         from repro.core.config import PicosConfig
-        from repro.core.dct import DctStall, DependenceChainTracker, StallReason
+        from repro.core.dct import DctStall, StallReason
         from repro.core.packets import DependencePacket, FinishPacket
+        from repro.core.reference.dct import DependenceChainTracker
         from repro.runtime.task import Direction
 
         config = PicosConfig.paper_prototype(DMDesign.WAY8)

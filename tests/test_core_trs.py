@@ -12,7 +12,7 @@ from repro.core.packets import (
     ReadyPacket,
     TaskSlotRef,
 )
-from repro.core.trs import TaskReservationStation
+from repro.core.reference.trs import TaskReservationStation
 
 
 @pytest.fixture

@@ -20,7 +20,13 @@ backends.  Four families of invariants pin the whole stack:
 * **engine equivalence** -- the calendar-queue :class:`EventQueue` delivers
   random schedules event-for-event identically to the binary-heap
   reference :class:`HeapEventQueue` (including ``pop_same_kind`` and
-  ``iter_until`` interleavings).
+  ``iter_until`` interleavings);
+* **datapath equivalence** -- the flat integer-handle DM/VM/TM/TRS/DCT
+  core produces results identical field-for-field to the object-based
+  reference implementation (``repro.core.reference``), including under
+  DM-conflict -> recycle -> re-allocate pressure.  The CI job replays
+  this leg a second time with ``REPRO_REFERENCE_DATAPATH=1`` forcing the
+  oracle, so the selection switch itself stays covered.
 
 Run deterministically with ``pytest tests/test_differential.py
 --hypothesis-seed=0`` (the CI job does exactly that).
@@ -39,13 +45,17 @@ hypothesis = pytest.importorskip(
 )
 from hypothesis import given, settings, strategies as st  # noqa: E402
 
+from repro.core.config import DMDesign, PicosConfig
 from repro.runtime.dependence_analysis import build_task_graph
 from repro.sim.backend import BUILTIN_BACKENDS
 from repro.sim.driver import simulate_request
 from repro.sim.engine import EventQueue, HeapEventQueue
+from repro.sim.hil import HILMode, HILSimulator
 from repro.sim.request import SimulationRequest
 from repro.sim.session import open_session
 from repro.traces.synthetic import random_program
+
+from tests.helpers import make_program
 
 #: Keep the graphs small: five backends x many examples must stay in CI
 #: budget, and the invariants are shape-driven, not size-driven.
@@ -244,3 +254,100 @@ class TestCalendarQueueMatchesHeapReference:
     @given(ops=queue_ops)
     def test_identical_delivery_under_fuzzed_interleavings(self, ops):
         assert _drive(EventQueue(), ops) == _drive(HeapEventQueue(), ops)
+
+
+# ----------------------------------------------------------------------
+# datapath differential: flat integer-handle core vs object reference
+# ----------------------------------------------------------------------
+#: 512 KiB stride direct-hash aliases every address into DM set 0 of the
+#: WAY8 paper prototype: a 12-address pool over 8 ways keeps fuzzed graphs
+#: hitting the conflict -> recycle -> re-allocate sequence.
+_ALIAS_STRIDE = 512 * 1024
+
+#: One fuzzed task: up to four (address-pool index, direction) dependences.
+conflict_specs = st.lists(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=11),
+            st.sampled_from(["in", "out", "inout"]),
+        ),
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+def _aliasing_program(spec, durations):
+    """A program whose dependences all fall into one DM set."""
+    deps_per_task = []
+    for deps in spec:
+        # The Gateway treats each dependence of a task as a distinct
+        # pragma argument; keep one access per address per task.
+        seen = {}
+        for pool_index, direction in deps:
+            seen.setdefault(0x4000_0000 + pool_index * _ALIAS_STRIDE, direction)
+        deps_per_task.append(list(seen.items()))
+    return make_program(deps_per_task, durations=durations, name="dm-alias-fuzz")
+
+
+def _run_both_datapaths(program, config, mode, num_workers):
+    results = []
+    for reference in (False, True):
+        run_config = dataclasses.replace(config, reference_datapath=reference)
+        results.append(
+            HILSimulator(
+                program, config=run_config, mode=mode, num_workers=num_workers
+            ).run()
+        )
+    return results
+
+
+class TestFlatVsReferenceDatapath:
+    """The flat integer-handle datapath against the object-based oracle.
+
+    Full-result identity (``dataclasses.asdict``) covers every per-task
+    timeline stamp, the makespan, and all hardware counters -- DM/VM/TM
+    watermarks, conflict and packet counts -- so a single drifted branch
+    in the flat rewrite fails loudly.
+    """
+
+    @settings(max_examples=15, deadline=None)
+    @given(params=graph_params, num_workers=workers)
+    def test_random_graphs_are_cycle_identical(self, params, num_workers):
+        program = random_program(**params)
+        config = PicosConfig()
+        for mode in HILMode:
+            flat, reference = _run_both_datapaths(
+                program, config, mode, num_workers
+            )
+            assert dataclasses.asdict(flat) == dataclasses.asdict(reference)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        spec=conflict_specs,
+        durations=st.lists(st.integers(min_value=1, max_value=120), max_size=24),
+        num_workers=workers,
+    )
+    def test_dm_conflict_recycle_reallocate_is_cycle_identical(
+        self, spec, durations, num_workers
+    ):
+        """Set-aliasing streams: conflicts, stalls, recycles, re-allocations."""
+        program = _aliasing_program(spec, durations)
+        config = PicosConfig.paper_prototype(DMDesign.WAY8)
+        for mode in (HILMode.HW_ONLY, HILMode.FULL_SYSTEM):
+            flat, reference = _run_both_datapaths(
+                program, config, mode, num_workers
+            )
+            assert dataclasses.asdict(flat) == dataclasses.asdict(reference)
+
+    def test_conflict_pressure_reaches_the_conflict_path(self):
+        """The aliasing generator really exercises DM conflicts."""
+        spec = [[(i, "out")] for i in range(12)]
+        program = _aliasing_program(spec, [50] * 12)
+        config = PicosConfig.paper_prototype(DMDesign.WAY8)
+        flat, reference = _run_both_datapaths(
+            program, config, HILMode.HW_ONLY, 4
+        )
+        assert flat.counters["dm_conflicts"] >= 1
+        assert dataclasses.asdict(flat) == dataclasses.asdict(reference)

@@ -153,6 +153,67 @@ class TestKickAtCurrentCycleAfterPeek:
             assert results[(True, True)].completed_all()
 
 
+class _MasterClusterCountingQueue:
+    """EventQueue proxy counting MASTER_DONE deliveries via pop_same_kind."""
+
+    def __init__(self, inner: EventQueue) -> None:
+        self._inner = inner
+        self.master_cluster_pops = 0
+
+    def pop_same_kind(self, kind, time):
+        event = self._inner.pop_same_kind(kind, time)
+        if event is not None and kind == "master-done":
+            self.master_cluster_pops += 1
+        return event
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestMasterCompletionClusters:
+    """Lazy drain of colliding zero-cost master-job completions."""
+
+    def test_zero_cost_jobs_drain_in_one_activation(self):
+        # comm_cycles=0 makes every finish/dispatch/create job of HW+comm
+        # mode zero-cost, so the serial master's re-arms land at the
+        # current cycle and successive completions collide there.  The
+        # batched handler must retire those clusters through pop_same_kind
+        # in one activation -- and stay bit-exact with the per-event
+        # reference, events_processed included (pop_same_kind counts each
+        # delivery exactly like a dispatch).
+        config = PicosConfig(comm_cycles=0)
+        program = fanout_program(readers=12, duration=25)
+        sim = HILSimulator(
+            program, config=config, mode=HILMode.HW_COMM, num_workers=3
+        )
+        sim.queue = _MasterClusterCountingQueue(sim.queue)
+        batched = sim.run()
+        assert batched.completed_all()
+        assert sim.queue.master_cluster_pops > 0  # real clusters formed
+        reference = HILSimulator(
+            program,
+            config=config,
+            mode=HILMode.HW_COMM,
+            num_workers=3,
+            batch_completions=False,
+        ).run()
+        assert dataclasses.asdict(batched) == dataclasses.asdict(reference)
+
+    def test_costed_jobs_never_form_clusters(self):
+        # With a non-zero job cost the re-arm always lands in the future,
+        # so the drain loop must not even consult the queue: the master
+        # timeline stays strictly one event per job.
+        config = PicosConfig(comm_cycles=3)
+        program = fanout_program(readers=8, duration=25)
+        sim = HILSimulator(
+            program, config=config, mode=HILMode.HW_COMM, num_workers=3
+        )
+        sim.queue = _MasterClusterCountingQueue(sim.queue)
+        result = sim.run()
+        assert result.completed_all()
+        assert sim.queue.master_cluster_pops == 0
+
+
 class TestReadyBatchInterleaving:
     """Cycle-clusters of visibility events against worker completions."""
 

@@ -20,6 +20,7 @@ import dataclasses
 
 import pytest
 
+from repro.core.config import PicosConfig
 from repro.core.hashing import index_for, make_index_function, stable_digest
 from repro.runtime.nanos import NanosRuntimeSimulator
 from repro.sim.backend import BUILTIN_BACKENDS
@@ -124,6 +125,45 @@ class TestGoldenDigests:
                 problem_size=problem_size,
                 backend=backend,
                 num_workers=workers,
+            )
+        )
+        assert result.makespan == expected_makespan
+        assert result_digest(result) == expected_digest
+
+
+#: The hil-* golden rows re-run on the object-based reference datapath
+#: (``repro.core.reference`` behind the integer-handle adapters): the
+#: datapath switch must not move a digest by a single cycle.  One row per
+#: (workload, backend) keeps the leg cheap; the differential fuzz suite
+#: covers the combinatorial space.
+REFERENCE_DATAPATH_ROWS = sorted(
+    {
+        (key[0], key[3]): key
+        for key in sorted(GOLDEN, key=repr)
+        if key[3].startswith("hil")
+    }.values(),
+    key=repr,
+)
+
+
+class TestReferenceDatapathGolden:
+    @pytest.mark.parametrize(
+        "workload,block_size,problem_size,backend,workers", REFERENCE_DATAPATH_ROWS
+    )
+    def test_reference_datapath_matches_golden(
+        self, workload, block_size, problem_size, backend, workers
+    ):
+        expected_makespan, expected_digest = GOLDEN[
+            (workload, block_size, problem_size, backend, workers)
+        ]
+        result = simulate_request(
+            SimulationRequest.for_workload(
+                workload,
+                block_size=block_size,
+                problem_size=problem_size,
+                backend=backend,
+                num_workers=workers,
+                config=PicosConfig(reference_datapath=True),
             )
         )
         assert result.makespan == expected_makespan

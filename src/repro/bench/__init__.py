@@ -35,6 +35,12 @@ from repro.bench.harness import (
     write_bench_file,
     write_profile_file,
 )
+from repro.bench.service import (
+    DEFAULT_CONCURRENCY_LEVELS,
+    ServiceBenchSpec,
+    run_service_bench,
+    service_bench_file_name,
+)
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -58,5 +64,9 @@ __all__ = [
     "run_bench",
     "run_spec",
     "write_bench_file",
+    "DEFAULT_CONCURRENCY_LEVELS",
+    "ServiceBenchSpec",
+    "run_service_bench",
+    "service_bench_file_name",
     "write_profile_file",
 ]

@@ -122,6 +122,10 @@ class BenchResult:
     #: Process-wide peak RSS (KiB) observed after the run.
     peak_rss_kb: int
     repeats: int = 1
+    #: Family-specific metrics (e.g. the service cells' requests/s and
+    #: slice-latency quantiles).  Absent from pre-existing snapshots;
+    #: ``from_dict`` tolerates both directions.
+    extras: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)

@@ -1,0 +1,174 @@
+"""Service-facing benchmark cells: ``picos-experiment bench --service``.
+
+Where :mod:`repro.bench.harness` times the simulators, this module times
+the *server around them*: an in-process :class:`~repro.service.server.
+SimulationServer` is started on a loopback TCP port and a wave of
+concurrent NDJSON clients drives identical requests through the full
+open/run/stream/result protocol.  Each concurrency level becomes one
+:class:`~repro.bench.harness.BenchResult` row whose ``extras`` carry the
+service-specific numbers:
+
+``requests``
+    Requests completed in the timed wave (= the concurrency level).
+``requests_per_second``
+    Wave size / wall seconds -- the end-to-end serving throughput.
+``median_slice_ms`` / ``p99_slice_ms``
+    Cooperative-slice latency quantiles from the server's own histogram:
+    how long one session occupies the event loop per slice, the number
+    that decides streaming responsiveness under load.
+
+These cells are written to ``BENCH_service_<date>.json`` -- deliberately
+*outside* the ``BENCH_2*.json`` glob the CI regression gate uses for its
+baseline, so service timings inform but never gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.bench.harness import BenchResult, _peak_rss_kb
+
+#: Concurrency levels of the default service matrix.
+DEFAULT_CONCURRENCY_LEVELS: Tuple[int, ...] = (1, 16, 64)
+
+
+@dataclass(frozen=True)
+class ServiceBenchSpec:
+    """One service timing matrix: a request crossed with concurrency levels."""
+
+    workload: str = "cholesky"
+    block_size: Optional[int] = 128
+    problem_size: Optional[int] = 1024
+    backend: str = "hil-full"
+    num_workers: int = 2
+    #: Simultaneous client sessions per timed wave.
+    concurrency_levels: Tuple[int, ...] = DEFAULT_CONCURRENCY_LEVELS
+    #: Cycle budget per cooperative slice (small enough that every run
+    #: takes several slices, so the latency histogram has data).
+    slice_cycles: int = 250_000
+
+    def request_document(self) -> dict:
+        document = {
+            "workload": self.workload,
+            "backend": self.backend,
+            "workers": self.num_workers,
+            "stream": {"slice_cycles": self.slice_cycles},
+        }
+        if self.block_size is not None:
+            document["block_size"] = self.block_size
+        if self.problem_size is not None:
+            document["problem_size"] = self.problem_size
+        return document
+
+
+async def _drive_one(host: str, port: int, document: dict) -> Tuple[int, int, int]:
+    """One client: open/run/consume; returns (events, makespan, tasks)."""
+    from repro.service.protocol import decode_frame, encode_frame
+
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await reader.readline()  # hello
+        writer.write(encode_frame({"type": "open", "request": document}))
+        await writer.drain()
+        accepted = decode_frame(await reader.readline())
+        if accepted["type"] != "accepted":
+            raise RuntimeError(f"bench request rejected: {accepted}")
+        writer.write(encode_frame({"type": "run", "id": accepted["id"]}))
+        await writer.drain()
+        events = 0
+        while True:
+            frame = decode_frame(await reader.readline())
+            if frame["type"] == "events":
+                events += len(frame["events"])
+            elif frame["type"] == "result":
+                result = frame["result"]
+                return events, int(result["makespan"]), int(result["num_tasks"])
+            else:
+                raise RuntimeError(f"unexpected frame during bench: {frame}")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+async def _run_wave(spec: ServiceBenchSpec, concurrency: int) -> BenchResult:
+    """Start a fresh server, run one wave of ``concurrency`` clients."""
+    from repro.service import ServerConfig, SimulationServer
+
+    server = SimulationServer(
+        ServerConfig(port=0, http_port=None, cache_dir=None)
+    )
+    await server.start()
+    document = spec.request_document()
+    try:
+        start = time.perf_counter()
+        outcomes = await asyncio.gather(
+            *(
+                _drive_one("127.0.0.1", server.tcp_port, document)
+                for _ in range(concurrency)
+            )
+        )
+        wall = time.perf_counter() - start
+        histogram = server.metrics.slice_latency
+        median_ms = histogram.quantile(0.5)
+        p99_ms = histogram.quantile(0.99)
+    finally:
+        await server.shutdown(drain=False)
+    events = sum(entry[0] for entry in outcomes)
+    makespan = outcomes[0][1]
+    tasks_per_request = outcomes[0][2]
+    tasks = sum(entry[2] for entry in outcomes)
+    return BenchResult(
+        workload="service-tcp",
+        block_size=spec.block_size,
+        problem_size=spec.problem_size,
+        backend=spec.backend,
+        num_workers=concurrency,
+        wall_seconds=wall,
+        events_processed=events,
+        events_per_second=(events / wall) if wall > 0 else 0.0,
+        tasks_per_second=(tasks / wall) if wall > 0 else 0.0,
+        events_estimated=False,
+        makespan=makespan,
+        num_tasks=tasks_per_request,
+        peak_rss_kb=_peak_rss_kb(),
+        extras={
+            "requests": float(concurrency),
+            "requests_per_second": (concurrency / wall) if wall > 0 else 0.0,
+            "median_slice_ms": float(median_ms) if median_ms is not None else 0.0,
+            "p99_slice_ms": float(p99_ms) if p99_ms is not None else 0.0,
+        },
+    )
+
+
+def run_service_bench(
+    spec: Optional[ServiceBenchSpec] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[BenchResult]:
+    """Time the serving path at each concurrency level of ``spec``."""
+    spec = spec or ServiceBenchSpec()
+    results: List[BenchResult] = []
+    for concurrency in spec.concurrency_levels:
+        row = asyncio.run(_run_wave(spec, concurrency))
+        if progress is not None:
+            extras = row.extras
+            progress(
+                f"{row.label():<40} {row.wall_seconds * 1000:9.1f} ms  "
+                f"{extras['requests_per_second']:8.1f} req/s  "
+                f"median slice {extras['median_slice_ms']:g} ms"
+            )
+        results.append(row)
+    return results
+
+
+def service_bench_file_name(when=None) -> str:
+    """``BENCH_service_<date>.json``: outside the gate's baseline glob."""
+    from datetime import date
+
+    stamp = when if when is not None else date.today()
+    return f"BENCH_service_{stamp.isoformat()}.json"

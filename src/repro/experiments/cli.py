@@ -44,6 +44,24 @@ only one snapshot are reported as added/removed, never an error).
 ``--profile`` re-runs each cell under ``cProfile`` after the timed pass
 and writes the top cumulative functions per cell to a
 ``<snapshot>.profile.txt`` sibling of the JSON snapshot.
+``--service`` times the simulation *server* instead of the simulators
+(requests per second and slice latency at several concurrency levels);
+those cells are never part of the regression gate.
+
+``picos-experiment serve`` starts the simulation service: an asyncio
+server accepting typed simulation requests over a newline-delimited-JSON
+TCP protocol (plus an HTTP adapter with ``/metrics``, ``/healthz`` and an
+SSE ``/simulate``), with per-tenant admission control and an optional
+shared on-disk result cache::
+
+    picos-experiment serve --port 9178
+    picos-experiment serve --port 0 --cache-dir /tmp/picos-cache \\
+        --tenant-sessions teamA=4 --tenant-rate teamA=2e8
+
+It prints one ``serving <proto> on <host>:<port>`` line per listener
+(parseable, so ``--port 0`` works for tooling) and runs until SIGINT or
+SIGTERM, draining running sessions before exiting.  See
+``docs/service.md`` for the protocol and operations guide.
 """
 
 from __future__ import annotations
@@ -256,6 +274,63 @@ def run_simulate(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _parse_tenant_value(entries, what: str, convert):
+    """Parse repeated ``tenant=value`` CLI options into a dict."""
+    parsed = {}
+    for entry in entries or []:
+        tenant, sep, raw = entry.partition("=")
+        if not sep or not tenant:
+            raise SystemExit(f"--{what} expects TENANT=VALUE, got {entry!r}")
+        try:
+            parsed[tenant] = convert(raw)
+        except ValueError:
+            raise SystemExit(f"--{what}: invalid value {raw!r} for {tenant!r}") from None
+    return parsed
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Start the simulation service in the foreground (see module docs)."""
+    import asyncio
+
+    from repro.service import ServerConfig, TenantQuota, serve_until_interrupted
+
+    sessions_by_tenant = _parse_tenant_value(
+        args.tenant_sessions, "tenant-sessions", int
+    )
+    rate_by_tenant = _parse_tenant_value(args.tenant_rate, "tenant-rate", float)
+    tenant_quotas = {
+        tenant: TenantQuota(
+            max_sessions=sessions_by_tenant.get(tenant),
+            cycles_per_second=rate_by_tenant.get(tenant),
+        )
+        for tenant in set(sessions_by_tenant) | set(rate_by_tenant)
+    }
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        http_port=None if args.no_http else args.http_port,
+        # Serving caches only on request: a server writing into the default
+        # experiment cache directory unasked would be a surprise.
+        cache_dir=args.cache_dir,
+        max_sessions=args.max_sessions,
+        default_quota=TenantQuota(
+            max_sessions=args.default_tenant_sessions,
+            cycles_per_second=args.default_tenant_rate,
+        ),
+        tenant_quotas=tenant_quotas,
+        idle_timeout=args.idle_timeout,
+    )
+    if args.slice_cycles is not None:
+        if args.slice_cycles < 1:
+            raise SystemExit("--slice-cycles must be at least 1")
+        config.slice_cycles = args.slice_cycles
+    try:
+        asyncio.run(serve_until_interrupted(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def run_bench_command(args: argparse.Namespace) -> int:
     """Time the simulators and snapshot/compare the numbers (see module docs)."""
     import dataclasses as _dataclasses
@@ -275,6 +350,24 @@ def run_bench_command(args: argparse.Namespace) -> int:
         write_profile_file,
     )
 
+    if args.service:
+        from repro.bench import run_service_bench, service_bench_file_name
+
+        results = run_service_bench(progress=print)
+        print()
+        print(render_results(results))
+        if args.output:
+            out_path = write_bench_file(
+                results,
+                directory=os.path.dirname(args.output) or ".",
+                file_name=os.path.basename(args.output),
+            )
+        else:
+            # BENCH_service_<date>.json: outside the regression gate's
+            # BENCH_2*.json baseline glob -- service cells never gate.
+            out_path = write_bench_file(results, file_name=service_bench_file_name())
+        print(f"\nwrote {out_path}")
+        return 0
     if args.compare is None and (
         args.fail_on_regression or args.fail_threshold is not None
     ):
@@ -352,11 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "backends", "simulate", "bench"],
+        choices=sorted(EXPERIMENTS) + ["all", "backends", "simulate", "bench", "serve"],
         help="which table/figure to reproduce ('all' for every one, "
         "'backends' to list the simulator backends, 'simulate' to drive "
         "one workload through the streaming session API, 'bench' to time "
-        "the simulators and write a BENCH_<date>.json snapshot)",
+        "the simulators and write a BENCH_<date>.json snapshot, 'serve' to "
+        "start the simulation service)",
     )
     parser.add_argument(
         "--quick",
@@ -490,6 +584,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when the --compare diff contains a regression "
         "(turns the bench job into a CI gate instead of an artifact upload)",
     )
+    bench.add_argument(
+        "--service",
+        action="store_true",
+        help="time the simulation service instead of the simulators "
+        "(requests/s and slice latency at 1/16/64 concurrent sessions; "
+        "writes BENCH_service_<date>.json, which the regression gate "
+        "never reads)",
+    )
+    serve = parser.add_argument_group(
+        "serve", "options for the 'serve' simulation-service command"
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        metavar="ADDR",
+        help="address to bind the listeners to (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=9178,
+        metavar="N",
+        help="TCP (NDJSON) port; 0 picks an ephemeral port (default: 9178)",
+    )
+    serve.add_argument(
+        "--http-port",
+        type=int,
+        default=0,
+        metavar="N",
+        help="HTTP adapter port (/metrics, /healthz, SSE /simulate); "
+        "0 picks an ephemeral port (default: 0)",
+    )
+    serve.add_argument(
+        "--no-http",
+        action="store_true",
+        help="disable the HTTP adapter entirely",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="server-wide concurrent-session cap (default: unlimited)",
+    )
+    serve.add_argument(
+        "--default-tenant-sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant concurrent-session quota applied to tenants "
+        "without an explicit --tenant-sessions entry (default: unlimited)",
+    )
+    serve.add_argument(
+        "--default-tenant-rate",
+        type=float,
+        default=None,
+        metavar="CYCLES",
+        help="per-tenant simulated-cycles-per-second throttle applied to "
+        "tenants without an explicit --tenant-rate entry (default: none)",
+    )
+    serve.add_argument(
+        "--tenant-sessions",
+        action="append",
+        metavar="TENANT=N",
+        help="concurrent-session quota of one tenant (repeatable)",
+    )
+    serve.add_argument(
+        "--tenant-rate",
+        action="append",
+        metavar="TENANT=CYCLES",
+        help="cycles-per-second throttle of one tenant (repeatable)",
+    )
+    serve.add_argument(
+        "--slice-cycles",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default cooperative-slice cycle budget "
+        "(requests may override via their stream options)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="evict sessions that were accepted but never run after this "
+        "long idle (default: 300)",
+    )
     return parser
 
 
@@ -520,6 +702,8 @@ def main(argv: Optional[list] = None) -> int:
             return 2
         print(run_simulate(args))
         return 0
+    if args.experiment == "serve":
+        return run_serve(args)
     if args.experiment == "bench":
         if args.backend is not None and args.backend not in describe_backends():
             print(f"unknown backend {args.backend!r}", file=sys.stderr)

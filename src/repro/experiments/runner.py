@@ -31,6 +31,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -363,49 +364,89 @@ class ResultCache:
         self._sweep_stale_temp_files()
 
     def _sweep_stale_temp_files(self) -> None:
-        """Delete orphaned ``*.tmp.<pid>`` files left by crashed writers."""
+        """Delete orphaned ``*.tmp.*``/``*.corrupt.*`` writer leftovers."""
         if not self.directory.is_dir():
             return
         import time
 
         cutoff = time.time() - self.STALE_TEMP_SECONDS
-        for temporary in self.directory.glob("*/*.tmp.*"):
-            try:
-                if temporary.stat().st_mtime < cutoff:
-                    temporary.unlink()
-            except OSError:
-                # Another sweep got there first, or the writer completed
-                # its os.replace between our glob and stat; both are fine.
-                continue
+        for pattern in ("*/*.tmp.*", "*/*.corrupt.*"):
+            for leftover in self.directory.glob(pattern):
+                try:
+                    if leftover.stat().st_mtime < cutoff:
+                        leftover.unlink()
+                except OSError:
+                    # Another sweep got there first, or the writer completed
+                    # its os.replace between our glob and stat; both are fine.
+                    continue
 
     def path_for(self, key: str) -> Path:
         # Two-level fan-out keeps directories small for big sweeps.
         return self.directory / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, object]]:
-        """The stored result document for ``key``, or ``None``."""
+        """The stored result document for ``key``, or ``None``.
+
+        Tolerant of whatever a concurrent or crashed writer may have left
+        behind: a torn/partial/garbage JSON file is treated as a miss and
+        quarantined (renamed to a ``.corrupt.<pid>`` sibling) so the
+        recompute can re-``put`` the entry without fighting the wreck, and
+        the evidence survives for inspection.  A non-mapping document is a
+        plain miss.
+        """
         path = self.path_for(key)
         try:
             with path.open("r", encoding="utf-8") as stream:
                 document = json.load(stream)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            return None
+        except json.JSONDecodeError:
+            self._quarantine(path)
+            return None
+        if not isinstance(document, dict):
             return None
         if document.get("version") != CACHE_SCHEMA_VERSION:
             return None
         result = document.get("result")
         return result if isinstance(result, dict) else None
 
-    def put(self, key: str, point: SweepPoint, result: Dict[str, object]) -> Path:
-        """Store ``result`` for ``key`` and return the entry's path."""
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a torn cache entry out of the lookup path (best effort)."""
+        try:
+            os.replace(path, path.with_suffix(f".corrupt.{os.getpid()}"))
+        except OSError:
+            # Another reader quarantined it first, or the writer already
+            # replaced it with a good entry; either way the miss stands.
+            pass
+
+    def put(
+        self,
+        key: str,
+        point: Optional[SweepPoint],
+        result: Dict[str, object],
+    ) -> Path:
+        """Store ``result`` for ``key`` and return the entry's path.
+
+        ``point`` annotates the entry with the sweep point that produced it
+        (for humans reading the cache tree); service-layer writers that
+        have no sweep point pass ``None``.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         document = {
             "version": CACHE_SCHEMA_VERSION,
             "key": key,
-            "point": point.as_dict(),
+            "point": point.as_dict() if point is not None else None,
             "result": result,
         }
-        temporary = path.with_suffix(f".tmp.{os.getpid()}")
+        # The temp name must be unique per *writer*, not just per process:
+        # the service layer puts from worker threads, and two same-key
+        # threads sharing one pid-suffixed temp file would race each
+        # other's os.replace.
+        temporary = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}"
+        )
         try:
             with temporary.open("w", encoding="utf-8") as stream:
                 json.dump(document, stream, sort_keys=True, indent=1)

@@ -1,0 +1,98 @@
+"""Simulation-as-a-service: the asyncio session server.
+
+Serve the repository's simulators over a socket: typed
+:class:`~repro.sim.request.SimulationRequest` documents arrive over a
+newline-delimited-JSON TCP protocol (or ``POST /simulate`` on the HTTP
+adapter), each admitted request runs as a cooperatively-sliced
+:class:`~repro.sim.session.SimulationSession`, and lifecycle events stream
+back live.  Admission control, per-tenant quotas, backpressure isolation,
+idle eviction, a shared cross-process result cache and a metrics surface
+make it operable; see ``docs/service.md`` for the full tour and
+``tools/service_client.py`` for a stdlib client.
+
+Start one from the command line::
+
+    picos-experiment serve --port 0 --cache-dir /tmp/picos-cache
+
+or embed one in an asyncio program via :class:`SimulationServer`.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionTicket,
+    Rejection,
+    TenantQuota,
+    UNLIMITED,
+)
+from repro.service.cache import SharedResultCache, service_cache_key
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    REJECT_BAD_REQUEST,
+    REJECT_DUPLICATE_SESSION,
+    REJECT_SERVER_CAPACITY,
+    REJECT_SESSION_QUOTA,
+    REJECT_SESSION_STATE,
+    REJECT_UNKNOWN_SESSION,
+    decode_frame,
+    encode_frame,
+    request_from_document,
+    request_to_document,
+    result_from_document,
+    result_to_document,
+)
+from repro.service.server import (
+    ServerConfig,
+    SimulationServer,
+    serve_until_interrupted,
+)
+from repro.service.sessions import (
+    ACCEPTED,
+    CANCELLED,
+    COMPLETED,
+    EVICTED,
+    FAILED,
+    LIVE_STATES,
+    RUNNING,
+    ServiceSession,
+    SessionRegistry,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionTicket",
+    "Rejection",
+    "TenantQuota",
+    "UNLIMITED",
+    "SharedResultCache",
+    "service_cache_key",
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "REJECT_BAD_REQUEST",
+    "REJECT_DUPLICATE_SESSION",
+    "REJECT_SERVER_CAPACITY",
+    "REJECT_SESSION_QUOTA",
+    "REJECT_SESSION_STATE",
+    "REJECT_UNKNOWN_SESSION",
+    "decode_frame",
+    "encode_frame",
+    "request_from_document",
+    "request_to_document",
+    "result_from_document",
+    "result_to_document",
+    "ServerConfig",
+    "SimulationServer",
+    "serve_until_interrupted",
+    "ACCEPTED",
+    "CANCELLED",
+    "COMPLETED",
+    "EVICTED",
+    "FAILED",
+    "LIVE_STATES",
+    "RUNNING",
+    "ServiceSession",
+    "SessionRegistry",
+]

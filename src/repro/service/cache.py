@@ -1,0 +1,74 @@
+"""Shared cross-process result cache of the simulation service.
+
+A thin, typed layer over the experiment runner's on-disk
+:class:`~repro.experiments.runner.ResultCache` (same directory layout, same
+atomic-write and torn-file-quarantine discipline), so server processes and
+batch experiment runs can point at one cache directory.  Entries are keyed
+by :meth:`SimulationRequest.cache_key` -- content-addressed over the trace
+digest and every outcome-determining parameter, and salted with the package
+version exactly like the experiment runner's keys -- and store a
+*full-fidelity* result document: the reconstructed
+:class:`~repro.sim.results.SimulationResult` compares field-for-field equal
+to a fresh simulation, so a cache-served session can still stream the
+complete lifecycle-event sequence.
+
+The service uses it read-through (lookup at run start) / write-behind (the
+server persists in a background thread after the client already has its
+result); both sides are plain synchronous calls here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.experiments.runner import CACHE_SCHEMA_VERSION, ResultCache
+from repro.sim.request import SimulationRequest
+from repro.sim.results import SimulationResult
+from repro.service.protocol import (
+    ProtocolError,
+    result_from_document,
+    result_to_document,
+)
+
+#: Key salt distinguishing service entries from experiment sweep entries
+#: (same directory, disjoint key spaces: a sweep point's document lacks the
+#: full timeline fidelity sessions need).
+_SERVICE_KEY_PREFIX = ("service-result", 1)
+
+
+def service_cache_key(request: SimulationRequest) -> str:
+    """The shared-cache key of one request (tenant/stream-neutral)."""
+    from repro import __version__
+
+    return request.cache_key(prefix=[CACHE_SCHEMA_VERSION, __version__, *_SERVICE_KEY_PREFIX])
+
+
+class SharedResultCache:
+    """Read-through/write-behind store of full simulation results."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self._store = ResultCache(self.directory)
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result under ``key``, or ``None`` on any miss.
+
+        Torn files are quarantined by the underlying store; a document
+        that decodes as JSON but not as a result (e.g. written by a future
+        schema) is also just a miss.
+        """
+        document = self._store.get(key)
+        if document is None:
+            return None
+        try:
+            return result_from_document(document)
+        except ProtocolError:
+            return None
+
+    def put(self, key: str, result: SimulationResult) -> Path:
+        """Persist ``result`` under ``key`` (atomic; last writer wins)."""
+        return self._store.put(key, None, result_to_document(result))
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,135 @@
+"""Server-side session objects and their lifecycle registry.
+
+A :class:`ServiceSession` ties together everything the server knows about
+one admitted request: the underlying
+:class:`~repro.sim.session.SimulationSession`, the admission ticket holding
+its tenant's quota slot, the asyncio task slicing it forward, and the
+timestamps the idle-eviction sweep works from.  The
+:class:`SessionRegistry` owns the id space and the eviction policy.
+
+Lifecycle::
+
+    accepted --run--> running --> completed
+        |                |-----> cancelled   (client frame / disconnect)
+        |                `-----> failed      (simulation error)
+        `--idle--------> evicted             (accepted but never run)
+
+Only *accepted-but-never-run* sessions are evicted on idleness: a running
+session is either computing (not idle) or intentionally paused by its own
+client's backpressure, which the contract says must never kill it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.service.admission import AdmissionTicket
+from repro.sim.session import SimulationSession
+
+#: Lifecycle states of a service session.
+ACCEPTED = "accepted"
+RUNNING = "running"
+COMPLETED = "completed"
+CANCELLED = "cancelled"
+FAILED = "failed"
+EVICTED = "evicted"
+
+#: States in which the registry still counts the session as live.
+LIVE_STATES = frozenset({ACCEPTED, RUNNING})
+
+
+class ServiceSession:
+    """One admitted session and its server-side bookkeeping."""
+
+    def __init__(
+        self,
+        session_id: str,
+        tenant: str,
+        session: SimulationSession,
+        ticket: AdmissionTicket,
+        clock: Callable[[], float],
+    ) -> None:
+        self.session_id = session_id
+        self.tenant = tenant
+        self.session = session
+        self.ticket = ticket
+        self._clock = clock
+        self.state = ACCEPTED
+        self.created_at = clock()
+        self.last_activity = self.created_at
+        #: The asyncio task slicing this session (set when run starts).
+        self.runner: Optional[asyncio.Task] = None
+        #: Cache key, computed once when the server consults the cache.
+        self.cache_key: Optional[str] = None
+        #: The owning connection's outbound frame queue (set by the server;
+        #: the sweeper posts eviction notices here best-effort).
+        self.out: Optional["asyncio.Queue"] = None
+
+    def touch(self) -> None:
+        """Record client activity (defers idle eviction)."""
+        self.last_activity = self._clock()
+
+    def idle_seconds(self) -> float:
+        return self._clock() - self.last_activity
+
+    def finish(self, state: str) -> None:
+        """Move to a terminal state, release the quota slot and the engine."""
+        if self.state in LIVE_STATES:
+            self.state = state
+            self.ticket.release()
+            self.session.close()
+
+
+class SessionRegistry:
+    """The server's id -> session map plus the idle-eviction policy."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._sessions: Dict[str, ServiceSession] = {}
+        self._auto_ids = itertools.count(1)
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def get(self, session_id: str) -> Optional[ServiceSession]:
+        return self._sessions.get(session_id)
+
+    def allocate_id(self) -> str:
+        """A fresh server-assigned session id (HTTP clients don't pick one)."""
+        while True:
+            candidate = f"s{next(self._auto_ids)}"
+            if candidate not in self._sessions:
+                return candidate
+
+    def add(
+        self,
+        session_id: str,
+        tenant: str,
+        session: SimulationSession,
+        ticket: AdmissionTicket,
+    ) -> ServiceSession:
+        if session_id in self._sessions:
+            raise KeyError(session_id)
+        record = ServiceSession(session_id, tenant, session, ticket, self._clock)
+        self._sessions[session_id] = record
+        return record
+
+    def remove(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)
+
+    def live_sessions(self) -> List[ServiceSession]:
+        return [s for s in self._sessions.values() if s.state in LIVE_STATES]
+
+    def idle_candidates(self, idle_timeout: float) -> List[ServiceSession]:
+        """Accepted-but-never-run sessions idle past the timeout."""
+        return [
+            record
+            for record in self._sessions.values()
+            if record.state == ACCEPTED and record.idle_seconds() >= idle_timeout
+        ]

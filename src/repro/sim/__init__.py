@@ -34,11 +34,13 @@ from repro.sim.request import (
     InlineProgramRef,
     InvalidRequestError,
     SimulationRequest,
+    StreamOptions,
     WorkloadRef,
 )
 from repro.sim.results import SimulationResult, TaskTimeline
 from repro.sim.session import (
     SessionEvent,
+    SessionSlice,
     SessionStats,
     SimulationSession,
     TaskReady,
@@ -63,11 +65,13 @@ __all__ = [
     "InvalidRequestError",
     "REQUEST_PARAMETERS",
     "SessionEvent",
+    "SessionSlice",
     "SessionStats",
     "SimulationRequest",
     "SimulationResult",
     "SimulationSession",
     "SimulatorBackend",
+    "StreamOptions",
     "TaskReady",
     "TaskRetired",
     "TaskSubmitted",

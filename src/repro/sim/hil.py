@@ -55,7 +55,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.config import DMDesign, PicosConfig
 from repro.core.picos import PicosAccelerator, SubmitStatus
@@ -122,6 +122,12 @@ _EV_READY_BATCH = "ready-batch"
 _EV_WORKER_DONE = "worker-done"
 _EV_MASTER_DONE = "master-done"
 
+# lifecycle-log entry orders, matching repro.sim.session._EVENT_ORDER so a
+# sorted log partition reproduces the lifecycle_events() stream exactly.
+_LOG_SUBMITTED = 0
+_LOG_READY = 1
+_LOG_RETIRED = 2
+
 
 class HILSimulator:
     """Discrete-event simulation of the HIL platform running one program."""
@@ -174,6 +180,17 @@ class HILSimulator:
         self.queue = EventQueue()
 
         self._timelines: Dict[int, TaskTimeline] = {}
+        #: Optional lifecycle log of ``(cycle, order, task_id)`` entries,
+        #: appended at the submitted/ready/finished stamp sites.  ``None``
+        #: (the default) keeps the hot path free of logging work; sliced
+        #: sessions enable it to emit exact per-slice event streams (the
+        #: 0-initialised timeline stamps alone cannot distinguish "not yet
+        #: happened" from a genuine cycle-0 event in HW-only mode).
+        self._lifecycle_log: Optional[List[Tuple[int, int, int]]] = None
+        #: ``run``/``step`` gate their one-time setup behind this flag so
+        #: repeated calls *resume* dispatching instead of resetting state;
+        #: that is what makes ``stop_at_cycle`` horizons stackable.
+        self._prepared = False
         self._pending_new: Deque[Task] = deque()
         # The new-task path (GW -> TRS/DCT insertion) and the finished-task
         # path (TRS retire -> DCT release) are separate pipelines in the
@@ -223,25 +240,43 @@ class HILSimulator:
     def run(self, stop_at_cycle: Optional[int] = None) -> SimulationResult:
         """Execute the program and return the result.
 
-        With ``stop_at_cycle`` the event loop aborts once the simulated
+        With ``stop_at_cycle`` the event loop pauses once the simulated
         clock would pass that cycle; the result then covers only the work
         performed up to the horizon (``completed_all()`` is ``False`` and
         an ``aborted_at_cycle`` counter records the horizon).  Without it
         the program must run to completion.
-        """
-        for task in self.program:
-            self._timelines[task.task_id] = TaskTimeline(task_id=task.task_id)
 
-        if self.mode is HILMode.HW_ONLY:
-            # "all the tasks are sent to Picos once" -- every task is queued
-            # at the accelerator input at time zero, in creation order.
+        Calling ``run`` again *resumes* from where the previous horizon
+        stopped (the engine leaves later events queued), so a sequence of
+        calls with growing horizons ending in ``run()`` is cycle-identical
+        to a single uninterrupted run.
+        """
+        self.step(stop_at_cycle)
+        return self._build_result(aborted_at=stop_at_cycle)
+
+    def step(self, stop_at_cycle: Optional[int] = None) -> None:
+        """Advance the simulation, without building a result.
+
+        The one-time setup runs on the first call only; every later call
+        continues dispatching queued events up to the (larger) horizon.
+        ``queue.empty`` after a step means the run is complete.
+        """
+        if not self._prepared:
+            self._prepared = True
             for task in self.program:
-                self._pending_new.append(task)
-            self._process_submissions(0)
-        else:
-            # The ARM core pays a one-time platform start-up cost before the
-            # first task is created.
-            self._kick_master(self.config.hil_startup_cycles)
+                self._timelines[task.task_id] = TaskTimeline(task_id=task.task_id)
+
+            if self.mode is HILMode.HW_ONLY:
+                # "all the tasks are sent to Picos once" -- every task is
+                # queued at the accelerator input at time zero, in creation
+                # order.
+                for task in self.program:
+                    self._pending_new.append(task)
+                self._process_submissions(0)
+            else:
+                # The ARM core pays a one-time platform start-up cost before
+                # the first task is created.
+                self._kick_master(self.config.hil_startup_cycles)
 
         # Precomputed handler table: one dict hit per event instead of a
         # string-comparison ladder (this loop delivers hundreds of
@@ -263,7 +298,22 @@ class HILSimulator:
         }
         self.queue.dispatch(handlers, horizon=stop_at_cycle)
 
-        return self._build_result(aborted_at=stop_at_cycle)
+    def enable_lifecycle_log(self) -> List[Tuple[int, int, int]]:
+        """Record ``(cycle, order, task_id)`` at every lifecycle stamp site.
+
+        Must be called before the first ``run``/``step``.  The returned
+        list is live: entries accumulate as the simulation advances.  Once
+        the clock has passed a horizon ``H``, the set of entries with
+        ``cycle <= H`` is final -- submissions are the only stamps assigned
+        ahead of the clock, and they are stamped at ``max(now, free_at) >=
+        now``, so no handler running after the clock passed ``H`` can add
+        an entry at or before ``H``.
+        """
+        if self._prepared:
+            raise RuntimeError("enable_lifecycle_log() must precede the first run")
+        if self._lifecycle_log is None:
+            self._lifecycle_log = []
+        return self._lifecycle_log
 
     # ------------------------------------------------------------------
     # Picos pipeline
@@ -280,6 +330,7 @@ class HILSimulator:
             return
         accel = self.accel
         timelines = self._timelines
+        log = self._lifecycle_log
         free_at = self._picos_new_free_at
         stalled = SubmitStatus.STALLED
         while pending_new:
@@ -298,6 +349,8 @@ class HILSimulator:
             self._submission_blocked = False
             pending_new.popleft()
             timelines[head.task_id].submitted = start
+            if log is not None:
+                log.append((start, _LOG_SUBMITTED, head.task_id))
             free_at = start + result.occupancy
             if result.ready:
                 self._schedule_ready(start, result.ready)
@@ -359,6 +412,8 @@ class HILSimulator:
     def _on_task_visible(self, task_id: int, now: int) -> None:
         """Reference handler: one visibility notification per engine event."""
         self._timelines[task_id].ready = now
+        if self._lifecycle_log is not None:
+            self._lifecycle_log.append((now, _LOG_READY, task_id))
         self.ready.push(task_id)
         self._try_dispatch(now)
         self._kick_master(now)
@@ -383,17 +438,22 @@ class HILSimulator:
         ready = self.ready
         try_dispatch = self._try_dispatch
         pop_same_kind = self.queue.pop_same_kind
+        log = self._lifecycle_log
         extra = self._ready_batch_extra
         while True:
             if payload.__class__ is list:
                 extra += len(payload) - 1
                 for task_id in payload:
                     timelines[task_id].ready = now
+                    if log is not None:
+                        log.append((now, _LOG_READY, task_id))
                     ready.push(task_id)
                     try_dispatch(now)
             else:
                 # Singleton cluster: the payload is the bare task id.
                 timelines[payload].ready = now
+                if log is not None:
+                    log.append((now, _LOG_READY, payload))
                 ready.push(payload)
                 try_dispatch(now)
             nxt = pop_same_kind(_EV_READY_BATCH, now)
@@ -433,6 +493,8 @@ class HILSimulator:
         """Reference handler: one worker completion per engine event."""
         worker_id, task_id = payload
         self._timelines[task_id].finished = now
+        if self._lifecycle_log is not None:
+            self._lifecycle_log.append((now, _LOG_RETIRED, task_id))
         self.workers.release(worker_id)
         self._finished_tasks += 1
         if self._hw_only:
@@ -459,10 +521,13 @@ class HILSimulator:
         pop_same_kind = self.queue.pop_same_kind
         hw_only = self._hw_only
         finish_jobs = self._master_finish_jobs
+        log = self._lifecycle_log
         finished = self._finished_tasks
         while True:
             worker_id, task_id = payload
             timelines[task_id].finished = now
+            if log is not None:
+                log.append((now, _LOG_RETIRED, task_id))
             release(worker_id)
             finished += 1
             if hw_only:
@@ -635,6 +700,70 @@ class HILSimulator:
         )
 
 
+class HILStepper:
+    """Cooperative-slicing adapter over a resumable :class:`HILSimulator`.
+
+    Implements the stepper contract consumed by
+    :meth:`repro.sim.session.SimulationSession.advance`: each
+    :meth:`advance` call dispatches one bounded horizon slice and returns
+    the lifecycle-log entries that became final inside it.  Because the
+    engine consumes events in the same order whether or not dispatching is
+    split across horizons, the concatenated slices are cycle-identical to a
+    single uninterrupted run, and the sorted per-slice log partitions
+    reproduce :func:`repro.sim.session.lifecycle_events` exactly.
+    """
+
+    def __init__(self, simulator: HILSimulator) -> None:
+        self._sim = simulator
+        self._log = simulator.enable_lifecycle_log()
+        self._horizon = 0
+        self.finished = False
+
+    def advance(self, slice_cycles: int) -> Tuple[bool, int, List[Tuple[int, int, int]]]:
+        """Run one slice of at most ``slice_cycles`` beyond the last horizon.
+
+        Returns ``(finished, horizon, entries)`` where ``entries`` is the
+        sorted list of ``(cycle, order, task_id)`` lifecycle entries that
+        are final as of ``horizon``.  When the next queued event lies past
+        the nominal horizon the slice fast-forwards to it, so every slice
+        of an unfinished run makes progress.
+        """
+        if slice_cycles < 1:
+            raise ValueError("slice_cycles must be >= 1")
+        sim = self._sim
+        queue = sim.queue
+        if self.finished:
+            return True, self._horizon, []
+        target = max(queue.now, self._horizon) + slice_cycles
+        peek = queue.peek_time
+        if peek is not None and peek > target:
+            target = peek
+        sim.step(target)
+        self._horizon = target
+        done = queue.empty
+        self.finished = done
+        log = self._log
+        if done:
+            entries, keep = list(log), []
+        else:
+            entries, keep = [], []
+            for entry in log:
+                (entries if entry[0] <= target else keep).append(entry)
+        log[:] = keep
+        # Plain tuple order == the lifecycle_events() sort key
+        # (cycle, kind order, task id).
+        entries.sort()
+        return done, target, entries
+
+    def result(self) -> SimulationResult:
+        """The complete result; only valid once ``finished`` is ``True``."""
+        if not self.finished:
+            raise RuntimeError("stepper has not finished; call advance() until done")
+        # The queue is drained, so this builds the final result without
+        # dispatching anything further.
+        return self._sim.run()
+
+
 # ----------------------------------------------------------------------
 # backend registration
 # ----------------------------------------------------------------------
@@ -657,6 +786,32 @@ class HILBackend:
         from repro.sim.session import SimulationSession
 
         return SimulationSession(self, request)
+
+    def make_stepper(
+        self,
+        program: TaskProgram,
+        *,
+        num_workers: int = 12,
+        config: Optional[PicosConfig] = None,
+        dm_design: Optional[DMDesign] = None,
+        policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+        **kwargs: object,
+    ) -> HILStepper:
+        """A resumable sliced run with the same defaults as :meth:`simulate`."""
+        if config is None:
+            if dm_design is not None:
+                config = PicosConfig.paper_prototype(dm_design)
+            else:
+                config = PicosConfig()
+        return HILStepper(
+            HILSimulator(
+                program,
+                config=config,
+                mode=self.mode,
+                num_workers=num_workers,
+                policy=policy,
+            )
+        )
 
     def simulate(
         self,

@@ -233,6 +233,37 @@ assert frozenset(_CHECKED_PARAMETERS) == _REQUEST_PARAMETERS, (
 
 
 @dataclass(frozen=True)
+class StreamOptions:
+    """Delivery preferences of a streamed/served simulation.
+
+    These knobs shape *how* a run is delivered -- never *what* it computes
+    -- so they are deliberately excluded from :meth:`SimulationRequest.
+    cache_key` and from the backend parameter check: two requests differing
+    only in stream options describe the same simulation.
+    """
+
+    #: Cycle budget per cooperative slice (``None`` = the session default,
+    #: :data:`repro.sim.session.DEFAULT_SLICE_CYCLES`).
+    slice_cycles: Optional[int] = None
+    #: Maximum lifecycle events per streamed protocol frame (``None`` = the
+    #: server default).
+    event_batch: Optional[int] = None
+    #: Whether lifecycle events are streamed at all (``False`` delivers the
+    #: final result only).
+    events: bool = True
+
+    def __post_init__(self) -> None:
+        if self.slice_cycles is not None and self.slice_cycles < 1:
+            raise ValueError("slice_cycles must be >= 1")
+        if self.event_batch is not None and self.event_batch < 1:
+            raise ValueError("event_batch must be >= 1")
+
+
+#: Tenant name a request carries when none was specified.
+DEFAULT_TENANT = "default"
+
+
+@dataclass(frozen=True)
 class SimulationRequest:
     """The complete, validated, hashable description of one simulation.
 
@@ -257,6 +288,14 @@ class SimulationRequest:
     seed:
         Random seed, reserved for stochastic plug-in backends; the five
         built-in simulators are deterministic and do not accept it.
+    tenant:
+        Accounting identity for the serving layer (admission control and
+        quotas, :mod:`repro.service`); has no effect on the simulation and
+        is excluded from the cache key, so identical requests from
+        different tenants share one cache entry.
+    stream:
+        Delivery preferences (:class:`StreamOptions`); ``None`` means
+        server/session defaults.  Also cache-key-neutral.
     """
 
     program: ProgramRef
@@ -267,12 +306,16 @@ class SimulationRequest:
     policy: SchedulingPolicy = SchedulingPolicy.FIFO
     overhead: Optional[NanosOverheadModel] = None
     seed: Optional[int] = None
+    tenant: str = DEFAULT_TENANT
+    stream: Optional[StreamOptions] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.backend, str) or not self.backend:
             raise ValueError("a request needs a non-empty backend name")
         if self.num_workers < 1:
             raise ValueError("at least one worker is required")
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise ValueError("a request needs a non-empty tenant name")
         if not hasattr(self.program, "build") or not hasattr(
             self.program, "trace_digest"
         ):

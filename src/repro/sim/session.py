@@ -39,7 +39,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import ClassVar, Iterable, Iterator, List, Optional
+from typing import ClassVar, Iterable, Iterator, List, Optional, Tuple
 
 from repro.runtime.task import Task, TaskProgram
 from repro.sim.backend import SimulatorBackend, get_backend
@@ -83,6 +83,9 @@ class TaskRetired(SessionEvent):
 
 _EVENT_ORDER = {TaskSubmitted.kind: 0, TaskReady.kind: 1, TaskRetired.kind: 2}
 
+#: Event class per lifecycle-log order value (see stepper contract below).
+_EVENT_CLASSES = (TaskSubmitted, TaskReady, TaskRetired)
+
 
 def lifecycle_events(result: SimulationResult) -> List[SessionEvent]:
     """The typed event stream of a finished simulation, in cycle order.
@@ -107,13 +110,35 @@ def lifecycle_events(result: SimulationResult) -> List[SessionEvent]:
 STATE_OPEN = "open"
 STATE_SEALED = "sealed"
 STATE_FINISHED = "finished"
+STATE_CLOSED = "closed"
+
+#: Default cycle budget of one cooperative slice (see
+#: :meth:`SimulationSession.advance`).  Coarse enough that slice overhead is
+#: negligible against the engine work inside it, fine enough that a handful
+#: of slices cover the quick workloads.
+DEFAULT_SLICE_CYCLES = 250_000
+
+
+@dataclass(frozen=True)
+class SessionSlice:
+    """The outcome of one cooperative :meth:`SimulationSession.advance`."""
+
+    #: ``True`` once the simulation has run to completion.
+    finished: bool
+    #: Cycle horizon this slice advanced the simulation to.
+    horizon: int
+    #: Lifecycle events that became final inside this slice, in global
+    #: stream order (concatenating every slice's events reproduces
+    #: :func:`lifecycle_events` exactly).
+    events: Tuple[SessionEvent, ...]
 
 
 @dataclass(frozen=True)
 class SessionStats:
     """Snapshot of a session's progress (cheap, taken at any time)."""
 
-    #: ``open`` (accepting tasks), ``sealed`` or ``finished`` (simulated).
+    #: ``open`` (accepting tasks), ``sealed``, ``finished`` (simulated) or
+    #: ``closed`` (cancelled / released).
     state: str
     #: Tasks submitted to the session so far.
     tasks_submitted: int
@@ -153,6 +178,14 @@ class SimulationSession:
         self._source_program = self.request.build_program()
         self._streamed: List[Task] = []
         self._sealed = False
+        self._closed = False
+        #: Submission count frozen at close time (the streamed-task list is
+        #: released then, but the progress snapshot must not forget it).
+        self._submitted_at_close: Optional[int] = None
+        #: Live cooperative-slicing adapter (see :meth:`advance`); ``None``
+        #: until the first ``advance`` on a backend that provides one, and
+        #: again once the run finished or the session closed.
+        self._stepper = None
         self._result: Optional[SimulationResult] = None
         self._events: Optional[List[SessionEvent]] = None
         self._delivered = 0
@@ -174,6 +207,8 @@ class SimulationSession:
         if the full program had been traced up front -- which is what makes
         the streamed run cycle-identical to the batch run.
         """
+        if self._closed:
+            raise SessionError("cannot submit tasks to a closed session")
         if self._sealed:
             raise SessionError("cannot submit tasks to a sealed session")
         self._streamed.append(task)
@@ -203,13 +238,29 @@ class SimulationSession:
             program.add_task(task)
         return program
 
+    def _require_usable(self, operation: str) -> None:
+        if self._closed:
+            raise SessionError(f"cannot {operation} on a closed session")
+
     def _ensure_result(self) -> SimulationResult:
         if self._result is None:
             self.seal()
-            program = self._assembled_program()
-            self._result = self._backend.simulate(
-                program, **self.request.simulate_kwargs()
-            )
+            stepper = self._stepper
+            if stepper is not None:
+                # A sliced run is in flight: drain it instead of starting a
+                # fresh batch simulation (the two are cycle-identical, but a
+                # restart would throw away the work already done).  The
+                # drained events are not counted as delivered -- delivery
+                # accounting belongs to advance()/events() only.
+                while not stepper.finished:
+                    stepper.advance(DEFAULT_SLICE_CYCLES)
+                self._result = stepper.result()
+                self._stepper = None
+            else:
+                program = self._assembled_program()
+                self._result = self._backend.simulate(
+                    program, **self.request.simulate_kwargs()
+                )
         return self._result
 
     def _ensure_events(self) -> List[SessionEvent]:
@@ -234,9 +285,79 @@ class SimulationSession:
         # Recording the horizon must happen at call time, not at first
         # ``next()``, so a stats() between the call and consumption already
         # sees the requested cap; hence the inner generator.
+        self._require_usable("stream events")
         self._horizon = until_cycle
         events = self._ensure_events()
         return self._deliver(events, until_cycle)
+
+    # ------------------------------------------------------------------
+    # cooperative slicing
+    # ------------------------------------------------------------------
+    def advance(self, slice_cycles: Optional[int] = None) -> SessionSlice:
+        """Run one bounded slice of the simulation and return its events.
+
+        The push-mode counterpart of :meth:`events`: instead of computing
+        the whole run and pulling events from it, ``advance`` executes at
+        most ``slice_cycles`` simulated cycles and returns the events that
+        became final inside that window, so a scheduler (e.g. the asyncio
+        service in :mod:`repro.service`) can interleave many long runs on
+        one thread.  Concatenating the slices of a run reproduces the full
+        :meth:`events` stream exactly, and the final :meth:`result` is
+        cycle-identical to the batch path.
+
+        Backends advertise slicing by providing ``make_stepper(program,
+        **simulate_kwargs)``; for every other backend the first ``advance``
+        falls back to running the whole simulation as a single slice.  The
+        first call seals the session either way.
+        """
+        self._require_usable("advance")
+        if slice_cycles is None:
+            stream = self.request.stream
+            slice_cycles = (
+                stream.slice_cycles
+                if stream is not None and stream.slice_cycles is not None
+                else DEFAULT_SLICE_CYCLES
+            )
+        if self._result is None and self._stepper is None:
+            self.seal()
+            factory = getattr(self._backend, "make_stepper", None)
+            if factory is not None:
+                self._stepper = factory(
+                    self._assembled_program(), **self.request.simulate_kwargs()
+                )
+        if self._stepper is None:
+            # One-shot fallback: the entire run is a single slice.
+            result = self._ensure_result()
+            events = self._ensure_events()
+            remaining = tuple(events[self._delivered :])
+            self._count_delivered(remaining)
+            return SessionSlice(finished=True, horizon=result.drain_time, events=remaining)
+        finished, horizon, entries = self._stepper.advance(slice_cycles)
+        classes = _EVENT_CLASSES
+        slice_events = tuple(
+            classes[order](cycle, task_id) for cycle, order, task_id in entries
+        )
+        self._count_delivered(slice_events)
+        if finished:
+            self._result = self._stepper.result()
+            self._stepper = None
+        return SessionSlice(finished=finished, horizon=horizon, events=slice_events)
+
+    def _count_delivered(self, events: Tuple[SessionEvent, ...]) -> None:
+        """Fold a delivered slice into the progress counters.
+
+        Keeps the ``events()`` cursor consistent: sliced delivery follows
+        the exact global stream order, so bumping ``_delivered`` by the
+        slice length leaves any later ``events()`` call resuming right
+        after the last sliced event.
+        """
+        for event in events:
+            self._current_cycle = event.cycle
+            if event.kind == TaskReady.kind:
+                self._ready_seen += 1
+            elif event.kind == TaskRetired.kind:
+                self._retired_seen += 1
+        self._delivered += len(events)
 
     def _deliver(
         self, events: List[SessionEvent], until_cycle: Optional[int]
@@ -262,7 +383,9 @@ class SimulationSession:
         leak a clock position past it (which the raw last-delivered-event
         cycle does when a later request shrinks the horizon).
         """
-        if self._result is not None:
+        if self._closed:
+            state = STATE_CLOSED
+        elif self._result is not None:
             state = STATE_FINISHED
         elif self._sealed:
             state = STATE_SEALED
@@ -273,7 +396,11 @@ class SimulationSession:
             current_cycle = self._horizon
         return SessionStats(
             state=state,
-            tasks_submitted=self._source_program.num_tasks + len(self._streamed),
+            tasks_submitted=(
+                self._submitted_at_close
+                if self._submitted_at_close is not None
+                else self._source_program.num_tasks + len(self._streamed)
+            ),
             events_delivered=self._delivered,
             tasks_ready=self._ready_seen,
             tasks_retired=self._retired_seen,
@@ -288,7 +415,39 @@ class SimulationSession:
         yet.  Does not consume the event stream: events remain available
         (and resumable) after the result has been read.
         """
+        self._require_usable("read the result")
         return self._ensure_result()
+
+    # ------------------------------------------------------------------
+    # cancellation / release
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Cancel the session and free its engine state; idempotent.
+
+        Safe in any state, including mid-run between :meth:`advance`
+        slices: the in-flight simulator (event queue, accelerator state,
+        partial timelines) and any computed result/event stream are
+        released.  After closing, :meth:`stats` still reports the progress
+        counters (under state ``closed``) but ``submit``/``advance``/
+        ``events``/``result`` raise :class:`SessionError`.  A cancelled run
+        is simply restarted by opening a fresh session from the same
+        request -- sessions share no mutable state, so the rerun is
+        cycle-identical (pinned by the restart-parity test).
+        """
+        if self._closed:
+            return
+        self._submitted_at_close = self._source_program.num_tasks + len(self._streamed)
+        self._closed = True
+        self._sealed = True
+        self._stepper = None
+        self._result = None
+        self._events = None
+        self._streamed.clear()
 
     # ------------------------------------------------------------------
     # context management
@@ -297,6 +456,11 @@ class SimulationSession:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
+        # Sealing (not closing) on exit keeps the idiomatic
+        # ``with open_session(...) as s: ... s.result()`` pattern working:
+        # results and events remain readable after the block.  Callers that
+        # want hard release semantics use ``contextlib.closing`` or call
+        # :meth:`close` explicitly.
         self.seal()
 
 

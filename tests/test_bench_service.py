@@ -1,0 +1,117 @@
+"""Tests for the service bench cells and their snapshot plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BenchResult,
+    ServiceBenchSpec,
+    bench_document,
+    load_bench_document,
+    run_service_bench,
+    service_bench_file_name,
+    write_bench_file,
+)
+
+
+@pytest.fixture(scope="module")
+def service_rows():
+    # A tiny matrix so the whole bench runs in seconds: two waves against
+    # a real loopback server.
+    spec = ServiceBenchSpec(
+        workload="cholesky",
+        block_size=128,
+        problem_size=512,
+        backend="hil-full",
+        num_workers=2,
+        concurrency_levels=(1, 4),
+        slice_cycles=50_000,
+    )
+    return run_service_bench(spec)
+
+
+class TestServiceBench:
+    def test_one_row_per_concurrency_level(self, service_rows):
+        assert [row.num_workers for row in service_rows] == [1, 4]
+        assert all(row.workload == "service-tcp" for row in service_rows)
+
+    def test_rows_carry_the_service_extras(self, service_rows):
+        for row in service_rows:
+            assert row.wall_seconds > 0
+            assert row.extras["requests"] == row.num_workers
+            assert row.extras["requests_per_second"] > 0
+            assert "median_slice_ms" in row.extras
+            assert "p99_slice_ms" in row.extras
+            # Every request streamed its full lifecycle.
+            assert row.events_processed == 3 * row.num_tasks * row.num_workers
+
+    def test_snapshot_round_trips_with_extras(self, service_rows, tmp_path):
+        name = service_bench_file_name()
+        assert name.startswith("BENCH_service_") and name.endswith(".json")
+        path = write_bench_file(service_rows, directory=tmp_path, file_name=name)
+        document = load_bench_document(path)
+        rebuilt = [BenchResult.from_dict(row) for row in document["results"]]
+        assert [row.extras for row in rebuilt] == [row.extras for row in service_rows]
+
+    def test_from_dict_tolerates_rows_without_extras(self, service_rows):
+        # Pre-existing snapshots have no 'extras' field; loading them must
+        # keep working (and default to an empty dict).
+        row = dict(service_rows[0].as_dict())
+        del row["extras"]
+        rebuilt = BenchResult.from_dict(row)
+        assert rebuilt.extras == {}
+
+    def test_service_snapshot_name_is_outside_the_gate_glob(self):
+        # The CI regression gate picks its baseline via `ls BENCH_2*.json`;
+        # the service family must never match it.
+        import fnmatch
+
+        assert not fnmatch.fnmatch(service_bench_file_name(), "BENCH_2*.json")
+
+    def test_document_layout_matches_the_simulator_bench(self, service_rows):
+        document = bench_document(service_rows)
+        assert document["schema"] == 1
+        assert all("extras" in row for row in document["results"])
+
+
+class TestServeCliParsing:
+    def test_tenant_value_parsing(self):
+        from repro.experiments.cli import _parse_tenant_value
+
+        assert _parse_tenant_value(["a=1", "b=2"], "tenant-sessions", int) == {
+            "a": 1,
+            "b": 2,
+        }
+        assert _parse_tenant_value(None, "tenant-sessions", int) == {}
+        with pytest.raises(SystemExit):
+            _parse_tenant_value(["nope"], "tenant-sessions", int)
+        with pytest.raises(SystemExit):
+            _parse_tenant_value(["a=lots"], "tenant-sessions", int)
+
+    def test_parser_accepts_serve_options(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--tenant-sessions",
+                "teamA=4",
+                "--tenant-rate",
+                "teamA=2e8",
+                "--slice-cycles",
+                "100000",
+            ]
+        )
+        assert args.experiment == "serve"
+        assert args.tenant_sessions == ["teamA=4"]
+        assert args.tenant_rate == ["teamA=2e8"]
+        assert args.slice_cycles == 100000
+
+    def test_parser_accepts_bench_service_flag(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(["bench", "--service"])
+        assert args.service is True

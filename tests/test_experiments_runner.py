@@ -388,3 +388,97 @@ class TestCacheTempHygiene:
         cache.put(key, self._point(), {"kind": "simulate"})
         assert list(tmp_path.rglob("*.tmp.*")) == []
         assert cache.get(key) == {"kind": "simulate"}
+
+
+class TestCacheHardening:
+    """Torn entries are quarantined misses; concurrent writers never tear."""
+
+    def _point(self):
+        return TINY_SPEC.expand()[0]
+
+    def test_torn_json_is_a_miss_and_gets_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" * 12
+        cache.put(key, self._point(), {"kind": "simulate"})
+        entry = cache.path_for(key)
+        entry.write_text('{"version": 1, "result": {"tor')  # torn mid-write
+        assert cache.get(key) is None
+        # The wreck moved aside: the lookup path is free for a re-put, and
+        # the evidence survives as a .corrupt sibling for inspection.
+        assert not entry.exists()
+        quarantined = list(tmp_path.rglob("*.corrupt.*"))
+        assert len(quarantined) == 1
+        # A fresh put over the quarantined key works and hits again.
+        cache.put(key, self._point(), {"kind": "simulate"})
+        assert cache.get(key) == {"kind": "simulate"}
+
+    def test_non_mapping_document_is_a_plain_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" * 12
+        cache.put(key, self._point(), {"kind": "simulate"})
+        entry = cache.path_for(key)
+        entry.write_text('[1, 2, 3]')  # valid JSON, wrong shape
+        assert cache.get(key) is None
+        assert entry.exists()  # decodable files are not quarantined
+
+    def test_result_field_must_be_a_mapping(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "dd" * 12
+        entry = cache.path_for(key)
+        entry.parent.mkdir(parents=True)
+        entry.write_text(json.dumps({"version": runner.CACHE_SCHEMA_VERSION, "result": 5}))
+        assert cache.get(key) is None
+
+    def test_constructor_sweeps_stale_quarantine_files(self, tmp_path):
+        import os
+        import time
+
+        stale = tmp_path / "ab" / ("ab" * 12 + ".corrupt.4242")
+        stale.parent.mkdir(parents=True)
+        stale.write_text("{torn")
+        old = time.time() - 2 * ResultCache.STALE_TEMP_SECONDS
+        os.utime(stale, (old, old))
+        ResultCache(tmp_path)
+        assert not stale.exists()
+
+    def test_concurrent_same_key_writers_never_tear_the_entry(self, tmp_path):
+        # Many threads hammering one key with distinct documents: every
+        # read along the way (and the final state) must be one writer's
+        # document, intact -- atomic replace means last-writer-wins, never
+        # an interleaving of two writes.
+        import threading
+
+        cache = ResultCache(tmp_path)
+        key = "ee" * 12
+        writers = 8
+        rounds = 50
+        failures = []
+        start = threading.Barrier(writers + 1)
+
+        def write_loop(writer_id):
+            start.wait()
+            for round_number in range(rounds):
+                cache.put(
+                    key, None, {"writer": writer_id, "round": round_number}
+                )
+
+        def read_loop():
+            start.wait()
+            for _ in range(writers * rounds):
+                document = cache.get(key)
+                if document is None:
+                    continue  # not written yet / mid-quarantine: a miss is fine
+                if set(document) != {"writer", "round"}:
+                    failures.append(document)
+
+        threads = [
+            threading.Thread(target=write_loop, args=(i,)) for i in range(writers)
+        ] + [threading.Thread(target=read_loop)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+        final = cache.get(key)
+        assert final is not None and set(final) == {"writer", "round"}
+        assert list(tmp_path.rglob("*.tmp.*")) == []

@@ -1,0 +1,200 @@
+"""Soak tests: the server at 100+ concurrent sessions, and slow consumers.
+
+The acceptance bar of the service subsystem: one server process holding
+one hundred concurrent sessions across all five backends, with every
+streamed event sequence and result *byte-identical* to what the batch path
+produces for the same request -- and a slow consumer stalling only its own
+session while the rest of the event loop keeps serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.sim.backend import BUILTIN_BACKENDS
+from repro.sim.driver import simulate_request
+from repro.sim.session import lifecycle_events
+from repro.service import ServerConfig, SimulationServer
+from repro.service.protocol import (
+    decode_frame,
+    encode_frame,
+    events_to_document,
+    request_from_document,
+    result_to_document,
+)
+
+SMALL = 512
+SESSIONS_PER_BACKEND = 20  # x5 backends = 100 concurrent sessions
+
+
+def _request_document(backend):
+    return {
+        "workload": "cholesky",
+        "block_size": 128,
+        "problem_size": SMALL,
+        "backend": backend,
+        "workers": 2,
+        "stream": {"slice_cycles": 25_000},
+    }
+
+
+def _expected(backend):
+    """The batch-path ground truth, in wire form."""
+    result = simulate_request(request_from_document(_request_document(backend)))
+    return (
+        json.dumps(result_to_document(result), sort_keys=True),
+        json.dumps(events_to_document(lifecycle_events(result)), sort_keys=True),
+    )
+
+
+async def _drive(port, document):
+    """One connection, one session; returns (result_json, events_json)."""
+    reader, writer = await asyncio.open_connection(
+        "127.0.0.1", port, limit=16 * 1024 * 1024
+    )
+    try:
+        await reader.readline()  # hello
+        writer.write(encode_frame({"type": "open", "request": document}))
+        await writer.drain()
+        accepted = decode_frame(await reader.readline())
+        assert accepted["type"] == "accepted", accepted
+        writer.write(encode_frame({"type": "run", "id": accepted["id"]}))
+        await writer.drain()
+        events = []
+        while True:
+            frame = decode_frame(await reader.readline())
+            if frame["type"] == "events":
+                events.extend(frame["events"])
+            elif frame["type"] == "result":
+                return (
+                    json.dumps(frame["result"], sort_keys=True),
+                    json.dumps(events, sort_keys=True),
+                )
+            else:
+                raise AssertionError(f"unexpected frame {frame}")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+class TestHundredSessionSoak:
+    def test_100_concurrent_sessions_across_all_backends(self):
+        backends = sorted(BUILTIN_BACKENDS)
+        expected = {backend: _expected(backend) for backend in backends}
+
+        async def scenario():
+            server = SimulationServer(ServerConfig(port=0, http_port=None))
+            await server.start()
+            try:
+                jobs = [
+                    _drive(server.tcp_port, _request_document(backend))
+                    for backend in backends
+                    for _ in range(SESSIONS_PER_BACKEND)
+                ]
+                outcomes = await asyncio.gather(*jobs)
+                return outcomes, server.metrics.snapshot()
+            finally:
+                await server.shutdown(drain=False)
+
+        outcomes, metrics = asyncio.run(scenario())
+        total = len(BUILTIN_BACKENDS) * SESSIONS_PER_BACKEND
+        assert total >= 100
+        assert len(outcomes) == total
+        index = 0
+        for backend in backends:
+            want_result, want_events = expected[backend]
+            for _ in range(SESSIONS_PER_BACKEND):
+                got_result, got_events = outcomes[index]
+                assert got_result == want_result, f"{backend} result diverged"
+                assert got_events == want_events, f"{backend} stream diverged"
+                index += 1
+        assert metrics["sessions"]["admitted"] == total
+        assert metrics["sessions"]["completed"] == total
+        assert metrics["sessions"]["active"] == 0
+        assert metrics["sessions"]["failed"] == 0
+
+
+class TestSlowConsumerIsolation:
+    def test_a_stalled_reader_only_pauses_its_own_session(self):
+        # A deliberately event-heavy request (~18k lifecycle events): far
+        # more bytes than the transport and kernel buffers between server
+        # and a tiny-receive-buffer client can absorb, so the unread
+        # session MUST block in the bounded frame queue mid-run.
+        big_document = dict(_request_document("hil-full"))
+        big_document.update({"block_size": 32, "problem_size": 1024})
+        want_big_result, want_big_events = (
+            json.dumps(result_to_document(big := simulate_request(
+                request_from_document(big_document))), sort_keys=True),
+            json.dumps(events_to_document(lifecycle_events(big)), sort_keys=True),
+        )
+        document = _request_document("hil-full")
+        want_result, want_events = _expected("hil-full")
+
+        async def scenario():
+            import socket
+
+            # A tiny outbound buffer so the stalled reader backs its
+            # session up after a handful of frames.
+            server = SimulationServer(
+                ServerConfig(port=0, http_port=None, buffer_frames=2, event_batch=8)
+            )
+            await server.start()
+            try:
+                # The slow consumer: opens, runs, then never reads -- over
+                # a socket whose receive buffer is as small as the kernel
+                # allows, so in-flight bytes cap out quickly.
+                raw = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                raw.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 2048)
+                raw.setblocking(False)
+                await asyncio.get_running_loop().sock_connect(
+                    raw, ("127.0.0.1", server.tcp_port)
+                )
+                slow_reader, slow_writer = await asyncio.open_connection(
+                    sock=raw, limit=16 * 1024 * 1024
+                )
+                await slow_reader.readline()  # hello
+                slow_writer.write(
+                    encode_frame(
+                        {"type": "open", "id": "slow", "request": big_document}
+                    )
+                )
+                slow_writer.write(encode_frame({"type": "run", "id": "slow"}))
+                await slow_writer.drain()
+                # ... and stops reading here.  Give its session time to
+                # fill the buffers and block.
+                await asyncio.sleep(0.3)
+
+                # Meanwhile, other clients are fully served.
+                fast = await asyncio.gather(
+                    *(_drive(server.tcp_port, document) for _ in range(5))
+                )
+                for got_result, got_events in fast:
+                    assert got_result == want_result
+                    assert got_events == want_events
+                # The slow session is still alive (paused, not evicted).
+                assert server.metrics.snapshot()["sessions"]["active"] == 1
+
+                # When the slow consumer finally reads, it gets the exact
+                # same stream -- backpressure pauses, never drops.
+                events = []
+                frame = decode_frame(await slow_reader.readline())
+                assert frame["type"] == "accepted"
+                while True:
+                    frame = decode_frame(await slow_reader.readline())
+                    if frame["type"] == "events":
+                        events.extend(frame["events"])
+                    elif frame["type"] == "result":
+                        slow_result = json.dumps(frame["result"], sort_keys=True)
+                        break
+                slow_writer.close()
+                return slow_result, json.dumps(events, sort_keys=True)
+            finally:
+                await server.shutdown(drain=False)
+
+        slow_result, slow_events = asyncio.run(scenario())
+        assert slow_result == want_big_result
+        assert slow_events == want_big_events

@@ -166,13 +166,13 @@ class DependenceChainTracker:
             # match is always a valid way.
             base = index_of(address) * ways
             limit = base + ways
-            try:
+            try:  # repro-lint: disable=HOT002(C-speed list.index tag scan; a miss is the expected cold case)
                 way = tag_scan(address, base, limit)
             except ValueError:
                 way = -1
             if way < 0:
                 # First live access: allocate DM way + first version.
-                try:
+                try:  # repro-lint: disable=HOT002(C-speed list.index free-way scan; ValueError is the set-conflict signal)
                     way = free_scan(False, base, limit)
                 except ValueError:
                     self._record_conflict(address)

@@ -23,7 +23,6 @@ and the whole new-task pipeline stalls until one of the ways is recycled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import DMDesign

@@ -24,7 +24,6 @@ from repro.core.packets import (
 )
 from repro.core.stats import PicosStats
 from repro.core.reference.task_memory import TaskEntry, TaskMemory
-from repro.runtime.task import Task
 
 
 class ReadyResult:

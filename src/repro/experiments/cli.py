@@ -445,12 +445,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "backends", "simulate", "bench", "serve"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "backends", "simulate", "bench", "serve", "lint"],
         help="which table/figure to reproduce ('all' for every one, "
         "'backends' to list the simulator backends, 'simulate' to drive "
         "one workload through the streaming session API, 'bench' to time "
         "the simulators and write a BENCH_<date>.json snapshot, 'serve' to "
-        "start the simulation service)",
+        "start the simulation service, 'lint' to run the repro-lint "
+        "invariant checker over the package)",
     )
     parser.add_argument(
         "--quick",
@@ -672,6 +674,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict sessions that were accepted but never run after this "
         "long idle (default: 300)",
     )
+    lint = parser.add_argument_group(
+        "lint", "options for the 'lint' invariant-checker command"
+    )
+    lint.add_argument(
+        "--lint-path",
+        action="append",
+        metavar="PATH",
+        help="file or directory to lint (repeatable; default: the installed "
+        "repro package)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered lint rules and exit",
+    )
     return parser
 
 
@@ -695,6 +712,13 @@ def main(argv: Optional[list] = None) -> int:
     if args.experiment == "backends":
         print(render_backends())
         return 0
+    if args.experiment == "lint":
+        from repro.lint.cli import main as lint_main
+
+        lint_argv = list(args.lint_path or [])
+        if args.list_rules:
+            lint_argv.append("--list-rules")
+        return lint_main(lint_argv)
     if args.experiment == "simulate":
         if args.backend is not None and args.backend not in describe_backends():
             print(f"unknown backend {args.backend!r}", file=sys.stderr)

@@ -25,7 +25,6 @@ from repro.hardware.resources import (
     XC7Z020,
     estimate_dependence_memory,
     estimate_design,
-    table3_rows,
 )
 
 

@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` entry point."""
+
+from __future__ import annotations
+
+from repro.lint.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""Command-line driver for repro-lint.
+
+``python -m repro.lint`` with no arguments lints the installed
+``repro`` package itself -- the common CI invocation.  Explicit paths
+(files or directories) override that, which is what the fixture tests
+use.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.framework import LintError, all_rules, render_report, run_lint
+
+
+def _default_paths() -> List[Path]:
+    """The installed ``repro`` package directory."""
+    import repro
+
+    return [Path(repro.__file__).resolve().parent]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checker for the repro package",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    if arguments.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.summary}")
+        return 0
+    paths = list(arguments.paths) or _default_paths()
+    try:
+        findings = run_lint(paths)
+    except LintError as error:
+        print(f"repro-lint: error: {error}")
+        return 2
+    return render_report(findings)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

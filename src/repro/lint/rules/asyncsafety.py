@@ -1,0 +1,156 @@
+"""Async-safety rules for the service layer (ASY0xx).
+
+The session server (``service/server.py``) runs every simulation request
+on one asyncio event loop; a single blocking call stalls *all* connected
+clients, and a dropped ``create_task`` handle means the task can be
+garbage-collected mid-flight and its exceptions silently lost.  The
+service already follows the discipline (cache I/O goes through
+``asyncio.to_thread``, every spawned task is retained on the session
+record or awaited); these rules keep it that way:
+
+* **ASY001** -- a known blocking call (``time.sleep``, ``subprocess.*``,
+  ``socket.socket``, builtin ``open``, ``Path.read_text`` and friends)
+  in the body of an ``async def`` in ``service/``.  Nested ``def``
+  helpers are exempt: they are the functions handed to
+  ``asyncio.to_thread`` and run off-loop.
+* **ASY002** -- an ``asyncio.create_task`` / ``ensure_future`` /
+  ``loop.create_task`` call whose result is discarded (a bare
+  expression statement).  Keep a reference and arrange for the task to
+  be awaited or observed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.lint.framework import Finding, Rule, SourceModule, register_rule
+
+_SCOPE = ("service/",)
+
+#: ``module.attr`` call targets that block the event loop.
+_BLOCKING_CALLS = frozenset(
+    {
+        ("time", "sleep"),
+        ("subprocess", "run"),
+        ("subprocess", "call"),
+        ("subprocess", "check_call"),
+        ("subprocess", "check_output"),
+        ("subprocess", "Popen"),
+        ("socket", "socket"),
+        ("socket", "create_connection"),
+        ("requests", "get"),
+        ("requests", "post"),
+        ("urllib", "urlopen"),
+    }
+)
+
+#: Attribute calls that hit the filesystem regardless of receiver
+#: (``Path.read_text`` etc.) -- blocking wherever they appear on-loop.
+_BLOCKING_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes", "unlink", "mkdir"}
+)
+
+#: Task-spawning calls whose return value must not be dropped.
+_SPAWN_FUNCTIONS = frozenset({"create_task", "ensure_future"})
+
+
+def _dotted_call(node: ast.Call) -> Tuple[str, str]:
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return (func.value.id, func.attr)
+    return ("", "")
+
+
+def _async_body_calls(function: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Calls lexically inside ``function`` but not inside a nested def.
+
+    Nested synchronous defs are the ``asyncio.to_thread`` workers -- they
+    run on the executor, so blocking there is the whole point.
+    """
+    stack: List[ast.AST] = list(function.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class BlockingCallRule(Rule):
+    """ASY001: no blocking calls on the service event loop."""
+
+    id = "ASY001"
+    summary = "no blocking calls inside async def in service/"
+    scope = _SCOPE
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for function in ast.walk(module.tree):
+            if not isinstance(function, ast.AsyncFunctionDef):
+                continue
+            for call in _async_body_calls(function):
+                target = _dotted_call(call)
+                if target in _BLOCKING_CALLS:
+                    yield module.finding(
+                        self.id,
+                        call,
+                        f"blocking call {target[0]}.{target[1]}() inside async "
+                        f"def {function.name}(); wrap it in asyncio.to_thread",
+                    )
+                elif (
+                    isinstance(call.func, ast.Attribute)
+                    and call.func.attr in _BLOCKING_METHODS
+                ):
+                    yield module.finding(
+                        self.id,
+                        call,
+                        f"blocking filesystem call .{call.func.attr}() inside "
+                        f"async def {function.name}(); wrap it in "
+                        "asyncio.to_thread",
+                    )
+                elif isinstance(call.func, ast.Name) and call.func.id == "open":
+                    yield module.finding(
+                        self.id,
+                        call,
+                        f"blocking open() inside async def {function.name}(); "
+                        "wrap the file I/O in asyncio.to_thread",
+                    )
+
+
+def _spawns_task(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _SPAWN_FUNCTIONS:
+        return True
+    return isinstance(func, ast.Name) and func.id in _SPAWN_FUNCTIONS
+
+
+class LostTaskRule(Rule):
+    """ASY002: every spawned task handle is retained."""
+
+    id = "ASY002"
+    summary = "asyncio.create_task results must be retained or awaited"
+    scope = _SCOPE
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and _spawns_task(node.value)
+            ):
+                yield module.finding(
+                    self.id,
+                    node,
+                    "task handle discarded; the event loop keeps only a weak "
+                    "reference, so an unretained task can be collected "
+                    "mid-flight and its exception lost",
+                )
+
+
+def _register() -> List[Rule]:
+    rules: Iterable[Rule] = (BlockingCallRule(), LostTaskRule())
+    return [register_rule(rule) for rule in rules]
+
+
+_RULES = _register()

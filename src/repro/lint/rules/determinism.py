@@ -1,0 +1,212 @@
+"""Determinism rules (DET0xx): the simulators must be replayable.
+
+Every simulation in this package is a pure function of its inputs -- the
+golden-digest suite, the on-disk result cache and the differential fuzz
+net all depend on that.  These rules reject the common ways wall-clock
+time and unordered iteration leak into ``core/``, ``sim/`` and
+``runtime/``:
+
+* **DET001** -- wall-clock reads (``time.time``, ``perf_counter``,
+  ``datetime.now``, ...).  Cycle counts come from the event queue, never
+  from the host clock.
+* **DET002** -- nondeterministic entropy: module-level ``random.*``
+  calls (process-global, seeded who-knows-where), ``os.urandom``,
+  ``uuid.uuid4``, ``secrets.*``.  Randomised workloads must thread an
+  explicitly seeded ``random.Random(seed)`` instance instead.
+* **DET003** -- iterating an unordered set (``for x in {…}``, a
+  ``set(...)``/``frozenset(...)`` call, or a set comprehension).
+  Iteration order is insertion-history-dependent; sort first.
+* **DET004** -- materialising a set into a sequence (``list(set(...))``,
+  ``tuple``/``sorted`` minus the sort...) without an ordering step;
+  ``sorted(set(...))`` is the accepted spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.lint.framework import Finding, Rule, SourceModule, register_rule
+
+#: The simulator packages that must stay deterministic.
+_SCOPE = ("core/", "sim/", "runtime/")
+
+#: ``module.attribute`` call targets that read the host clock.
+_CLOCK_CALLS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("time", "process_time"),
+        ("datetime", "now"),
+        ("datetime", "today"),
+        ("datetime", "utcnow"),
+        ("date", "today"),
+    }
+)
+
+#: Process-global entropy sources (the seeded ``random.Random`` instance
+#: methods are fine -- the receiver there is a variable, not the module).
+_ENTROPY_CALLS = frozenset(
+    {
+        ("os", "urandom"),
+        ("uuid", "uuid1"),
+        ("uuid", "uuid4"),
+        ("secrets", "token_bytes"),
+        ("secrets", "token_hex"),
+        ("secrets", "token_urlsafe"),
+        ("secrets", "randbelow"),
+        ("secrets", "choice"),
+    }
+)
+
+#: ``random.<fn>`` module-level functions that draw from the global RNG.
+_GLOBAL_RANDOM_FUNCTIONS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "uniform",
+        "gauss",
+        "betavariate",
+        "expovariate",
+        "getrandbits",
+        "normalvariate",
+        "seed",
+    }
+)
+
+
+def _dotted_call(node: ast.Call) -> Tuple[str, str]:
+    """``("module", "attr")`` for a ``module.attr(...)`` call, else ``("", "")``."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return (func.value.id, func.attr)
+    return ("", "")
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """Whether ``node`` evaluates to a freshly built unordered set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class DeterminismRule(Rule):
+    """DET001/DET002: wall clocks and global entropy in the simulators."""
+
+    id = "DET001"
+    summary = "no wall-clock reads in core/, sim/ or runtime/"
+    scope = _SCOPE
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _dotted_call(node)
+            if target in _CLOCK_CALLS:
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"wall-clock read {target[0]}.{target[1]}() in a simulator "
+                    "package; simulated time comes from the event queue",
+                )
+
+
+class EntropyRule(Rule):
+    """DET002: unseeded / process-global randomness in the simulators."""
+
+    id = "DET002"
+    summary = "no unseeded or process-global entropy in core/, sim/ or runtime/"
+    scope = _SCOPE
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _dotted_call(node)
+            if target in _ENTROPY_CALLS:
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"nondeterministic entropy source {target[0]}.{target[1]}()",
+                )
+            elif target[0] == "random" and target[1] in _GLOBAL_RANDOM_FUNCTIONS:
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"module-level random.{target[1]}() draws from the process-"
+                    "global RNG; thread a seeded random.Random(seed) instead",
+                )
+
+
+def _iteration_sites(tree: ast.Module) -> Iterator[Tuple[ast.AST, ast.expr]]:
+    """Every ``(node, iterable)`` pair whose iteration order is observable."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node, node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for comp in node.generators:
+                yield node, comp.iter
+
+
+class SetIterationRule(Rule):
+    """DET003: unordered-set iteration in the simulators."""
+
+    id = "DET003"
+    summary = "no iteration over freshly built sets in core/, sim/ or runtime/"
+    scope = _SCOPE
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for node, iterable in _iteration_sites(module.tree):
+            if _is_set_expression(iterable):
+                yield module.finding(
+                    self.id,
+                    node,
+                    "iterating an unordered set; sort it (sorted(...)) so the "
+                    "visit order is deterministic",
+                )
+
+
+class SetMaterialisationRule(Rule):
+    """DET004: sequencing a set without sorting it first."""
+
+    id = "DET004"
+    summary = "list()/tuple() over a set must go through sorted() first"
+    scope = _SCOPE
+
+    def check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+                continue
+            if node.func.id not in ("list", "tuple") or len(node.args) != 1:
+                continue
+            if _is_set_expression(node.args[0]):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"{node.func.id}() over an unordered set fixes an arbitrary "
+                    "order; use sorted(...)",
+                )
+
+
+def _register() -> List[Rule]:
+    rules: Iterable[Rule] = (
+        DeterminismRule(),
+        EntropyRule(),
+        SetIterationRule(),
+        SetMaterialisationRule(),
+    )
+    return [register_rule(rule) for rule in rules]
+
+
+_RULES = _register()

@@ -1,0 +1,110 @@
+"""Handler-table completeness (HTB001) -- a cross-module rule.
+
+The discrete-event simulators dispatch through precomputed handler
+tables: a dict from event-kind string to bound handler, consumed by
+``EventQueue.dispatch`` (see ``sim/engine.py``).  An event kind that
+exists as a constant but is missing from its table is a latent
+``RuntimeError("unknown event kind ...")`` that only fires when that
+event is first scheduled -- possibly deep into a long run.
+
+The rule cross-checks, per watched module (:data:`HANDLER_TABLE_MODULES`):
+
+* every module-level string constant named ``_EV_*`` (engine event kinds)
+  or ``_JOB_*`` (master job kinds) is collected;
+* every dict literal in the module keyed (at least partly) by those
+  constant names is treated as a handler table for that constant family;
+* a constant of a family that appears in **no** table of its family is a
+  finding -- including the degenerate case of a family with constants
+  but no table at all.
+
+The check is purely syntactic on purpose: the tables are built inside
+methods (``HILSimulator.step``, ``NanosRuntimeSimulator.run``) and keyed
+by ``Name`` references to the constants, which is exactly what the AST
+exposes.  A test pins the rule against the real three modules, so if the
+dispatch idiom ever changes shape this rule fails loudly rather than
+silently checking nothing (see ``tests/test_lint.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.lint.framework import Finding, Project, Rule, register_rule
+
+#: The modules whose event-kind constants must stay handler-covered.
+HANDLER_TABLE_MODULES: Tuple[str, ...] = (
+    "sim/engine.py",
+    "sim/hil.py",
+    "runtime/nanos.py",
+)
+
+#: Constant families: one handler table (or several) must cover each.
+_KIND_CONSTANT = re.compile(r"^(_EV_|_JOB_)[A-Z0-9_]+$")
+
+
+def _kind_constants(tree: ast.Module) -> Dict[str, List[Tuple[str, int]]]:
+    """Module-level string constants, grouped by family prefix."""
+    families: Dict[str, List[Tuple[str, int]]] = {}
+    for statement in tree.body:
+        if not isinstance(statement, ast.Assign):
+            continue
+        if not (isinstance(statement.value, ast.Constant) and isinstance(statement.value.value, str)):
+            continue
+        for target in statement.targets:
+            if isinstance(target, ast.Name):
+                match = _KIND_CONSTANT.match(target.id)
+                if match is not None:
+                    families.setdefault(match.group(1), []).append(
+                        (target.id, statement.lineno)
+                    )
+    return families
+
+
+def _table_keys(tree: ast.Module) -> Dict[str, Set[str]]:
+    """Constant names used as dict-literal keys, grouped by family."""
+    covered: Dict[str, Set[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        for key in node.keys:
+            if isinstance(key, ast.Name):
+                match = _KIND_CONSTANT.match(key.id)
+                if match is not None:
+                    covered.setdefault(match.group(1), set()).add(key.id)
+    return covered
+
+
+class HandlerTableRule(Rule):
+    """HTB001: every event-kind constant appears in a handler table."""
+
+    id = "HTB001"
+    summary = "event-kind constants must be covered by a handler table"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for key in HANDLER_TABLE_MODULES:
+            module = project.get(key)
+            if module is None:
+                continue
+            families = _kind_constants(module.tree)
+            covered = _table_keys(module.tree)
+            for family in sorted(families):
+                family_covered = covered.get(family, set())
+                for constant, line in families[family]:
+                    if constant not in family_covered:
+                        yield module.finding(
+                            self.id,
+                            line,
+                            f"event-kind constant {constant} has no entry in any "
+                            f"handler table of {key}; scheduling it would raise "
+                            "'unknown event kind' at dispatch time",
+                        )
+
+
+def _register() -> List[Rule]:
+    rules: Iterable[Rule] = (HandlerTableRule(),)
+    return [register_rule(rule) for rule in rules]
+
+
+_RULES = _register()

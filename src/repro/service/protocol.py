@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.core.config import DMDesign, PicosConfig
 from repro.core.scheduler import SchedulingPolicy

@@ -9,24 +9,64 @@ per-task timelines and the hardware counters collected during the run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 
-@dataclass
 class TaskTimeline:
-    """Per-task timestamps collected during a simulation (all in cycles)."""
+    """Per-task timestamps collected during a simulation (all in cycles).
 
-    task_id: int
-    #: When the master thread created / submitted the task (0 in HW-only).
-    created: int = 0
-    #: When the task entered the accelerator (or the software ready pool).
-    submitted: int = 0
-    #: When the task became visible as ready to the scheduler.
-    ready: int = 0
-    #: When a worker started executing the task body.
-    started: int = 0
-    #: When the task body finished executing.
-    finished: int = 0
+    A plain ``__slots__`` value class: one instance exists per simulated
+    task, so the per-instance ``__dict__`` a dataclass would carry is
+    measurable overhead on large traces.
+
+    Fields: ``task_id``; ``created`` (when the master thread created /
+    submitted the task, 0 in HW-only); ``submitted`` (when the task
+    entered the accelerator or the software ready pool); ``ready`` (when
+    it became visible as ready to the scheduler); ``started`` / ``finished``
+    (worker execution window).
+    """
+
+    __slots__ = ("task_id", "created", "submitted", "ready", "started", "finished")
+
+    def __init__(
+        self,
+        task_id: int,
+        created: int = 0,
+        submitted: int = 0,
+        ready: int = 0,
+        started: int = 0,
+        finished: int = 0,
+    ) -> None:
+        self.task_id = task_id
+        self.created = created
+        self.submitted = submitted
+        self.ready = ready
+        self.started = started
+        self.finished = finished
+
+    def _astuple(self) -> Tuple[int, int, int, int, int, int]:
+        return (
+            self.task_id,
+            self.created,
+            self.submitted,
+            self.ready,
+            self.started,
+            self.finished,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            "TaskTimeline(task_id={}, created={}, submitted={}, ready={}, "
+            "started={}, finished={})".format(*self._astuple())
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskTimeline):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
 
     @property
     def queue_latency(self) -> int:

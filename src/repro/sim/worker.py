@@ -10,20 +10,51 @@ and busy workers and collects utilisation statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 
-@dataclass
 class WorkerState:
-    """Bookkeeping for a single worker core."""
+    """Bookkeeping for a single worker core.
 
-    worker_id: int
-    busy_until: int = 0
-    tasks_executed: int = 0
-    busy_cycles: int = 0
-    #: Task currently assigned (reserved or executing), if any.
-    current_task: Optional[int] = None
+    A plain ``__slots__`` value class -- the pool touches these records on
+    every reserve/start/release, so they stay ``__dict__``-free.
+    ``current_task`` is the task currently assigned (reserved or
+    executing), if any.
+    """
+
+    __slots__ = ("worker_id", "busy_until", "tasks_executed", "busy_cycles", "current_task")
+
+    def __init__(
+        self,
+        worker_id: int,
+        busy_until: int = 0,
+        tasks_executed: int = 0,
+        busy_cycles: int = 0,
+        current_task: Optional[int] = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.busy_until = busy_until
+        self.tasks_executed = tasks_executed
+        self.busy_cycles = busy_cycles
+        self.current_task = current_task
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerState(worker_id={self.worker_id}, busy_until={self.busy_until}, "
+            f"tasks_executed={self.tasks_executed}, busy_cycles={self.busy_cycles}, "
+            f"current_task={self.current_task})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WorkerState):
+            return NotImplemented
+        return (
+            self.worker_id == other.worker_id
+            and self.busy_until == other.busy_until
+            and self.tasks_executed == other.tasks_executed
+            and self.busy_cycles == other.busy_cycles
+            and self.current_task == other.current_task
+        )
 
 
 class WorkerPool:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Tuple
 
-from repro.runtime.task import Dependence, Direction, Task, TaskProgram
+from repro.runtime.task import Dependence, Direction, TaskProgram
 
 #: Number of tasks in every synthetic case.
 TASKS_PER_CASE = 100

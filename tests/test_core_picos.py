@@ -9,7 +9,7 @@ from repro.core.dct import StallReason
 from repro.core.picos import PicosAccelerator, SubmitStatus
 from repro.core.scheduler import SchedulingPolicy
 from repro.runtime.dependence_analysis import ready_order_is_valid
-from repro.runtime.task import Dependence, Direction, Task, TaskProgram
+from repro.runtime.task import Dependence, Direction, Task
 
 from tests.helpers import drain_functional, make_program, make_task
 

@@ -35,8 +35,10 @@ Run deterministically with ``pytest tests/test_differential.py
 from __future__ import annotations
 
 import dataclasses
+import os
 import subprocess
 import sys
+from pathlib import Path
 
 import pytest
 
@@ -45,6 +47,7 @@ hypothesis = pytest.importorskip(
 )
 from hypothesis import given, settings, strategies as st  # noqa: E402
 
+import repro
 from repro.core.config import DMDesign, PicosConfig
 from repro.runtime.dependence_analysis import build_task_graph
 from repro.sim.backend import BUILTIN_BACKENDS
@@ -175,11 +178,22 @@ class TestCacheKeyStability:
             backend=backend,
             num_workers=num_workers,
         )
+        # The fresh interpreter must find the package however this test
+        # process did (installed, or via pytest's src/ pythonpath entry) --
+        # prepend this process's import root so the test is hermetic.
+        env = dict(os.environ)
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part
+            for part in (package_root, env.get("PYTHONPATH", ""))
+            if part
+        )
         fresh = subprocess.run(
             [sys.executable, "-c", script],
             capture_output=True,
             text=True,
             check=True,
+            env=env,
         )
         assert fresh.stdout == local_request.cache_key()
 

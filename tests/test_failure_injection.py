@@ -13,7 +13,7 @@ import pytest
 from repro.core.config import DMDesign, PicosConfig
 from repro.core.picos import PicosAccelerator, SubmitStatus
 from repro.runtime.dependence_analysis import ready_order_is_valid
-from repro.runtime.task import Dependence, Direction, Task, TaskProgram
+from repro.runtime.task import Direction, Task
 from repro.sim.hil import HILMode, HILSimulator
 from repro.traces.trace import TaskTrace, TraceFormatError
 

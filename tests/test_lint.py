@@ -1,0 +1,661 @@
+"""Tests for the repro-lint framework and every built-in rule.
+
+Each rule is exercised twice: against a deliberately broken fixture tree
+(the finding must appear, with the right rule id) and against a clean
+spelling of the same code (no finding).  The cross-module handler-table
+rule is additionally pinned against the real simulator modules so a
+change to the dispatch idiom cannot silently turn the rule into a no-op.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+import repro
+from repro.lint import (
+    Finding,
+    LintError,
+    all_rules,
+    load_project,
+    parse_suppressions,
+    run_lint,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.rules.handlers import _kind_constants, _table_keys
+from repro.lint.rules.hotpath import HOT_PATH_CLASSES
+
+PACKAGE_ROOT = Path(repro.__file__).resolve().parent
+
+
+def write_tree(root: Path, files: Dict[str, str]) -> Path:
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return root
+
+
+def lint_tree(tmp_path: Path, files: Dict[str, str]) -> List[Finding]:
+    return run_lint([write_tree(tmp_path, files)])
+
+
+def rule_ids(findings: List[Finding]) -> List[str]:
+    return [finding.rule_id for finding in findings]
+
+
+# ----------------------------------------------------------------------
+# framework: registry, suppressions, keys, CLI
+# ----------------------------------------------------------------------
+class TestFramework:
+    def test_registry_has_all_rule_families(self):
+        ids = {rule.id for rule in all_rules()}
+        for expected in (
+            "DET001",
+            "DET002",
+            "DET003",
+            "DET004",
+            "HOT001",
+            "HOT002",
+            "HTB001",
+            "PAR001",
+            "PAR002",
+            "PAR003",
+            "ASY001",
+            "ASY002",
+            "REG001",
+        ):
+            assert expected in ids
+
+    def test_every_rule_has_summary(self):
+        for rule in all_rules():
+            assert rule.summary, rule.id
+
+    def test_suppression_parsing(self):
+        source = "x = 1  # repro-lint: disable=DET001(cold diagnostics path)\n"
+        (suppression,) = parse_suppressions(source)
+        assert suppression.rule_id == "DET001"
+        assert suppression.line == 1
+        assert suppression.reason == "cold diagnostics path"
+
+    def test_suppression_multiple_entries(self):
+        source = "y = 2  # repro-lint: disable=DET001(alpha),HOT002(beta)\n"
+        parsed = parse_suppressions(source)
+        assert [(s.rule_id, s.reason) for s in parsed] == [
+            ("DET001", "alpha"),
+            ("HOT002", "beta"),
+        ]
+
+    def test_suppression_inside_string_ignored(self):
+        source = 'text = "# repro-lint: disable=DET001(nope)"\n'
+        assert parse_suppressions(source) == []
+
+    def test_reasonless_suppression_reported_not_honoured(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "core/x.py": "import time\n"
+                "t = time.time()  # repro-lint: disable=DET001\n"
+            },
+        )
+        ids = rule_ids(findings)
+        # The DET001 finding survives AND the lazy suppression is flagged.
+        assert "DET001" in ids
+        assert "LNT001" in ids
+
+    def test_stale_suppression_reported(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"core/x.py": "x = 1  # repro-lint: disable=DET001(not needed here)\n"},
+        )
+        assert rule_ids(findings) == ["LNT002"]
+
+    def test_reasoned_suppression_silences(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "core/x.py": "import time\n"
+                "t = time.time()  # repro-lint: disable=DET001(cold diagnostics)\n"
+            },
+        )
+        assert findings == []
+
+    def test_malformed_entry_reported(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"core/x.py": "x = 1  # repro-lint: disable=banana\n"},
+        )
+        assert "LNT001" in rule_ids(findings)
+
+    def test_module_keys_stable_across_roots(self):
+        from_src = load_project([PACKAGE_ROOT.parent])
+        from_package = load_project([PACKAGE_ROOT])
+        assert set(from_src.modules) == set(from_package.modules)
+        assert "core/dct.py" in from_package.modules
+
+    def test_lint_error_on_unreadable_target(self, tmp_path):
+        with pytest.raises(LintError):
+            run_lint([tmp_path / "nope.txt"])
+
+    def test_cli_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DET001" in out and "HTB001" in out
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        clean = write_tree(tmp_path / "clean", {"core/ok.py": "x = 1\n"})
+        assert lint_main([str(clean)]) == 0
+        dirty = write_tree(
+            tmp_path / "dirty", {"core/bad.py": "import time\nt = time.time()\n"}
+        )
+        assert lint_main([str(dirty)]) == 1
+        assert lint_main([str(tmp_path / "missing.txt")]) == 2
+        capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# DET: determinism
+# ----------------------------------------------------------------------
+class TestDeterminismRules:
+    def test_wall_clock_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path, {"sim/x.py": "import time\nstart = time.perf_counter()\n"}
+        )
+        assert rule_ids(findings) == ["DET001"]
+
+    def test_wall_clock_outside_scope_ignored(self, tmp_path):
+        findings = lint_tree(
+            tmp_path, {"bench/x.py": "import time\nstart = time.perf_counter()\n"}
+        )
+        assert findings == []
+
+    def test_global_random_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path, {"runtime/x.py": "import random\nr = random.randint(0, 7)\n"}
+        )
+        assert rule_ids(findings) == ["DET002"]
+
+    def test_seeded_rng_instance_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "runtime/x.py": "import random\n"
+                "rng = random.Random(42)\n"
+                "r = rng.randint(0, 7)\n"
+            },
+        )
+        assert findings == []
+
+    def test_urandom_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {"core/x.py": "import os\nb = os.urandom(8)\n"})
+        assert rule_ids(findings) == ["DET002"]
+
+    def test_set_iteration_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"core/x.py": "for item in set([3, 1, 2]):\n    print(item)\n"},
+        )
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_sorted_set_iteration_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"core/x.py": "for item in sorted(set([3, 1, 2])):\n    print(item)\n"},
+        )
+        assert findings == []
+
+    def test_set_comprehension_iteration_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"sim/x.py": "values = [v for v in {1, 2, 3}]\n"},
+        )
+        assert rule_ids(findings) == ["DET003"]
+
+    def test_list_over_set_flagged(self, tmp_path):
+        findings = lint_tree(tmp_path, {"core/x.py": "order = list({1, 2, 3})\n"})
+        assert rule_ids(findings) == ["DET004"]
+
+    def test_sorted_materialisation_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"core/x.py": "order = sorted({1, 2, 3})\n"})
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# HOT: hot-path discipline
+# ----------------------------------------------------------------------
+_ENGINE_OK = (
+    "class Event:\n    __slots__ = ('cycle',)\n"
+    "class EventQueue:\n    __slots__ = ('_events',)\n"
+    "class HeapEventQueue:\n    __slots__ = ('_heap',)\n"
+)
+
+
+class TestHotPathRules:
+    def test_contract_class_without_slots_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/engine.py": "class Event:\n    pass\n"
+                "class EventQueue:\n    __slots__ = ('_events',)\n"
+                "class HeapEventQueue:\n    __slots__ = ('_heap',)\n"
+            },
+        )
+        assert rule_ids(findings) == ["HOT001"]
+        assert "Event" in findings[0].message
+
+    def test_missing_contract_class_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/engine.py": "class Event:\n    __slots__ = ('cycle',)\n"
+                "class EventQueue:\n    __slots__ = ('_events',)\n"
+            },
+        )
+        assert rule_ids(findings) == ["HOT001"]
+        assert "HeapEventQueue" in findings[0].message
+
+    def test_contract_satisfied_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"sim/engine.py": _ENGINE_OK})
+        assert findings == []
+
+    def test_docstring_claim_enforced(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/other.py": 'class Thing:\n'
+                '    """A plain ``__slots__`` value class."""\n'
+                "    pass\n"
+            },
+        )
+        assert rule_ids(findings) == ["HOT001"]
+
+    def test_try_in_hot_loop_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "core/x.py": "def process_batch(items):\n"
+                "    for item in items:\n"
+                "        try:\n"
+                "            item()\n"
+                "        except ValueError:\n"
+                "            pass\n"
+            },
+        )
+        assert rule_ids(findings) == ["HOT002"]
+
+    def test_closure_in_hot_loop_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/x.py": "def dispatch(handlers):\n"
+                "    def helper():\n"
+                "        return 1\n"
+                "    return helper()\n"
+            },
+        )
+        assert rule_ids(findings) == ["HOT002"]
+
+    def test_yield_in_hot_loop_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"sim/x.py": "def dispatch(handlers):\n    yield 1\n"},
+        )
+        assert rule_ids(findings) == ["HOT002"]
+
+    def test_same_name_outside_scope_ignored(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"analysis/x.py": "def dispatch(handlers):\n    yield 1\n"},
+        )
+        assert findings == []
+
+    def test_real_contract_inventory_is_live(self):
+        # Every module named in the contract exists in the real package.
+        for key in HOT_PATH_CLASSES:
+            assert (PACKAGE_ROOT / key).is_file(), key
+
+
+# ----------------------------------------------------------------------
+# HTB: handler-table completeness (cross-module)
+# ----------------------------------------------------------------------
+class TestHandlerTableRule:
+    def test_uncovered_constant_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/hil.py": '_EV_ALPHA = "alpha"\n'
+                '_EV_BETA = "beta"\n'
+                "def step(self):\n"
+                "    handlers = {_EV_ALPHA: self.on_alpha}\n"
+            },
+        )
+        assert rule_ids(findings) == ["HTB001"]
+        assert "_EV_BETA" in findings[0].message
+
+    def test_fully_covered_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/hil.py": '_EV_ALPHA = "alpha"\n'
+                '_JOB_CREATE = "create"\n'
+                "def step(self):\n"
+                "    handlers = {_EV_ALPHA: self.on_alpha}\n"
+                "    jobs = {_JOB_CREATE: self.on_create}\n"
+            },
+        )
+        assert findings == []
+
+    def test_families_checked_independently(self, tmp_path):
+        # A _JOB_ constant sitting in an _EV_ table is still uncovered.
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/hil.py": '_JOB_CREATE = "create"\n'
+                '_EV_ALPHA = "alpha"\n'
+                "def step(self):\n"
+                "    handlers = {_EV_ALPHA: 1}\n"
+            },
+        )
+        assert rule_ids(findings) == ["HTB001"]
+        assert "_JOB_CREATE" in findings[0].message
+
+    def test_real_modules_have_constants_and_tables(self):
+        """The rule verifiably cross-checks the real event-kind constants.
+
+        If the dispatch idiom ever changes shape (constants renamed, tables
+        no longer dict literals), this pin fails loudly instead of letting
+        HTB001 silently check nothing.
+        """
+        import ast as ast_module
+
+        expectations = {
+            "sim/hil.py": {"_EV_": 4, "_JOB_": 3},
+            "runtime/nanos.py": {"_EV_": 3},
+        }
+        for key, families in expectations.items():
+            tree = ast_module.parse((PACKAGE_ROOT / key).read_text(encoding="utf-8"))
+            constants = _kind_constants(tree)
+            covered = _table_keys(tree)
+            for family, count in families.items():
+                names = [name for name, _ in constants.get(family, [])]
+                assert len(names) == count, (key, family, names)
+                assert set(names) <= covered.get(family, set()), (key, family)
+
+
+# ----------------------------------------------------------------------
+# PAR: flat/reference parity
+# ----------------------------------------------------------------------
+class TestParityRules:
+    def test_contract_method_missing_from_flat_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "core/version_memory.py": "class VersionMemory:\n    pass\n",
+                "core/reference/version_memory.py": (
+                    "class VersionMemory:\n"
+                    "    def occupied(self):\n        return 0\n"
+                ),
+            },
+        )
+        messages = [f.message for f in findings if f.rule_id == "PAR001"]
+        assert any("missing from" in message for message in messages)
+
+    def test_parameter_name_divergence_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "core/version_memory.py": (
+                    "class VersionMemory:\n"
+                    "    def allocate(self, addr):\n        return -1\n"
+                ),
+                "core/reference/version_memory.py": (
+                    "class VersionMemory:\n"
+                    "    def allocate(self, address):\n        return None\n"
+                ),
+            },
+        )
+        assert any(
+            f.rule_id == "PAR001" and "diverge" in f.message for f in findings
+        )
+
+    def test_undeclared_public_method_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "core/version_memory.py": (
+                    "class VersionMemory:\n"
+                    "    def shiny_new_method(self):\n        return 0\n"
+                ),
+                "core/reference/version_memory.py": "class VersionMemory:\n    pass\n",
+            },
+        )
+        assert any(
+            f.rule_id == "PAR002" and "shiny_new_method" in f.message for f in findings
+        )
+
+    def test_none_compare_on_handle_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "core/trs.py": (
+                    "def check(tm_index):\n"
+                    "    if tm_index is None:\n"
+                    "        return False\n"
+                    "    return True\n"
+                )
+            },
+        )
+        assert any(f.rule_id == "PAR003" for f in findings)
+
+    def test_none_store_into_handle_array_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"core/dct.py": "def release(v_dm_handle, i):\n    v_dm_handle[i] = None\n"},
+        )
+        assert any(f.rule_id == "PAR003" for f in findings)
+
+    def test_none_default_on_handle_parameter_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"core/trs.py": "def lookup(task_id, tm_index=None):\n    return tm_index\n"},
+        )
+        assert any(f.rule_id == "PAR003" for f in findings)
+
+    def test_minus_one_sentinel_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "core/trs.py": (
+                    "def check(tm_index=-1):\n"
+                    "    if tm_index == -1:\n"
+                    "        return False\n"
+                    "    return True\n"
+                )
+            },
+        )
+        assert findings == []
+
+    def test_non_handle_none_usage_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "core/trs.py": (
+                    "def check(stats=None):\n"
+                    "    if stats is None:\n"
+                    "        return False\n"
+                    "    return True\n"
+                )
+            },
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# ASY: async safety in the service layer
+# ----------------------------------------------------------------------
+class TestAsyncSafetyRules:
+    def test_blocking_sleep_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "service/x.py": "import time\n"
+                "async def handle():\n"
+                "    time.sleep(1)\n"
+            },
+        )
+        assert rule_ids(findings) == ["ASY001"]
+
+    def test_open_in_async_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "service/x.py": "async def handle(path):\n"
+                "    with open(path) as fh:\n"
+                "        return fh.read()\n"
+            },
+        )
+        assert rule_ids(findings) == ["ASY001"]
+
+    def test_path_io_method_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "service/x.py": "async def handle(path):\n"
+                "    return path.read_text()\n"
+            },
+        )
+        assert rule_ids(findings) == ["ASY001"]
+
+    def test_to_thread_worker_exempt(self, tmp_path):
+        # The nested sync def handed to asyncio.to_thread is off-loop.
+        findings = lint_tree(
+            tmp_path,
+            {
+                "service/x.py": "import asyncio\n"
+                "async def handle(path):\n"
+                "    def work():\n"
+                "        return path.read_text()\n"
+                "    return await asyncio.to_thread(work)\n"
+            },
+        )
+        assert findings == []
+
+    def test_blocking_outside_service_ignored(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {"bench/x.py": "import time\nasync def f():\n    time.sleep(1)\n"},
+        )
+        assert findings == []
+
+    def test_dropped_task_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "service/x.py": "import asyncio\n"
+                "async def spawn(coro):\n"
+                "    asyncio.create_task(coro)\n"
+            },
+        )
+        assert rule_ids(findings) == ["ASY002"]
+
+    def test_retained_task_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "service/x.py": "import asyncio\n"
+                "async def spawn(coro):\n"
+                "    task = asyncio.create_task(coro)\n"
+                "    await task\n"
+            },
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REG: backend-registry completeness
+# ----------------------------------------------------------------------
+_BACKEND_OK = (
+    "class GoodBackend:\n"
+    "    name = 'good'\n"
+    "    accepts = frozenset({'config'})\n"
+    "    def open_session(self, request):\n"
+    "        return None\n"
+    "register_backend(GoodBackend())\n"
+)
+
+
+class TestRegistryRule:
+    def test_backend_without_accepts_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/x.py": "class BadBackend:\n"
+                "    name = 'bad'\n"
+                "    def open_session(self, request):\n"
+                "        return None\n"
+                "register_backend(BadBackend())\n"
+            },
+        )
+        assert rule_ids(findings) == ["REG001"]
+        assert "accepts" in findings[0].message
+
+    def test_backend_without_open_session_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/x.py": "class BadBackend:\n"
+                "    name = 'bad'\n"
+                "    accepts = frozenset({'config'})\n"
+                "register_backend(BadBackend())\n"
+            },
+        )
+        assert rule_ids(findings) == ["REG001"]
+        assert "open_session" in findings[0].message
+
+    def test_complete_backend_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {"sim/x.py": _BACKEND_OK})
+        assert findings == []
+
+    def test_class_object_registration_checked(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/x.py": "class BadBackend:\n"
+                "    name = 'bad'\n"
+                "register_backend(BadBackend)\n"
+            },
+        )
+        assert sorted(set(rule_ids(findings))) == ["REG001"]
+
+    def test_unresolvable_class_skipped(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/x.py": "from elsewhere import SomeBackend\n"
+                "register_backend(SomeBackend())\n"
+            },
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# the repo itself is clean
+# ----------------------------------------------------------------------
+class TestRepoIsClean:
+    def test_package_lints_clean(self):
+        findings = run_lint([PACKAGE_ROOT])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_suppression_inventory_is_small_and_reasoned(self):
+        """Every suppression in the package carries a reason (zero
+        unexplained suppressions, as the acceptance criteria demand)."""
+        project = load_project([PACKAGE_ROOT])
+        total = 0
+        for module in project:
+            for suppression in module.suppressions:
+                total += 1
+                assert suppression.reason, (module.key, suppression.line)
+        # The inventory stays deliberate: grows only with a reasoned case.
+        assert total <= 8

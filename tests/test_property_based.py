@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import List
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

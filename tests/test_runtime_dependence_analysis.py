@@ -10,7 +10,7 @@ from repro.runtime.dependence_analysis import (
     build_task_graph,
     ready_order_is_valid,
 )
-from repro.runtime.task import Dependence, Direction, Task, TaskProgram
+from repro.runtime.task import Dependence, Direction, Task
 
 from tests.helpers import make_program
 

@@ -15,7 +15,6 @@ import pytest
 
 from repro.sim.backend import BUILTIN_BACKENDS
 from repro.sim.driver import simulate_request
-from repro.sim.request import SimulationRequest, StreamOptions
 from repro.sim.session import lifecycle_events
 from repro.service import ServerConfig, SimulationServer, TenantQuota
 from repro.service.protocol import (

@@ -209,6 +209,49 @@ class TestWorkerPool:
             WorkerPool(0)
 
 
+class TestHotPathValueClasses:
+    """Regression pins for the __slots__ conversions (repro-lint HOT001)."""
+
+    def test_task_timeline_is_dict_free(self):
+        timeline = TaskTimeline(7)
+        assert not hasattr(timeline, "__dict__")
+        with pytest.raises(AttributeError):
+            timeline.unexpected = 1
+
+    def test_task_timeline_positional_and_keyword_construction(self):
+        positional = TaskTimeline(3, 1, 2, 4, 5, 6)
+        keyword = TaskTimeline(
+            task_id=3, created=1, submitted=2, ready=4, started=5, finished=6
+        )
+        assert positional == keyword
+        assert TaskTimeline(3) != positional
+
+    def test_task_timeline_defaults_and_latencies(self):
+        timeline = TaskTimeline(0, submitted=5, ready=20, started=30)
+        assert timeline.created == 0 and timeline.finished == 0
+        assert timeline.queue_latency == 10
+        assert timeline.management_latency == 15
+
+    def test_task_timeline_repr_round_trips_fields(self):
+        text = repr(TaskTimeline(9, ready=4))
+        assert "task_id=9" in text and "ready=4" in text
+
+    def test_worker_state_is_dict_free(self):
+        state = WorkerPool(1).state(0)
+        assert not hasattr(state, "__dict__")
+        with pytest.raises(AttributeError):
+            state.unexpected = 1
+
+    def test_worker_state_defaults_and_equality(self):
+        from repro.sim.worker import WorkerState
+
+        fresh = WorkerState(2)
+        assert fresh.busy_until == 0
+        assert fresh.current_task is None
+        assert fresh == WorkerState(2)
+        assert fresh != WorkerState(2, busy_until=9)
+
+
 def _result_with_two_tasks() -> SimulationResult:
     timelines = {
         0: TaskTimeline(task_id=0, submitted=0, ready=10, started=12, finished=112),

@@ -7,7 +7,7 @@ import pytest
 from repro.core.config import DMDesign, PicosConfig
 from repro.core.scheduler import SchedulingPolicy
 from repro.runtime.dependence_analysis import build_task_graph, ready_order_is_valid
-from repro.runtime.task import Dependence, Direction, TaskProgram
+from repro.runtime.task import Direction, TaskProgram
 from repro.sim.driver import simulate_program, simulate_request, speedup_curve
 from repro.sim.hil import HILMode, HILSimulator
 from repro.sim.request import SimulationRequest

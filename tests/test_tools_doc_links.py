@@ -1,0 +1,105 @@
+"""Unit tests for ``tools/check_doc_links.py``.
+
+The checker guards the markdown link graph in CI's static-analysis job;
+these tests pin its behaviour (resolution, skips, exit codes) against
+synthetic doc trees and against the real repository tree.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "check_doc_links", REPO_ROOT / "tools" / "check_doc_links.py"
+)
+check_doc_links = importlib.util.module_from_spec(_SPEC)
+assert _SPEC.loader is not None
+_SPEC.loader.exec_module(check_doc_links)
+
+
+def make_tree(root: Path, files: dict) -> Path:
+    for relative, content in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+    return root
+
+
+class TestDocFiles:
+    def test_collects_readme_and_docs(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {"README.md": "x", "docs/a.md": "x", "docs/b.md": "x", "docs/skip.txt": "x"},
+        )
+        names = [path.name for path in check_doc_links.doc_files(tmp_path)]
+        assert names == ["README.md", "a.md", "b.md"]
+
+    def test_missing_readme_tolerated(self, tmp_path):
+        make_tree(tmp_path, {"docs/a.md": "x"})
+        names = [path.name for path in check_doc_links.doc_files(tmp_path)]
+        assert names == ["a.md"]
+
+
+class TestBrokenLinks:
+    def test_dangling_relative_link_reported(self, tmp_path):
+        make_tree(tmp_path, {"README.md": "see [docs](docs/missing.md)\n"})
+        broken = list(check_doc_links.broken_links(tmp_path / "README.md"))
+        assert broken == [(1, "docs/missing.md")]
+
+    def test_existing_target_clean(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {"README.md": "see [docs](docs/real.md)\n", "docs/real.md": "hello\n"},
+        )
+        assert list(check_doc_links.broken_links(tmp_path / "README.md")) == []
+
+    def test_resolution_is_relative_to_containing_file(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {"docs/a.md": "see [sibling](b.md)\n", "docs/b.md": "x\n"},
+        )
+        assert list(check_doc_links.broken_links(tmp_path / "docs" / "a.md")) == []
+
+    def test_external_and_anchor_links_skipped(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {
+                "README.md": "[a](https://example.org) [b](mailto:x@y.z) "
+                "[c](#section)\n"
+            },
+        )
+        assert list(check_doc_links.broken_links(tmp_path / "README.md")) == []
+
+    def test_fragment_checked_for_path_part_only(self, tmp_path):
+        make_tree(
+            tmp_path,
+            {"README.md": "[ok](docs/real.md#anchor)\n", "docs/real.md": "x\n"},
+        )
+        assert list(check_doc_links.broken_links(tmp_path / "README.md")) == []
+
+    def test_image_links_checked(self, tmp_path):
+        make_tree(tmp_path, {"README.md": "![plot](figures/missing.png)\n"})
+        broken = list(check_doc_links.broken_links(tmp_path / "README.md"))
+        assert broken == [(1, "figures/missing.png")]
+
+
+class TestMain:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        make_tree(tmp_path, {"README.md": "no links here\n"})
+        assert check_doc_links.main(["prog", str(tmp_path)]) == 0
+        assert "link-clean" in capsys.readouterr().out
+
+    def test_broken_tree_exits_one(self, tmp_path, capsys):
+        make_tree(tmp_path, {"README.md": "[x](gone.md)\n"})
+        assert check_doc_links.main(["prog", str(tmp_path)]) == 1
+        assert "gone.md" in capsys.readouterr().err
+
+    def test_empty_tree_exits_two(self, tmp_path, capsys):
+        assert check_doc_links.main(["prog", str(tmp_path)]) == 2
+        capsys.readouterr()
+
+    def test_real_repository_is_link_clean(self, capsys):
+        assert check_doc_links.main(["prog", str(REPO_ROOT)]) == 0
+        capsys.readouterr()

@@ -17,7 +17,6 @@ from repro.traces.synthetic import (
 )
 from repro.traces.trace import TaskTrace, TraceFormatError, load_trace, save_trace
 
-from tests.helpers import make_program
 
 
 A, B = 0x1000, 0x2000

@@ -28,6 +28,15 @@ request/session API instead of a paper figure::
 It opens a streaming session, optionally stops delivering events at a
 cycle horizon (``--until-cycle``, the early-abort scenario) and prints the
 lifecycle-event head plus the session statistics and final result summary.
+Checkpoint/resume rides on the same command::
+
+    picos-experiment simulate --workload cholesky --block-size 128 \\
+        --checkpoint-at 60000 --checkpoint-to /tmp/chol.snap.json
+    picos-experiment simulate --restore /tmp/chol.snap.json
+
+The first invocation snapshots the run at the cycle-60000 boundary (then
+finishes it normally); the second resumes from the snapshot document and
+produces the bit-exact same result -- see ``docs/snapshots.md``.
 
 ``picos-experiment bench`` times the simulators themselves (wall-clock
 seconds, engine events per second, peak RSS) and snapshots the numbers as
@@ -229,33 +238,71 @@ def run_simulate(args: argparse.Namespace) -> str:
     """Drive one workload through a streaming session (see module docs)."""
     from repro.sim.request import SimulationRequest
     from repro.sim.session import open_session
+    from repro.sim.snapshot import SnapshotError, load_snapshot, save_snapshot
+    from repro.sim.snapshot import restore as restore_session
 
-    if not args.workload:
-        raise SystemExit("simulate requires --workload (a benchmark or caseN name)")
-    backend = args.backend or "hil-full"
-    request = SimulationRequest.for_workload(
-        args.workload,
-        block_size=args.block_size,
-        problem_size=args.problem_size,
-        backend=backend,
-        num_workers=args.workers,
-    )
-    try:
-        session = open_session(request)
-    except ValueError as exc:
-        # Unknown workloads and benchmarks missing --block-size surface here
-        # (program construction); give a CLI error, not a traceback.
-        raise SystemExit(str(exc)) from None
+    if args.checkpoint_at is not None and args.checkpoint_to is None:
+        raise SystemExit("--checkpoint-at requires --checkpoint-to PATH")
+    lines = []
+    if args.restore is not None:
+        if args.workload:
+            raise SystemExit("--restore resumes a snapshot; drop --workload")
+        try:
+            snapshot = load_snapshot(args.restore)
+            session = restore_session(snapshot)
+        except SnapshotError as exc:
+            raise SystemExit(str(exc)) from None
+        request = session.request
+        lines.append(
+            f"restored: kind={snapshot.kind!r} cycle={snapshot.cycle} "
+            f"backend={request.backend!r} workers={request.num_workers} "
+            f"from {args.restore}"
+        )
+    else:
+        if not args.workload:
+            raise SystemExit(
+                "simulate requires --workload (a benchmark or caseN name) "
+                "or --restore PATH"
+            )
+        backend = args.backend or "hil-full"
+        request = SimulationRequest.for_workload(
+            args.workload,
+            block_size=args.block_size,
+            problem_size=args.problem_size,
+            backend=backend,
+            num_workers=args.workers,
+        )
+        try:
+            session = open_session(request)
+        except ValueError as exc:
+            # Unknown workloads and benchmarks missing --block-size surface
+            # here (program construction); give a CLI error, not a traceback.
+            raise SystemExit(str(exc)) from None
+        lines.append(
+            f"request: workload={args.workload!r} backend={backend!r} "
+            f"workers={args.workers} cache_key={request.cache_key()}"
+        )
     shown: list = []
+    if args.checkpoint_to is not None:
+        # Snapshot at the requested cycle boundary (0 = before any work),
+        # then let the run continue below: the snapshot is copy-on-capture,
+        # so finishing this session does not disturb the saved document.
+        at = args.checkpoint_at if args.checkpoint_at is not None else 0
+        if at > 0:
+            for event in session.advance(at).events:
+                if len(shown) < args.show_events:
+                    shown.append(event)
+        snapshot = session.checkpoint()
+        save_snapshot(snapshot, args.checkpoint_to)
+        lines.append(
+            f"checkpoint: kind={snapshot.kind!r} cycle={snapshot.cycle} "
+            f"digest={snapshot.digest} -> {args.checkpoint_to}"
+        )
     if args.show_events > 0 or args.until_cycle is not None:
         for event in session.events(until_cycle=args.until_cycle):
             if len(shown) < args.show_events:
                 shown.append(event)
     stats = session.stats()
-    lines = [
-        f"request: workload={args.workload!r} backend={backend!r} "
-        f"workers={args.workers} cache_key={request.cache_key()}"
-    ]
     if shown:
         lines.append(f"first {len(shown)} lifecycle events:")
         for event in shown:
@@ -337,7 +384,6 @@ def run_bench_command(args: argparse.Namespace) -> int:
 
     from repro.bench import (
         DEFAULT_REGRESSION_THRESHOLD,
-        BenchSpec,
         compare_documents,
         default_specs,
         gate_specs,
@@ -534,6 +580,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="K",
         help="print the first K lifecycle events of the run",
+    )
+    simulate.add_argument(
+        "--checkpoint-at",
+        type=int,
+        default=None,
+        metavar="CYCLE",
+        help="snapshot the run at this cycle boundary (0 = before any "
+        "work); the run then continues to completion as usual",
+    )
+    simulate.add_argument(
+        "--checkpoint-to",
+        default=None,
+        metavar="PATH",
+        help="write the snapshot document to PATH (required with "
+        "--checkpoint-at; without it, snapshots before any work)",
+    )
+    simulate.add_argument(
+        "--restore",
+        default=None,
+        metavar="PATH",
+        help="resume a run from a snapshot document instead of opening a "
+        "fresh workload (mutually exclusive with --workload)",
     )
     bench = parser.add_argument_group(
         "bench", "options for the 'bench' performance-snapshot command"

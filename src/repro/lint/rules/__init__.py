@@ -17,6 +17,8 @@ Each module covers one invariant family:
                            the asyncio service
 :mod:`.registry`           REG0xx -- backend registrations declare the
                            full protocol surface
+:mod:`.snapshot`           SNP0xx -- hot-path ``__slots__`` state is
+                           covered by the checkpoint/restore codec
 ========================= ============================================
 """
 
@@ -28,3 +30,4 @@ import repro.lint.rules.handlers  # noqa: F401
 import repro.lint.rules.hotpath  # noqa: F401
 import repro.lint.rules.parity  # noqa: F401
 import repro.lint.rules.registry  # noqa: F401
+import repro.lint.rules.snapshot  # noqa: F401

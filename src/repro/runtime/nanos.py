@@ -24,12 +24,20 @@ structure of the Nanos++ runtime:
 * a task is ready when the master has submitted it *and* all its
   predecessors (from exact dependence analysis) have finished and released
   their dependences.
+
+The simulator follows the same resumable shape as the HIL platform
+(:class:`repro.sim.hil.HILSimulator`): the one-time setup -- creation
+pre-scheduling and worker-pool initialisation -- is gated behind a
+``_prepared`` flag, ``step(stop_at_cycle)`` advances the event loop to a
+horizon and may be called repeatedly, and all mutable state lives on the
+instance, so sliced sessions (:class:`~repro.sim.session.EngineStepper`)
+and the snapshot codec (:mod:`repro.sim.snapshot`) work over it unchanged.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.runtime.dependence_analysis import TaskGraph, build_task_graph
 from repro.runtime.overhead import NanosOverheadModel
@@ -37,10 +45,17 @@ from repro.runtime.task import TaskProgram
 from repro.sim.backend import BACKEND_NANOS, register_backend
 from repro.sim.engine import EventQueue
 from repro.sim.results import SimulationResult, TaskTimeline
+from repro.sim.session import EngineStepper
 
 _EV_SUBMITTED = "submitted"
 _EV_TASK_DONE = "task-done"
 _EV_MASTER_JOINS = "master-joins"
+
+# lifecycle-log entry orders, matching repro.sim.session._EVENT_ORDER (see
+# repro.sim.hil for the contract shared by every sliced simulator).
+_LOG_SUBMITTED = 0
+_LOG_READY = 1
+_LOG_RETIRED = 2
 
 
 class NanosRuntimeSimulator:
@@ -64,17 +79,87 @@ class NanosRuntimeSimulator:
         #: the optimized path is parity-checked against.
         self.batch_completions = batch_completions
 
+        self.queue = EventQueue()
+        self._timelines: Dict[int, TaskTimeline] = {}
+        #: Optional lifecycle log of ``(cycle, order, task_id)`` entries,
+        #: appended at the submitted/ready/finished stamp sites (the same
+        #: contract as the HIL simulator's log: once the clock passed a
+        #: horizon ``H``, entries stamped at or before ``H`` are final --
+        #: submissions are stamped during the one-time setup and the
+        #: finished stamp is assigned at dispatch time, strictly after the
+        #: dispatching event's cycle).
+        self._lifecycle_log: Optional[List[Tuple[int, int, int]]] = None
+        #: ``run``/``step`` gate the one-time setup (creation pre-scheduling
+        #: and worker-pool initialisation) behind this flag so repeated
+        #: calls *resume* dispatching instead of resetting state.
+        self._prepared = False
+        self._master_joins_at = 0
+        self._idle_workers: List[int] = []
+        self._remaining_preds: Dict[int, int] = {}
+        self._submitted: Dict[int, bool] = {}
+        self._ready_pool: Deque[int] = deque()  # FIFO by readiness
+        self._finished = 0
+        self._makespan = 0
+
     # ------------------------------------------------------------------
     # simulation
     # ------------------------------------------------------------------
-    def run(self) -> SimulationResult:
-        """Execute the program and return the software-only result."""
-        program = self.program
-        graph = self.graph
-        queue = EventQueue()
-        timelines: Dict[int, TaskTimeline] = {
-            task.task_id: TaskTimeline(task_id=task.task_id) for task in program
+    def run(self, stop_at_cycle: Optional[int] = None) -> SimulationResult:
+        """Execute the program and return the software-only result.
+
+        With ``stop_at_cycle`` the event loop pauses once the simulated
+        clock would pass that cycle (the result then covers only the work
+        performed up to the horizon); calling ``run`` again resumes from
+        there.  Without a horizon the program must run to completion.
+        """
+        self.step(stop_at_cycle)
+        return self._build_result(aborted_at=stop_at_cycle)
+
+    def step(self, stop_at_cycle: Optional[int] = None) -> None:
+        """Advance the simulation, without building a result.
+
+        The one-time setup runs on the first call only; every later call
+        continues dispatching queued events up to the (larger) horizon.
+        ``queue.empty`` after a step means the run is complete.
+        """
+        if not self._prepared:
+            self._prepared = True
+            self._prepare()
+        # Precomputed handler table instead of a string-comparison ladder;
+        # this loop delivers one event per task submission and completion.
+        # The table is consumed by the engine's shared dispatch loop, the
+        # same one driving the HIL simulator (see repro.sim.engine).
+        handlers = {
+            _EV_SUBMITTED: self._on_submitted,
+            _EV_MASTER_JOINS: self._on_master_joins,
+            _EV_TASK_DONE: (
+                self._on_task_done_batched
+                if self.batch_completions
+                else self._on_task_done
+            ),
         }
+        self.queue.dispatch(handlers, horizon=stop_at_cycle)
+
+    def enable_lifecycle_log(self) -> List[Tuple[int, int, int]]:
+        """Record ``(cycle, order, task_id)`` at every lifecycle stamp site.
+
+        Must be called before the first ``run``/``step``.  The returned
+        list is live: entries accumulate as the simulation advances.
+        """
+        if self._prepared:
+            raise RuntimeError("enable_lifecycle_log() must precede the first run")
+        if self._lifecycle_log is None:
+            self._lifecycle_log = []
+        return self._lifecycle_log
+
+    def _prepare(self) -> None:
+        """One-time setup: pre-schedule the serial master, seed the pool."""
+        program = self.program
+        queue = self.queue
+        timelines = self._timelines
+        log = self._lifecycle_log
+        for task in program:
+            timelines[task.task_id] = TaskTimeline(task_id=task.task_id)
 
         # --- master thread: serial creation + submission -------------
         creation_clock = 0
@@ -85,114 +170,139 @@ class NanosRuntimeSimulator:
             timelines[task.task_id].created = creation_clock
             creation_clock += overhead
             timelines[task.task_id].submitted = creation_clock
+            if log is not None:
+                log.append((creation_clock, _LOG_SUBMITTED, task.task_id))
             queue.schedule(creation_clock, _EV_SUBMITTED, task.task_id)
-        master_joins_at = creation_clock
-        queue.schedule(master_joins_at, _EV_MASTER_JOINS)
+        self._master_joins_at = creation_clock
+        queue.schedule(creation_clock, _EV_MASTER_JOINS)
 
         # --- worker pool ----------------------------------------------
         # While the master is creating tasks, only num_threads - 1 threads
         # execute; the master joins afterwards.  With a single thread the
         # master executes everything after it finished creating.
         initial_workers = max(self.num_threads - 1, 0)
-        idle_workers: List[int] = list(range(initial_workers))
+        self._idle_workers = list(range(initial_workers))
         if self.num_threads == 1:
-            idle_workers = []
+            self._idle_workers = []
 
-        remaining_preds: Dict[int, int] = {
-            task_id: len(preds) for task_id, preds in graph.predecessors.items()
+        self._remaining_preds = {
+            task_id: len(preds)
+            for task_id, preds in self.graph.predecessors.items()
         }
-        submitted: Dict[int, bool] = {task.task_id: False for task in program}
-        ready_pool: Deque[int] = deque()  # FIFO by readiness
-        finished = 0
-        makespan = 0
+        self._submitted = {task.task_id: False for task in program}
 
-        def try_dispatch(now: int) -> None:
-            nonlocal makespan
-            while idle_workers and ready_pool:
-                worker = idle_workers.pop()
-                task_id = ready_pool.popleft()
-                task = program.task(task_id)
-                pickup = self.overhead.worker_pickup_cycles(self.num_threads)
-                release = self.overhead.release_cycles(
-                    task.num_dependences, self.num_threads
-                )
-                start = now + pickup
-                finish = start + task.duration
-                timelines[task_id].started = start
-                timelines[task_id].finished = finish
-                makespan = max(makespan, finish)
-                queue.schedule(finish + release, _EV_TASK_DONE, (worker, task_id))
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _try_dispatch(self, now: int) -> None:
+        idle_workers = self._idle_workers
+        ready_pool = self._ready_pool
+        timelines = self._timelines
+        log = self._lifecycle_log
+        makespan = self._makespan
+        while idle_workers and ready_pool:
+            worker = idle_workers.pop()
+            task_id = ready_pool.popleft()
+            task = self.program.task(task_id)
+            pickup = self.overhead.worker_pickup_cycles(self.num_threads)
+            release = self.overhead.release_cycles(
+                task.num_dependences, self.num_threads
+            )
+            start = now + pickup
+            finish = start + task.duration
+            timelines[task_id].started = start
+            timelines[task_id].finished = finish
+            if log is not None:
+                log.append((finish, _LOG_RETIRED, task_id))
+            if finish > makespan:
+                makespan = finish
+            self.queue.schedule(finish + release, _EV_TASK_DONE, (worker, task_id))
+        self._makespan = makespan
 
-        def mark_ready_if_possible(task_id: int, now: int) -> None:
-            if submitted[task_id] and remaining_preds[task_id] == 0:
-                timelines[task_id].ready = now
-                ready_pool.append(task_id)
+    def _mark_ready_if_possible(self, task_id: int, now: int) -> None:
+        if self._submitted[task_id] and self._remaining_preds[task_id] == 0:
+            self._timelines[task_id].ready = now
+            if self._lifecycle_log is not None:
+                self._lifecycle_log.append((now, _LOG_READY, task_id))
+            self._ready_pool.append(task_id)
 
-        successors = graph.successors
+    def _on_submitted(self, task_id: int, now: int) -> None:
+        self._submitted[task_id] = True
+        self._mark_ready_if_possible(task_id, now)
+        self._try_dispatch(now)
 
-        def on_submitted(task_id: int, now: int) -> None:
-            submitted[task_id] = True
-            mark_ready_if_possible(task_id, now)
-            try_dispatch(now)
+    def _on_master_joins(self, _payload: object, now: int) -> None:
+        self._idle_workers.append(self.num_threads - 1)
+        self._try_dispatch(now)
 
-        def on_master_joins(_payload: object, now: int) -> None:
-            idle_workers.append(self.num_threads - 1)
-            try_dispatch(now)
+    def _on_task_done(self, payload: Tuple[int, int], now: int) -> None:
+        """Reference handler: one task completion per engine event."""
+        worker, task_id = payload
+        self._finished += 1
+        self._idle_workers.append(worker)
+        for successor in self.graph.successors[task_id]:
+            self._remaining_preds[successor] -= 1
+            self._mark_ready_if_possible(successor, now)
+        self._try_dispatch(now)
 
-        def on_task_done(payload, now: int) -> None:
-            nonlocal finished
+    def _on_task_done_batched(self, payload: Tuple[int, int], now: int) -> None:
+        # Drain the run of completions scheduled for this cycle in one
+        # activation: release order, readiness order and the ready-pool
+        # FIFO are exactly those of the one-at-a-time loop, so the
+        # schedule stays cycle-identical; only the single dispatch pass
+        # at the end is shared.
+        idle_workers = self._idle_workers
+        remaining_preds = self._remaining_preds
+        successors = self.graph.successors
+        pop_same_kind = self.queue.pop_same_kind
+        finished = self._finished
+        while True:
             worker, task_id = payload
             finished += 1
             idle_workers.append(worker)
             for successor in successors[task_id]:
                 remaining_preds[successor] -= 1
-                mark_ready_if_possible(successor, now)
-            try_dispatch(now)
+                self._mark_ready_if_possible(successor, now)
+            nxt = pop_same_kind(_EV_TASK_DONE, now)
+            if nxt is None:
+                break
+            payload = nxt.payload
+        self._finished = finished
+        self._try_dispatch(now)
 
-        def on_task_done_batched(payload, now: int) -> None:
-            # Drain the run of completions scheduled for this cycle in one
-            # activation: release order, readiness order and the ready-pool
-            # FIFO are exactly those of the one-at-a-time loop, so the
-            # schedule stays cycle-identical; only the single dispatch pass
-            # at the end is shared.
-            nonlocal finished
-            while True:
-                worker, task_id = payload
-                finished += 1
-                idle_workers.append(worker)
-                for successor in successors[task_id]:
-                    remaining_preds[successor] -= 1
-                    mark_ready_if_possible(successor, now)
-                nxt = queue.pop_same_kind(_EV_TASK_DONE, now)
-                if nxt is None:
-                    break
-                payload = nxt.payload
-            try_dispatch(now)
-
-        # Precomputed handler table instead of a string-comparison ladder;
-        # this loop delivers one event per task submission and completion.
-        # The table is consumed by the engine's shared dispatch loop, the
-        # same one driving the HIL simulator (see repro.sim.engine).
-        handlers = {
-            _EV_SUBMITTED: on_submitted,
-            _EV_MASTER_JOINS: on_master_joins,
-            _EV_TASK_DONE: (
-                on_task_done_batched if self.batch_completions else on_task_done
-            ),
-        }
-        queue.dispatch(handlers)
-
-        if finished != program.num_tasks:
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def _build_result(self, aborted_at: Optional[int] = None) -> SimulationResult:
+        program = self.program
+        aborted = self._finished != program.num_tasks
+        if aborted and aborted_at is None:
             raise RuntimeError(
-                f"Nanos++ simulation finished {finished} of "
+                f"Nanos++ simulation finished {self._finished} of "
                 f"{program.num_tasks} tasks (deadlock?)"
             )
-
-        counters = {
-            "master_creation_cycles": master_joins_at,
+        if aborted and aborted_at is not None:
+            # Tasks dispatched but not yet retired carry future finish
+            # stamps; only bodies done by the horizon count.
+            horizon = aborted_at
+            makespan = max(
+                (
+                    t.finished
+                    for t in self._timelines.values()
+                    if t.finished and t.finished <= horizon
+                ),
+                default=0,
+            )
+        else:
+            makespan = self._makespan
+        counters: Dict[str, int] = {
+            "master_creation_cycles": self._master_joins_at,
             "threads": self.num_threads,
-            "events_processed": queue.processed,
+            "events_processed": self.queue.processed,
         }
+        if aborted and aborted_at is not None:
+            counters["aborted_at_cycle"] = aborted_at
+            counters["finished_tasks"] = self._finished
         return SimulationResult(
             simulator="nanos-software",
             program_name=program.name,
@@ -200,9 +310,9 @@ class NanosRuntimeSimulator:
             makespan=makespan,
             sequential_cycles=program.sequential_cycles,
             num_tasks=program.num_tasks,
-            timelines=timelines,
+            timelines=self._timelines,
             counters=counters,
-            drain_time=queue.now,
+            drain_time=self.queue.now,
         )
 
 
@@ -238,6 +348,19 @@ class NanosBackend:
         from repro.sim.session import SimulationSession
 
         return SimulationSession(self, request)
+
+    def make_stepper(
+        self,
+        program: TaskProgram,
+        *,
+        num_workers: int = 12,
+        overhead: Optional[NanosOverheadModel] = None,
+        **kwargs: object,
+    ) -> EngineStepper:
+        """A resumable sliced run with the same defaults as :meth:`simulate`."""
+        return EngineStepper(
+            NanosRuntimeSimulator(program, num_threads=num_workers, overhead=overhead)
+        )
 
     def simulate(
         self,

@@ -82,6 +82,9 @@ class ServiceMetrics:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_writes = 0
+        # checkpoint/restore
+        self.checkpoints_taken = 0
+        self.sessions_restored = 0
         # streaming
         self.events_streamed = 0
         self.frames_sent = 0
@@ -117,6 +120,12 @@ class ServiceMetrics:
         else:
             self.cache_misses += 1
 
+    def record_checkpoint(self) -> None:
+        self.checkpoints_taken += 1
+
+    def record_restored(self) -> None:
+        self.sessions_restored += 1
+
     def record_events(self, count: int) -> None:
         self.events_streamed += count
 
@@ -149,6 +158,10 @@ class ServiceMetrics:
                 "misses": self.cache_misses,
                 "writes": self.cache_writes,
                 "hit_rate": (self.cache_hits / lookups) if lookups else None,
+            },
+            "snapshots": {
+                "checkpoints_taken": self.checkpoints_taken,
+                "sessions_restored": self.sessions_restored,
             },
             "streaming": {
                 "events_streamed": self.events_streamed,

@@ -16,8 +16,15 @@ starving any of them.  Around that core:
   ``queue.put`` -- pausing exactly that session while the loop keeps
   serving everyone else.
 * **Lifecycle**: accepted-but-never-run sessions are evicted after an idle
-  timeout, ``cancel`` frames (and disconnects) cancel mid-run sessions,
-  and shutdown drains running sessions before closing.
+  timeout (checkpointed to ``checkpoint_dir`` first, when configured, so
+  the work survives the eviction), ``cancel`` frames (and disconnects)
+  cancel mid-run sessions, and shutdown drains running sessions before
+  closing.
+* **Checkpoint/restore** (:mod:`repro.sim.snapshot`): the ``checkpoint``
+  frame captures an accepted session into a portable snapshot document;
+  the ``restore`` frame admits a *new* session from such a document --
+  including snapshots taken mid-run by a CLI or library client -- and
+  ``run`` then continues it bit-exactly from the captured cycle.
 * **Shared cache** (:mod:`repro.service.cache`): read-through at run
   start, write-behind after completion, keyed by the request's
   content-addressed cache key -- multiple server processes pointing at one
@@ -48,6 +55,13 @@ from repro.sim.session import (
     SessionError,
     lifecycle_events,
     open_session,
+)
+from repro.sim.snapshot import (
+    SimulationSnapshot,
+    SnapshotError,
+    capture,
+    restore as restore_snapshot,
+    save_snapshot,
 )
 from repro.service.admission import AdmissionController, Rejection, TenantQuota
 from repro.service.cache import SharedResultCache, service_cache_key
@@ -86,6 +100,12 @@ _READ_LIMIT = 16 * 1024 * 1024
 _CLOSE_WRITER = None
 
 
+def _save_checkpoint(snapshot: SimulationSnapshot, target: Path) -> None:
+    """Synchronous checkpoint write (runs in ``asyncio.to_thread``)."""
+    target.parent.mkdir(parents=True, exist_ok=True)
+    save_snapshot(snapshot, target)
+
+
 @dataclass
 class ServerConfig:
     """Everything a :class:`SimulationServer` needs to start."""
@@ -111,6 +131,11 @@ class ServerConfig:
     buffer_frames: int = 16
     #: Seconds an accepted-but-never-run session may sit before eviction.
     idle_timeout: float = 300.0
+    #: Directory idle-evicted sessions are checkpointed into before being
+    #: dropped (``<session id>.json`` snapshot documents, restorable via
+    #: the ``restore`` frame or the CLI's ``--restore``).  ``None``
+    #: disables eviction-to-disk.
+    checkpoint_dir: Optional[Union[str, Path]] = None
     #: Seconds shutdown waits for running sessions to finish before
     #: cancelling them.
     drain_timeout: float = 10.0
@@ -208,13 +233,36 @@ class SimulationServer:
         while True:
             await asyncio.sleep(interval)
             for record in self.registry.idle_candidates(self.config.idle_timeout):
+                # Checkpoint before finish(): finishing closes the engine
+                # session, after which nothing is left to capture.
+                checkpoint_path = await self._evict_to_disk(record)
                 record.finish(EVICTED)
                 self.metrics.record_closed("evicted")
                 if record.out is not None:
+                    notice: Dict[str, Any] = {
+                        "type": "evicted",
+                        "id": record.session_id,
+                    }
+                    if checkpoint_path is not None:
+                        notice["checkpoint"] = str(checkpoint_path)
                     with contextlib.suppress(asyncio.QueueFull):
-                        record.out.put_nowait(
-                            {"type": "evicted", "id": record.session_id}
-                        )
+                        record.out.put_nowait(notice)
+
+    async def _evict_to_disk(self, record: ServiceSession) -> Optional[Path]:
+        """Best-effort snapshot of an idle session about to be evicted."""
+        directory = self.config.checkpoint_dir
+        if directory is None:
+            return None
+        try:
+            snapshot = capture(record.session)
+            target = Path(directory) / f"{record.session_id}.json"
+            await asyncio.to_thread(_save_checkpoint, snapshot, target)
+            self.metrics.record_checkpoint()
+            return target
+        except Exception:
+            # The eviction itself must proceed; a failed best-effort
+            # checkpoint only costs the client the resumability.
+            return None
 
     # ------------------------------------------------------------------
     # the NDJSON TCP transport
@@ -318,6 +366,9 @@ class SimulationServer:
         if kind == "open":
             await self._handle_open(frame, conn_sessions, out)
             return
+        if kind == "restore":
+            await self._handle_restore(frame, conn_sessions, out)
+            return
         # Everything below addresses an existing session of this connection.
         session_id = frame.get("id")
         record = (
@@ -340,6 +391,8 @@ class SimulationServer:
             await self._handle_run(record, out)
         elif kind == "stats":
             await self._handle_stats(record, out)
+        elif kind == "checkpoint":
+            await self._handle_checkpoint(record, out)
         elif kind == "cancel":
             await self._cancel_session(record, outcome=CANCELLED, notify=False)
             await out.put({"type": "cancelled", "id": record.session_id})
@@ -422,6 +475,133 @@ class SimulationServer:
         record = self.registry.add(session_id, request.tenant, session, admitted)
         self.metrics.record_admitted()
         return record
+
+    async def _handle_restore(
+        self,
+        frame: Dict[str, Any],
+        conn_sessions: Dict[str, ServiceSession],
+        out: asyncio.Queue,
+    ) -> None:
+        session_id = frame.get("id")
+        if not isinstance(session_id, str) or not session_id:
+            session_id = self.registry.allocate_id()
+        if session_id in self.registry:
+            await out.put(
+                {
+                    "type": "rejected",
+                    "id": session_id,
+                    "code": REJECT_DUPLICATE_SESSION,
+                    "error": f"session id {session_id!r} is already in use",
+                }
+            )
+            self.metrics.record_rejected(REJECT_DUPLICATE_SESSION)
+            return
+        outcome = self._admit_and_restore(frame.get("snapshot", {}), session_id)
+        if isinstance(outcome, Rejection):
+            await out.put(
+                {
+                    "type": "rejected",
+                    "id": session_id,
+                    "code": outcome.code,
+                    "error": outcome.message,
+                    "tenant": outcome.tenant,
+                    "limit": outcome.limit,
+                }
+            )
+            return
+        record, snapshot = outcome
+        record.out = out
+        conn_sessions[session_id] = record
+        self.metrics.record_restored()
+        await out.put(
+            {
+                "type": "restored",
+                "id": session_id,
+                "tenant": record.tenant,
+                "kind": snapshot.kind,
+                "cycle": snapshot.cycle,
+            }
+        )
+
+    def _admit_and_restore(
+        self, snapshot_document: Any, session_id: str
+    ) -> Union[Tuple[ServiceSession, SimulationSnapshot], Rejection]:
+        """Decode a snapshot document, admit its tenant, rebuild the session.
+
+        The restored session is a *new* admission -- it consumes a quota
+        slot like any ``open`` would -- but its engine session resumes at
+        the captured cycle, so ``run`` continues the original run
+        bit-exactly instead of starting over.
+        """
+        try:
+            snapshot = SimulationSnapshot.from_document(snapshot_document)
+            request = request_from_document(snapshot.request).normalize()
+        except (SnapshotError, ProtocolError) as error:
+            code = getattr(error, "code", None) or REJECT_BAD_REQUEST
+            self.metrics.record_rejected(code)
+            return Rejection(code=code, message=str(error), tenant="?")
+        except Exception as error:
+            self.metrics.record_rejected(REJECT_BAD_REQUEST)
+            return Rejection(code=REJECT_BAD_REQUEST, message=str(error), tenant="?")
+        admitted = self.admission.admit(request.tenant)
+        if isinstance(admitted, Rejection):
+            self.metrics.record_rejected(admitted.code)
+            return admitted
+        try:
+            session = restore_snapshot(snapshot)
+        except Exception as error:
+            admitted.release()
+            self.metrics.record_rejected(REJECT_BAD_REQUEST)
+            return Rejection(
+                code=REJECT_BAD_REQUEST, message=str(error), tenant=request.tenant
+            )
+        record = self.registry.add(session_id, request.tenant, session, admitted)
+        record.restored = True
+        self.metrics.record_admitted()
+        return record, snapshot
+
+    async def _handle_checkpoint(
+        self, record: ServiceSession, out: asyncio.Queue
+    ) -> None:
+        """Capture an accepted session into a portable snapshot document.
+
+        Only ``accepted`` sessions can be checkpointed here: a running
+        session's engine state is owned by its runner task mid-slice, and
+        terminal states have already released (closed) the engine session.
+        """
+        if record.state != ACCEPTED:
+            await out.put(
+                {
+                    "type": "error",
+                    "id": record.session_id,
+                    "code": REJECT_SESSION_STATE,
+                    "error": f"cannot checkpoint a session in state {record.state!r}",
+                }
+            )
+            return
+        try:
+            snapshot = capture(record.session)
+        except SnapshotError as error:
+            await out.put(
+                {
+                    "type": "error",
+                    "id": record.session_id,
+                    "code": REJECT_SESSION_STATE,
+                    "error": str(error),
+                }
+            )
+            return
+        self.metrics.record_checkpoint()
+        await out.put(
+            {
+                "type": "checkpoint",
+                "id": record.session_id,
+                "kind": snapshot.kind,
+                "cycle": snapshot.cycle,
+                "digest": snapshot.digest,
+                "snapshot": snapshot.document(),
+            }
+        )
 
     async def _handle_submit(
         self, frame: Dict[str, Any], record: ServiceSession, out: asyncio.Queue
@@ -516,7 +696,12 @@ class SimulationServer:
         try:
             result = None
             cached = False
-            if self.cache is not None:
+            if self.cache is not None and not record.restored:
+                # Restored sessions bypass the read-through: a cache hit
+                # would replay the whole event stream, but a mid-run
+                # restore owes the client only the cycles after the
+                # captured boundary.  Write-behind below still applies --
+                # the finished run's result is cache-identical either way.
                 record.cache_key = service_cache_key(session.request)
                 result = await asyncio.to_thread(self.cache.get, record.cache_key)
                 cached = result is not None
@@ -544,7 +729,9 @@ class SimulationServer:
                     # so same-loop peers always get a turn.
                     await asyncio.sleep(0)
                 result = session.result()
-                if self.cache is not None and record.cache_key is not None:
+                if self.cache is not None:
+                    if record.cache_key is None:
+                        record.cache_key = service_cache_key(session.request)
                     self._write_behind(record.cache_key, result)
             if events:
                 await self._stream_events(session_id, events, event_batch, out)

@@ -64,6 +64,11 @@ class ServiceSession:
         self.runner: Optional[asyncio.Task] = None
         #: Cache key, computed once when the server consults the cache.
         self.cache_key: Optional[str] = None
+        #: True when the session was admitted from a snapshot document.
+        #: Restored sessions continue their own run instead of going
+        #: through the read-through cache (a hit would replay the full
+        #: event stream rather than resume from the captured cycle).
+        self.restored = False
         #: The owning connection's outbound frame queue (set by the server;
         #: the sweeper posts eviction notices here best-effort).
         self.out: Optional["asyncio.Queue"] = None

@@ -345,6 +345,55 @@ class EventQueue:
                 return
             yield self._consume_head()
 
+    # ------------------------------------------------------------------
+    # snapshot / restore (see repro.sim.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_events(self) -> Tuple[List[Event], List[Tuple[int, List[Event]]]]:
+        """Non-destructive export of the pending schedule, in delivery order.
+
+        Returns ``(current, buckets)``: the undelivered remainder of the
+        detached draining bucket, and the calendar buckets as ``(time,
+        events)`` pairs sorted by time.  This is purely a read -- unlike
+        :meth:`_consume_head` it detaches nothing, so a peeked-but-unstarted
+        bucket keeps its calendar slot and post-peek earlier schedules still
+        overtake it.  Concatenating ``current`` with the sorted buckets is
+        exactly the order :meth:`pop` would deliver (at most one bucket
+        exists per distinct time, and every calendar bucket is stamped at or
+        after the detached one).
+        """
+        current = self._current[self._current_pos :]
+        buckets = [
+            (time, list(self._buckets[time])) for time in sorted(self._buckets)
+        ]
+        return current, buckets
+
+    def restore_events(
+        self,
+        now: int,
+        processed: int,
+        current: List[Event],
+        buckets: List[Tuple[int, List[Event]]],
+    ) -> None:
+        """Rebuild the queue from a :meth:`snapshot_events` export.
+
+        The detached bucket is reinstated normalized to drain position 0
+        (delivery order only depends on the undelivered remainder), the
+        calendar is rebuilt from the bucket pairs, and the distinct-times
+        heap is recreated -- a sorted list is a valid binary min-heap, so no
+        ``heapify`` is needed.  Clock and processed-count are restored
+        verbatim so a resumed run schedules and counts exactly like the
+        original.
+        """
+        self._now = now
+        self._processed = processed
+        self._current = list(current)
+        self._current_pos = 0
+        self._buckets = {time: list(events) for time, events in buckets}
+        self._times = sorted(self._buckets)
+        self._pending = len(self._current) + sum(
+            len(events) for events in self._buckets.values()
+        )
+
 
 class HeapEventQueue:
     """The binary-heap reference implementation of the event queue.

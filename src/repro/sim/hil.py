@@ -69,6 +69,7 @@ from repro.sim.backend import (
 )
 from repro.sim.engine import EventQueue
 from repro.sim.results import SimulationResult, TaskTimeline
+from repro.sim.session import EngineStepper
 from repro.sim.worker import WorkerPool
 
 
@@ -700,68 +701,17 @@ class HILSimulator:
         )
 
 
-class HILStepper:
+class HILStepper(EngineStepper):
     """Cooperative-slicing adapter over a resumable :class:`HILSimulator`.
 
-    Implements the stepper contract consumed by
-    :meth:`repro.sim.session.SimulationSession.advance`: each
-    :meth:`advance` call dispatches one bounded horizon slice and returns
-    the lifecycle-log entries that became final inside it.  Because the
-    engine consumes events in the same order whether or not dispatching is
-    split across horizons, the concatenated slices are cycle-identical to a
-    single uninterrupted run, and the sorted per-slice log partitions
-    reproduce :func:`repro.sim.session.lifecycle_events` exactly.
+    The shared :class:`~repro.sim.session.EngineStepper` logic applied to
+    the HIL platform; the name survives as the type
+    :meth:`HILBackend.make_stepper` hands to sliced sessions (and to the
+    snapshot codec, which reaches through it for the simulator state).
     """
 
     def __init__(self, simulator: HILSimulator) -> None:
-        self._sim = simulator
-        self._log = simulator.enable_lifecycle_log()
-        self._horizon = 0
-        self.finished = False
-
-    def advance(self, slice_cycles: int) -> Tuple[bool, int, List[Tuple[int, int, int]]]:
-        """Run one slice of at most ``slice_cycles`` beyond the last horizon.
-
-        Returns ``(finished, horizon, entries)`` where ``entries`` is the
-        sorted list of ``(cycle, order, task_id)`` lifecycle entries that
-        are final as of ``horizon``.  When the next queued event lies past
-        the nominal horizon the slice fast-forwards to it, so every slice
-        of an unfinished run makes progress.
-        """
-        if slice_cycles < 1:
-            raise ValueError("slice_cycles must be >= 1")
-        sim = self._sim
-        queue = sim.queue
-        if self.finished:
-            return True, self._horizon, []
-        target = max(queue.now, self._horizon) + slice_cycles
-        peek = queue.peek_time
-        if peek is not None and peek > target:
-            target = peek
-        sim.step(target)
-        self._horizon = target
-        done = queue.empty
-        self.finished = done
-        log = self._log
-        if done:
-            entries, keep = list(log), []
-        else:
-            entries, keep = [], []
-            for entry in log:
-                (entries if entry[0] <= target else keep).append(entry)
-        log[:] = keep
-        # Plain tuple order == the lifecycle_events() sort key
-        # (cycle, kind order, task id).
-        entries.sort()
-        return done, target, entries
-
-    def result(self) -> SimulationResult:
-        """The complete result; only valid once ``finished`` is ``True``."""
-        if not self.finished:
-            raise RuntimeError("stepper has not finished; call advance() until done")
-        # The queue is drained, so this builds the final result without
-        # dispatching anything further.
-        return self._sim.run()
+        super().__init__(simulator)
 
 
 # ----------------------------------------------------------------------

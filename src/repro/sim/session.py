@@ -39,12 +39,15 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import ClassVar, Iterable, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, ClassVar, Iterable, Iterator, List, Optional, Tuple
 
 from repro.runtime.task import Task, TaskProgram
 from repro.sim.backend import SimulatorBackend, get_backend
 from repro.sim.request import SimulationRequest
 from repro.sim.results import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.sim.snapshot import SimulationSnapshot
 
 
 # ----------------------------------------------------------------------
@@ -155,6 +158,80 @@ class SessionStats:
 
 class SessionError(RuntimeError):
     """A session operation was attempted in the wrong lifecycle state."""
+
+
+# ----------------------------------------------------------------------
+# the generic stepper
+# ----------------------------------------------------------------------
+class EngineStepper:
+    """Cooperative-slicing adapter over a resumable engine-driven simulator.
+
+    Implements the stepper contract consumed by
+    :meth:`SimulationSession.advance` for any simulator built on
+    :class:`repro.sim.engine.EventQueue` that exposes ``queue``,
+    ``step(stop_at_cycle)``, ``enable_lifecycle_log()`` and ``run()`` --
+    today the HIL platform (:class:`repro.sim.hil.HILSimulator`) and the
+    Nanos++ software model
+    (:class:`repro.runtime.nanos.NanosRuntimeSimulator`).  Each
+    :meth:`advance` call dispatches one bounded horizon slice and returns
+    the lifecycle-log entries that became final inside it.  Because the
+    engine consumes events in the same order whether or not dispatching is
+    split across horizons, the concatenated slices are cycle-identical to a
+    single uninterrupted run, and the sorted per-slice log partitions
+    reproduce :func:`lifecycle_events` exactly.
+    """
+
+    def __init__(self, simulator) -> None:  # type: ignore[no-untyped-def]
+        self._sim = simulator
+        self._log: List[Tuple[int, int, int]] = simulator.enable_lifecycle_log()
+        self._horizon = 0
+        self.finished = False
+
+    def advance(
+        self, slice_cycles: int
+    ) -> Tuple[bool, int, List[Tuple[int, int, int]]]:
+        """Run one slice of at most ``slice_cycles`` beyond the last horizon.
+
+        Returns ``(finished, horizon, entries)`` where ``entries`` is the
+        sorted list of ``(cycle, order, task_id)`` lifecycle entries that
+        are final as of ``horizon``.  When the next queued event lies past
+        the nominal horizon the slice fast-forwards to it, so every slice
+        of an unfinished run makes progress.
+        """
+        if slice_cycles < 1:
+            raise ValueError("slice_cycles must be >= 1")
+        sim = self._sim
+        queue = sim.queue
+        if self.finished:
+            return True, self._horizon, []
+        target = max(queue.now, self._horizon) + slice_cycles
+        peek = queue.peek_time
+        if peek is not None and peek > target:
+            target = peek
+        sim.step(target)
+        self._horizon = target
+        done = queue.empty
+        self.finished = done
+        log = self._log
+        if done:
+            entries, keep = list(log), []
+        else:
+            entries, keep = [], []
+            for entry in log:
+                (entries if entry[0] <= target else keep).append(entry)
+        log[:] = keep
+        # Plain tuple order == the lifecycle_events() sort key
+        # (cycle, kind order, task id).
+        entries.sort()
+        return done, target, entries
+
+    def result(self) -> SimulationResult:
+        """The complete result; only valid once ``finished`` is ``True``."""
+        if not self.finished:
+            raise RuntimeError("stepper has not finished; call advance() until done")
+        # The queue is drained, so this builds the final result without
+        # dispatching anything further.
+        return self._sim.run()
 
 
 # ----------------------------------------------------------------------
@@ -417,6 +494,24 @@ class SimulationSession:
         """
         self._require_usable("read the result")
         return self._ensure_result()
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> "SimulationSnapshot":
+        """Capture a :class:`~repro.sim.snapshot.SimulationSnapshot`.
+
+        Valid before the first :meth:`advance` (an *initial* snapshot),
+        between ``advance`` slices (a *mid-run* snapshot at the current
+        cycle boundary) and after the run finished (a *finished* snapshot).
+        The snapshot is copy-on-capture: it shares no mutable state with
+        the session, so closing -- or further advancing -- the session
+        never invalidates a captured snapshot.  See
+        :func:`repro.sim.snapshot.capture`.
+        """
+        from repro.sim.snapshot import capture
+
+        return capture(self)
 
     # ------------------------------------------------------------------
     # cancellation / release

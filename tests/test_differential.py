@@ -26,7 +26,12 @@ backends.  Four families of invariants pin the whole stack:
   reference implementation (``repro.core.reference``), including under
   DM-conflict -> recycle -> re-allocate pressure.  The CI job replays
   this leg a second time with ``REPRO_REFERENCE_DATAPATH=1`` forcing the
-  oracle, so the selection switch itself stays covered.
+  oracle, so the selection switch itself stays covered;
+* **snapshot determinism** -- checkpointing a session at a fuzz-drawn
+  cycle and restoring it (and checkpointing the *restored* run again at a
+  later drawn cycle) yields results field-for-field identical to the
+  uninterrupted run, for every backend.  Both CI replays cover it, so the
+  invariant holds under the flat and the reference datapath alike.
 
 Run deterministically with ``pytest tests/test_differential.py
 --hypothesis-seed=0`` (the CI job does exactly that).
@@ -55,7 +60,8 @@ from repro.sim.driver import simulate_request
 from repro.sim.engine import EventQueue, HeapEventQueue
 from repro.sim.hil import HILMode, HILSimulator
 from repro.sim.request import SimulationRequest
-from repro.sim.session import open_session
+from repro.sim.session import lifecycle_events, open_session
+from repro.sim.snapshot import KIND_MID_RUN, capture, restore
 from repro.traces.synthetic import random_program
 
 from tests.helpers import make_program
@@ -146,6 +152,71 @@ class TestCrossBackendInvariants:
             first = simulate_request(request)
             second = simulate_request(request)
             assert dataclasses.asdict(first) == dataclasses.asdict(second)
+
+
+class TestSnapshotRestoreEquivalence:
+    """Checkpoint/resume against the uninterrupted run, fuzzed.
+
+    The deep sweep lives in ``tests/test_snapshot.py``; this rule fuzzes
+    the *graph shape* and the *snapshot cycle* together so the codec is
+    exercised on whatever task-graph pathologies hypothesis invents, not
+    just the paper workloads.
+    """
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        params=graph_params,
+        num_workers=workers,
+        cut=st.integers(min_value=1, max_value=2_000),
+    )
+    def test_restored_runs_match_the_straight_run(
+        self, params, num_workers, cut
+    ):
+        program = random_program(**params)
+        for backend in sorted(BUILTIN_BACKENDS):
+            request = SimulationRequest.for_program(
+                program, backend=backend, num_workers=num_workers
+            )
+            straight = simulate_request(request)
+            straight_events = lifecycle_events(straight)
+
+            # Checkpoint at the drawn cycle, restore, run to the end.
+            session = open_session(request)
+            step = session.advance(cut)
+            pre = list(step.events)
+            snapshot = capture(session)
+            session.close()
+            restored = restore(snapshot)
+            post = []
+            while True:
+                chunk = restored.advance(cut)
+                post.extend(chunk.events)
+                if chunk.finished:
+                    break
+            assert dataclasses.asdict(restored.result()) == dataclasses.asdict(
+                straight
+            ), f"{backend}: restore at cycle {cut} diverged"
+            assert pre + post == straight_events
+
+            # Checkpoint the *restored* run again at a later cycle; the
+            # second-generation restore must still match field-for-field.
+            second = restore(snapshot)
+            mid = list(second.advance(cut).events)
+            resnap = capture(second)
+            second.close()
+            if resnap.kind == KIND_MID_RUN:
+                assert resnap.cycle >= snapshot.cycle
+            third = restore(resnap)
+            tail = []
+            while True:
+                chunk = third.advance(cut)
+                tail.extend(chunk.events)
+                if chunk.finished:
+                    break
+            assert dataclasses.asdict(third.result()) == dataclasses.asdict(
+                straight
+            ), f"{backend}: snapshot-of-a-restored-run diverged"
+            assert pre + mid + tail == straight_events
 
 
 class TestCacheKeyStability:

@@ -26,6 +26,7 @@ from repro.lint import (
 from repro.lint.cli import main as lint_main
 from repro.lint.rules.handlers import _kind_constants, _table_keys
 from repro.lint.rules.hotpath import HOT_PATH_CLASSES
+from repro.lint.rules.snapshot import SNAPSHOT_INVENTORY
 
 PACKAGE_ROOT = Path(repro.__file__).resolve().parent
 
@@ -66,6 +67,7 @@ class TestFramework:
             "ASY001",
             "ASY002",
             "REG001",
+            "SNP001",
         ):
             assert expected in ids
 
@@ -638,6 +640,136 @@ class TestRegistryRule:
             },
         )
         assert findings == []
+
+
+# ----------------------------------------------------------------------
+# SNP: snapshot purity (cross-module)
+# ----------------------------------------------------------------------
+def snp_findings(findings: List[Finding]) -> List[Finding]:
+    # The fixture trees inevitably trip unrelated single-module rules
+    # (HOT001 contract classes, etc.); this family is what's under test.
+    return [f for f in findings if f.rule_id == "SNP001"]
+
+
+_WORKER_FIXTURE = (
+    "class WorkerState:\n"
+    "    __slots__ = ('worker_id', 'busy_until', 'shiny_field')\n"
+    "class WorkerPool:\n"
+    "    __slots__ = ('num_workers',)\n"
+)
+
+
+class TestSnapshotPurityRule:
+    def test_uncovered_slot_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/worker.py": _WORKER_FIXTURE,
+                # The codec mentions busy_until (attribute) and num_workers
+                # (document key) but never shiny_field.
+                "sim/snapshot.py": "def encode(worker, pool):\n"
+                "    return {'num_workers': 1, 'busy': worker.busy_until}\n",
+            },
+        )
+        flagged = snp_findings(findings)
+        assert len(flagged) == 1
+        assert "shiny_field" in flagged[0].message
+        # worker_id is an exempt identity field: not flagged.
+        assert all("worker_id" not in f.message for f in flagged)
+
+    def test_fully_covered_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/worker.py": _WORKER_FIXTURE,
+                "sim/snapshot.py": "def encode(worker, pool):\n"
+                "    row = [worker.busy_until, worker.shiny_field]\n"
+                "    return {'num_workers': pool.num_workers, 'states': row}\n",
+            },
+        )
+        assert snp_findings(findings) == []
+
+    def test_delegated_method_coverage_counts(self, tmp_path):
+        # The codec never touches EventQueue internals directly; calling
+        # snapshot_events/restore_events (whose bodies do) covers them.
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/engine.py": (
+                    "class Event:\n"
+                    "    __slots__ = ('time', 'kind', 'payload')\n"
+                    "class EventQueue:\n"
+                    "    __slots__ = ('_buckets', '_now')\n"
+                    "    def snapshot_events(self):\n"
+                    "        return (self._buckets, self._now)\n"
+                    "class HeapEventQueue:\n"
+                    "    __slots__ = ('_heap',)\n"
+                ),
+                "sim/snapshot.py": "def encode(queue, event):\n"
+                "    data = queue.snapshot_events()\n"
+                "    return [event.time, event.kind, event.payload, data]\n",
+            },
+        )
+        assert snp_findings(findings) == []
+
+    def test_undelegated_internals_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/engine.py": (
+                    "class Event:\n"
+                    "    __slots__ = ('time', 'kind', 'payload')\n"
+                    "class EventQueue:\n"
+                    "    __slots__ = ('_buckets', '_now')\n"
+                    "    def helper(self):\n"
+                    "        return self._buckets\n"
+                    "class HeapEventQueue:\n"
+                    "    __slots__ = ('_heap',)\n"
+                ),
+                # helper() is never called by the codec, so _buckets/_now
+                # stay uncovered.
+                "sim/snapshot.py": "def encode(event):\n"
+                "    return [event.time, event.kind, event.payload]\n",
+            },
+        )
+        flagged = snp_findings(findings)
+        assert sorted(f.message.split()[0] for f in flagged) == [
+            "EventQueue._buckets",
+            "EventQueue._now",
+        ]
+
+    def test_vanished_inventoried_class_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "sim/worker.py": "class WorkerPool:\n"
+                "    __slots__ = ('num_workers',)\n",
+                "sim/snapshot.py": "def encode(pool):\n"
+                "    return {'num_workers': pool.num_workers}\n",
+            },
+        )
+        flagged = snp_findings(findings)
+        assert len(flagged) == 1
+        assert "WorkerState" in flagged[0].message
+
+    def test_silent_without_the_codec_module(self, tmp_path):
+        # Partial-tree lints (no sim/snapshot.py in view) cannot judge
+        # coverage; the rule must stay quiet instead of flagging the world.
+        findings = lint_tree(tmp_path, {"sim/worker.py": _WORKER_FIXTURE})
+        assert snp_findings(findings) == []
+
+    def test_real_inventory_is_live(self):
+        """Every inventoried module and class exists in the real package."""
+        import ast as ast_module
+
+        for key, class_name, _ in SNAPSHOT_INVENTORY:
+            path = PACKAGE_ROOT / key
+            assert path.is_file(), key
+            tree = ast_module.parse(path.read_text(encoding="utf-8"))
+            assert any(
+                isinstance(node, ast_module.ClassDef) and node.name == class_name
+                for node in tree.body
+            ), (key, class_name)
 
 
 # ----------------------------------------------------------------------

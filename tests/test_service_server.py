@@ -22,6 +22,7 @@ from repro.service.protocol import (
     REJECT_DUPLICATE_SESSION,
     REJECT_SERVER_CAPACITY,
     REJECT_SESSION_QUOTA,
+    REJECT_SESSION_STATE,
     REJECT_UNKNOWN_SESSION,
     decode_frame,
     encode_frame,
@@ -537,6 +538,194 @@ class TestSharedCache:
         config = ServerConfig(port=0, http_port=None, cache_dir=cache_dir)
         cached_flags = run_with_server(scenario, config)
         assert cached_flags == [False, True]
+
+
+class TestCheckpointRestore:
+    def test_checkpoint_then_restore_round_trips_over_the_wire(self):
+        # A freshly accepted session checkpoints as an "initial" snapshot;
+        # restoring that document into a new session and running it must
+        # reproduce the batch run exactly.
+        document = _request_document()
+        batch = simulate_request(_typed_request(document))
+
+        async def scenario(server):
+            client = await Client.connect(server)
+            await client.send({"type": "open", "id": "src", "request": document})
+            assert (await client.recv())["type"] == "accepted"
+            await client.send({"type": "checkpoint", "id": "src"})
+            checkpoint = await client.recv()
+            assert checkpoint["type"] == "checkpoint"
+            await client.send({"type": "cancel", "id": "src"})
+            assert (await client.recv())["type"] == "cancelled"
+            await client.send(
+                {"type": "restore", "id": "dst", "snapshot": checkpoint["snapshot"]}
+            )
+            restored = await client.recv()
+            assert restored["type"] == "restored"
+            await client.send({"type": "run", "id": "dst"})
+            events, result_frame = await client.run_to_completion("dst")
+            await client.close()
+            return checkpoint, restored, events, result_frame
+
+        checkpoint, restored, events, result_frame = run_with_server(scenario)
+        assert checkpoint["kind"] == "initial"
+        assert checkpoint["cycle"] == 0
+        assert checkpoint["digest"] == checkpoint["snapshot"]["digest"]
+        assert restored["kind"] == "initial"
+        assert result_from_document(result_frame["result"]) == batch
+        assert events == events_to_document(lifecycle_events(batch))
+
+    def test_restore_mid_run_snapshot_continues_bit_exactly(self):
+        # A snapshot captured mid-run by a *library* client (CLI, notebook)
+        # restores into a server session that owes only the remaining
+        # cycles: streamed tail events splice onto the pre-capture events
+        # to reproduce the straight run's stream.
+        from repro.sim.session import open_session
+
+        request = _typed_request(_request_document())
+        batch = simulate_request(request)
+        source = open_session(request)
+        pre = list(source.advance(60_000).events)
+        snapshot = source.checkpoint()
+        source.close()
+
+        async def scenario(server):
+            client = await Client.connect(server)
+            await client.send(
+                {"type": "restore", "snapshot": snapshot.document()}
+            )
+            restored = await client.recv()
+            assert restored["type"] == "restored"
+            session_id = restored["id"]
+            await client.send({"type": "run", "id": session_id})
+            events, result_frame = await client.run_to_completion(session_id)
+            await client.close()
+            return restored, events, result_frame, server.metrics.snapshot()
+
+        restored, tail, result_frame, metrics = run_with_server(scenario)
+        assert restored["kind"] == "mid-run"
+        assert restored["cycle"] == snapshot.cycle
+        assert result_frame["cached"] is False
+        assert result_from_document(result_frame["result"]) == batch
+        assert events_to_document(pre) + tail == events_to_document(
+            lifecycle_events(batch)
+        )
+        assert metrics["snapshots"]["sessions_restored"] == 1
+
+    def test_restored_session_bypasses_the_cache_read(self, tmp_path):
+        # A cached result for the same request must not short-circuit a
+        # restored mid-run session: a hit would replay the full event
+        # stream instead of resuming at the captured cycle.
+        from repro.sim.session import open_session
+
+        request = _typed_request(_request_document())
+        batch = simulate_request(request)
+        source = open_session(request)
+        pre = list(source.advance(60_000).events)
+        snapshot = source.checkpoint()
+        source.close()
+        config = ServerConfig(port=0, http_port=None, cache_dir=tmp_path / "cache")
+
+        async def scenario(server):
+            client = await Client.connect(server)
+            # Prime the cache with a straight run of the same request.
+            await client.send(
+                {"type": "open", "id": "warm", "request": _request_document()}
+            )
+            assert (await client.recv())["type"] == "accepted"
+            await client.send({"type": "run", "id": "warm"})
+            await client.run_to_completion("warm")
+            if server._cache_writes:
+                await asyncio.gather(*server._cache_writes)
+            await client.send(
+                {"type": "restore", "id": "resumed", "snapshot": snapshot.document()}
+            )
+            assert (await client.recv())["type"] == "restored"
+            await client.send({"type": "run", "id": "resumed"})
+            events, result_frame = await client.run_to_completion("resumed")
+            await client.close()
+            return events, result_frame
+
+        tail, result_frame = run_with_server(scenario, config)
+        assert result_frame["cached"] is False  # resumed, not replayed
+        assert result_from_document(result_frame["result"]) == batch
+        assert events_to_document(pre) + tail == events_to_document(
+            lifecycle_events(batch)
+        )
+
+    def test_checkpoint_requires_an_accepted_session(self):
+        async def scenario(server):
+            client = await Client.connect(server)
+            await client.send(
+                {"type": "open", "id": "done", "request": _request_document()}
+            )
+            assert (await client.recv())["type"] == "accepted"
+            await client.send({"type": "run", "id": "done"})
+            await client.run_to_completion("done")
+            await client.send({"type": "checkpoint", "id": "done"})
+            error = await client.recv()
+            await client.close()
+            return error
+
+        error = run_with_server(scenario)
+        assert error["type"] == "error"
+        assert error["code"] == REJECT_SESSION_STATE
+
+    def test_restore_rejects_garbage_and_duplicate_ids(self):
+        document = _request_document()
+
+        async def scenario(server):
+            client = await Client.connect(server)
+            await client.send({"type": "restore", "snapshot": {"format": "junk"}})
+            garbage = await client.recv()
+            await client.send({"type": "open", "id": "held", "request": document})
+            assert (await client.recv())["type"] == "accepted"
+            await client.send(
+                {"type": "restore", "id": "held", "snapshot": {"format": "junk"}}
+            )
+            duplicate = await client.recv()
+            await client.close()
+            return garbage, duplicate
+
+        garbage, duplicate = run_with_server(scenario)
+        assert garbage["type"] == "rejected"
+        assert garbage["code"] == REJECT_BAD_REQUEST
+        assert duplicate["type"] == "rejected"
+        assert duplicate["code"] == REJECT_DUPLICATE_SESSION
+
+    def test_idle_eviction_checkpoints_to_disk(self, tmp_path):
+        # With a checkpoint_dir configured, the idle sweeper saves the
+        # session before evicting it, names the file in the eviction
+        # notice, and the on-disk document restores to a working session.
+        from repro.sim.snapshot import load_snapshot, restore
+
+        directory = tmp_path / "checkpoints"
+        config = ServerConfig(
+            port=0, http_port=None, idle_timeout=0.05, checkpoint_dir=directory
+        )
+        document = _request_document()
+        batch = simulate_request(_typed_request(document))
+
+        async def scenario(server):
+            client = await Client.connect(server)
+            await client.send({"type": "open", "id": "idler", "request": document})
+            assert (await client.recv())["type"] == "accepted"
+            evicted = await asyncio.wait_for(client.recv(), timeout=5.0)
+            await client.close()
+            return evicted, server.metrics.snapshot()
+
+        evicted, metrics = run_with_server(scenario, config)
+        assert evicted["type"] == "evicted"
+        path = evicted["checkpoint"]
+        assert path == str(directory / "idler.json")
+        assert metrics["snapshots"]["checkpoints_taken"] == 1
+        snapshot = load_snapshot(path)
+        assert snapshot.kind == "initial"
+        session = restore(snapshot)
+        while True:
+            if session.advance(100_000).finished:
+                break
+        assert session.result() == batch
 
 
 class TestHTTPAdapter:

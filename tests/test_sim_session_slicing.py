@@ -206,6 +206,27 @@ class TestCloseAndRestartParity:
         assert stats.state == STATE_CLOSED
         assert stats.tasks_submitted == submitted
 
+    @pytest.mark.parametrize("backend", sorted(HIL_BACKENDS))
+    def test_close_after_capture_leaves_the_snapshot_valid(self, backend):
+        # Copy-on-capture: a snapshot taken mid-run must survive the
+        # captured session's close() untouched -- close() frees the live
+        # stepper, and the snapshot must not alias any of that state.
+        from repro.sim.snapshot import restore
+
+        request = _workload_request(backend)
+        baseline = simulate_request(request)
+        session = open_session(request)
+        step = session.advance(30_000)
+        pre = list(step.events)
+        snapshot = session.checkpoint()
+        digest_before = snapshot.digest
+        session.close()
+        assert snapshot.digest == digest_before
+        restored = restore(snapshot)
+        _, events = _drain_in_slices(restored, 30_000)
+        assert restored.result() == baseline
+        assert pre + events == lifecycle_events(baseline)
+
     def test_close_before_any_advance(self):
         session = open_session(_workload_request("hil-full"))
         session.close()
@@ -223,13 +244,26 @@ class TestCloseAndRestartParity:
 
 
 class TestFallbackSlicing:
-    @pytest.mark.parametrize("backend", ["nanos", "perfect"])
+    @pytest.mark.parametrize("backend", ["perfect"])
     def test_non_stepper_backends_finish_in_one_slice(self, backend):
+        # nanos grew a real stepper alongside the snapshot subsystem, so
+        # the perfect scheduler is the only remaining fallback backend.
         request = _workload_request(backend)
         batch = simulate_request(request)
         session = open_session(request)
         slices, events = _drain_in_slices(session, 1_000)
         assert len(slices) == 1 and slices[0].finished
+        assert session.result() == batch
+        assert events == lifecycle_events(batch)
+
+    def test_nanos_slices_like_a_stepper_backend(self):
+        # The software baseline now honours slice horizons instead of
+        # collapsing into the one-shot fallback.
+        request = _workload_request("nanos")
+        batch = simulate_request(request)
+        session = open_session(request)
+        slices, events = _drain_in_slices(session, 1_000)
+        assert len(slices) > 1
         assert session.result() == batch
         assert events == lifecycle_events(batch)
 

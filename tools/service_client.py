@@ -8,8 +8,11 @@ the exact exercise the CI ``service-smoke`` job runs:
 * ``--spawn`` launches a server subprocess on ephemeral ports (parsed from
   its ``serving <proto> on <host>:<port>`` announce lines), runs one
   simulation request end to end, checks the streamed lifecycle events
-  against the final result's own event derivation, polls ``/metrics`` and
-  ``/healthz``, and shuts the server down with SIGTERM.
+  against the final result's own event derivation, round-trips a
+  ``checkpoint`` frame through ``restore``/``run`` and checks the resumed
+  run reproduces the straight run's result and event stream bit-exactly,
+  polls ``/metrics`` and ``/healthz``, and shuts the server down with
+  SIGTERM.
 * ``--spawn --cache-dir DIR`` additionally launches a *second* server
   process pointed at the same cache directory and asserts the identical
   request is served from cache there (the cross-process shared-cache
@@ -221,6 +224,7 @@ def exercise_server(host: str, tcp_port: int, http_port: Optional[int]) -> None:
         f"ok: {len(events)} events streamed, makespan {result['makespan']}, "
         f"{result['num_tasks']} tasks"
     )
+    exercise_checkpoint_restore(host, tcp_port, result, events)
     if http_port is not None:
         health = fetch_json(f"http://{host}:{http_port}/healthz")
         check(health.get("status") == "ok", f"healthz not ok: {health}")
@@ -237,6 +241,82 @@ def exercise_server(host: str, tcp_port: int, http_port: Optional[int]) -> None:
             f"ok: metrics report {metrics['sessions']['completed']} completed "
             f"session(s), {metrics['streaming']['events_streamed']} events"
         )
+
+
+def exercise_checkpoint_restore(
+    host: str,
+    tcp_port: int,
+    straight_result: Dict[str, Any],
+    straight_events: List[List[int]],
+) -> None:
+    """Checkpoint a fresh session, restore the document, run it to the end.
+
+    The resumed run must reproduce the straight run bit-exactly -- same
+    result document, same streamed event stream -- judging both purely by
+    what crossed the wire.
+    """
+    client = ServiceClient(host, tcp_port)
+    try:
+        client.send({"type": "open", "id": "ckpt-src", "request": SMOKE_REQUEST})
+        accepted = client.recv()
+        check(
+            accepted.get("type") == "accepted",
+            f"checkpoint source was not accepted: {accepted}",
+        )
+        client.send({"type": "checkpoint", "id": "ckpt-src"})
+        checkpoint = client.recv()
+        check(
+            checkpoint.get("type") == "checkpoint",
+            f"checkpoint frame was refused: {checkpoint}",
+        )
+        check(
+            checkpoint.get("kind") == "initial",
+            f"fresh session checkpointed as {checkpoint.get('kind')!r}",
+        )
+        check(
+            checkpoint.get("digest") == checkpoint["snapshot"].get("digest"),
+            "checkpoint digest does not match its snapshot document",
+        )
+        client.send({"type": "cancel", "id": "ckpt-src"})
+        cancelled = client.recv()
+        check(
+            cancelled.get("type") == "cancelled",
+            f"could not cancel the checkpoint source: {cancelled}",
+        )
+        client.send(
+            {"type": "restore", "id": "ckpt-dst", "snapshot": checkpoint["snapshot"]}
+        )
+        restored = client.recv()
+        check(
+            restored.get("type") == "restored",
+            f"snapshot document was not restored: {restored}",
+        )
+        client.send({"type": "run", "id": "ckpt-dst"})
+        events: List[List[int]] = []
+        while True:
+            frame = client.recv()
+            kind = frame.get("type")
+            if kind == "events":
+                events.extend(frame["events"])
+            elif kind == "result":
+                result = frame["result"]
+                break
+            else:
+                raise SmokeFailure(f"unexpected frame while resuming: {frame}")
+        check(
+            result == straight_result,
+            "restored run's result differs from the straight run",
+        )
+        check(
+            events == straight_events,
+            "restored run's event stream differs from the straight run",
+        )
+        print(
+            "ok: checkpoint/restore round trip reproduced the run bit-exactly "
+            f"(snapshot digest {checkpoint['digest']})"
+        )
+    finally:
+        client.close()
 
 
 def exercise_shared_cache(host: str, cache_dir: str) -> None:

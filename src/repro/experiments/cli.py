@@ -243,10 +243,23 @@ def run_simulate(args: argparse.Namespace) -> str:
 
     if args.checkpoint_at is not None and args.checkpoint_to is None:
         raise SystemExit("--checkpoint-at requires --checkpoint-to PATH")
+    faults = ()
+    if args.fault:
+        from repro.faults.scenario import FaultConfigurationError, parse_fault_spec
+
+        try:
+            faults = tuple(parse_fault_spec(spec) for spec in args.fault)
+        except FaultConfigurationError as exc:
+            raise SystemExit(f"--fault: {exc}") from None
     lines = []
     if args.restore is not None:
         if args.workload:
             raise SystemExit("--restore resumes a snapshot; drop --workload")
+        if faults:
+            raise SystemExit(
+                "--fault cannot be combined with --restore: armed scenarios "
+                "travel inside the snapshot document"
+            )
         try:
             snapshot = load_snapshot(args.restore)
             session = restore_session(snapshot)
@@ -271,6 +284,7 @@ def run_simulate(args: argparse.Namespace) -> str:
             problem_size=args.problem_size,
             backend=backend,
             num_workers=args.workers,
+            faults=faults,
         )
         try:
             session = open_session(request)
@@ -282,6 +296,8 @@ def run_simulate(args: argparse.Namespace) -> str:
             f"request: workload={args.workload!r} backend={backend!r} "
             f"workers={args.workers} cache_key={request.cache_key()}"
         )
+        for spec, scenario in zip(args.fault or [], faults):
+            lines.append(f"fault armed: {scenario.kind.value} ({spec})")
     shown: list = []
     if args.checkpoint_to is not None:
         # Snapshot at the requested cycle boundary (0 = before any work),
@@ -318,6 +334,11 @@ def run_simulate(args: argparse.Namespace) -> str:
         f"result: makespan={result.makespan} speedup={result.speedup:.2f} "
         f"tasks={result.num_tasks} simulator={result.simulator}"
     )
+    if "faults_injected" in result.counters:
+        lines.append(
+            f"faults: injected={result.counters['faults_injected']} "
+            f"recovered={result.counters['faults_recovered']}"
+        )
     return "\n".join(lines)
 
 
@@ -602,6 +623,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="resume a run from a snapshot document instead of opening a "
         "fresh workload (mutually exclusive with --workload)",
+    )
+    simulate.add_argument(
+        "--fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="arm one fault scenario (repeatable); SPEC is "
+        "KIND@TRIGGER[:OPT=V...], e.g. "
+        "'kill-worker@cycle=5000:worker=3' or "
+        "'drop-event@p=0.01:class=ready:seed=7' (see docs/faults.md)",
     )
     bench = parser.add_argument_group(
         "bench", "options for the 'bench' performance-snapshot command"

@@ -1,0 +1,71 @@
+"""Deterministic fault injection for the Picos reproduction.
+
+The paper's robustness story (Section V: Picos keeps making progress
+under resource exhaustion where Task Superscalar deadlocked) deserves
+dynamic chaos, not just static capacity corners.  This package provides
+it as data: frozen, seedable :class:`FaultScenario` descriptions that a
+:class:`FaultPlan` arms against a concrete simulator run by wrapping its
+event-dispatch table.
+
+Design tenets (see ``docs/faults.md`` for the full contract):
+
+* **zero-cost when off** -- unfaulted runs never construct a plan and
+  dispatch through the exact same handler tables as before; golden
+  digests are bit-identical.
+* **deterministic when on** -- the only randomness is each scenario's
+  private seeded stream; the same request replays the same faulted
+  schedule, straight or through a mid-fault checkpoint.
+* **invariant-checked** -- every run must end with no lost tasks, a
+  dependence-valid start order, monotone retirement and balanced
+  inject/recover accounting, or it raises :class:`FaultInvariantError`.
+"""
+
+from repro.faults.injectors import INJECTORS
+from repro.faults.invariants import INVARIANT_CHECKERS
+from repro.faults.payloads import (
+    FAULT_REDELIVER,
+    FAULT_TIMER,
+    FaultRedeliver,
+    FaultTimer,
+)
+from repro.faults.plan import (
+    ArmedFault,
+    FaultInvariantError,
+    FaultPlan,
+    LOG_FAULT_INJECTED,
+    LOG_FAULT_RECOVERED,
+)
+from repro.faults.scenario import (
+    EVENT_LEVEL_KINDS,
+    FaultConfigurationError,
+    FaultKind,
+    FaultScenario,
+    FaultTarget,
+    FaultTrigger,
+    RecoveryPolicy,
+    faults_from_documents,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "ArmedFault",
+    "EVENT_LEVEL_KINDS",
+    "FAULT_REDELIVER",
+    "FAULT_TIMER",
+    "FaultConfigurationError",
+    "FaultInvariantError",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRedeliver",
+    "FaultScenario",
+    "FaultTarget",
+    "FaultTimer",
+    "FaultTrigger",
+    "INJECTORS",
+    "INVARIANT_CHECKERS",
+    "LOG_FAULT_INJECTED",
+    "LOG_FAULT_RECOVERED",
+    "RecoveryPolicy",
+    "faults_from_documents",
+    "parse_fault_spec",
+]

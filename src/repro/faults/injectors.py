@@ -1,0 +1,151 @@
+"""Per-kind fault injectors: the :data:`INJECTORS` registry.
+
+Each :class:`~repro.faults.scenario.FaultKind` member maps to exactly
+one injector object; repro-lint rule FLT001 checks the table stays
+complete (the same handler-table-completeness contract the engine
+dispatch tables live under).  An injector implements two hooks:
+
+``on_arm(plan, armed, now)``
+    Called once when the plan arms against a run.  Timer-driven kinds
+    (``KILL_WORKER``) schedule their ``FAULT_TIMER`` events here.
+
+``on_delivery(plan, armed, kind, payload, now) -> bool``
+    Called for each delivery of the scenario's matched engine kind.
+    Returns ``True`` when the delivery was swallowed (withheld, dropped,
+    frozen); ``False`` lets the original handler run.
+
+Injectors never mutate simulator state directly -- they go through the
+plan's scheduling/recording services and, for the kill path, the
+backend adapter.  See ``docs/faults.md`` for the per-kind semantics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict
+
+from repro.faults.payloads import TIMER_KILL
+from repro.faults.scenario import FaultKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import ArmedFault, FaultPlan
+
+
+class _Injector:
+    """Base injector: no arming action, never fires on deliveries."""
+
+    def on_arm(self, plan: "FaultPlan", armed: "ArmedFault", now: int) -> None:
+        return None
+
+    def on_delivery(
+        self,
+        plan: "FaultPlan",
+        armed: "ArmedFault",
+        kind: str,
+        payload: Any,
+        now: int,
+    ) -> bool:
+        return False
+
+
+class _ReinjectingInjector(_Injector):
+    """Withhold a matching delivery and re-inject it after the recovery
+    delay.  ``DELAY_EVENT`` models the same packet arriving late;
+    ``DROP_EVENT`` models packet loss healed by retransmission (and the
+    retransmitted copy travels the lossy path again, so it can be
+    re-dropped while trigger fires remain)."""
+
+    def on_delivery(
+        self,
+        plan: "FaultPlan",
+        armed: "ArmedFault",
+        kind: str,
+        payload: Any,
+        now: int,
+    ) -> bool:
+        if not plan.trigger_fires(armed, now):
+            return False
+        plan.record_injected(now, plan.adapter.task_id_of(kind, payload), armed)
+        plan.schedule_redelivery(armed, kind, payload, now + plan.recovery_delay(armed))
+        return True
+
+
+class DelayEventInjector(_ReinjectingInjector):
+    pass
+
+
+class DropEventInjector(_ReinjectingInjector):
+    pass
+
+
+class DuplicateEventInjector(_Injector):
+    """Deliver the original event normally and schedule a duplicate echo;
+    the plan's redelivery handler discards the echo on arrival (receiver-
+    side deduplication), which keeps the schedule cycle-identical while
+    still exercising the dedup path end to end."""
+
+    def on_delivery(
+        self,
+        plan: "FaultPlan",
+        armed: "ArmedFault",
+        kind: str,
+        payload: Any,
+        now: int,
+    ) -> bool:
+        if plan.trigger_fires(armed, now):
+            plan.record_injected(now, plan.adapter.task_id_of(kind, payload), armed)
+            plan.schedule_redelivery(
+                armed, kind, payload, now + plan.recovery_delay(armed)
+            )
+        return False  # the original delivery proceeds either way
+
+
+class FreezeBankInjector(_Injector):
+    """Stall a DCT bank: every matching delivery inside the freeze window
+    is deferred to the thaw cycle (the window end), in arrival order."""
+
+    def on_delivery(
+        self,
+        plan: "FaultPlan",
+        armed: "ArmedFault",
+        kind: str,
+        payload: Any,
+        now: int,
+    ) -> bool:
+        assert armed.freeze_window is not None
+        start, end = armed.freeze_window
+        if not start <= now < end:
+            return False
+        armed.fires += 1
+        plan.record_injected(now, plan.adapter.task_id_of(kind, payload), armed)
+        plan.schedule_redelivery(armed, kind, payload, end)
+        return True
+
+
+class KillWorkerInjector(_Injector):
+    """Arm a ``FAULT_TIMER`` at the trigger cycle; the backend adapter
+    performs the kill (discard the stale completion, re-dispatch the
+    in-flight task through the gateway retry path / replace the thread)."""
+
+    def on_arm(self, plan: "FaultPlan", armed: "ArmedFault", now: int) -> None:
+        at_cycle = armed.scenario.trigger.at_cycle
+        assert at_cycle is not None  # enforced by the scenario schema
+        plan.schedule_timer(armed, max(now, at_cycle), TIMER_KILL)
+
+
+#: One injector per FaultKind member -- FLT001 checks completeness.
+INJECTORS: Dict[FaultKind, _Injector] = {
+    FaultKind.DELAY_EVENT: DelayEventInjector(),
+    FaultKind.DROP_EVENT: DropEventInjector(),
+    FaultKind.DUPLICATE_EVENT: DuplicateEventInjector(),
+    FaultKind.FREEZE_BANK: FreezeBankInjector(),
+    FaultKind.KILL_WORKER: KillWorkerInjector(),
+}
+
+__all__ = [
+    "DelayEventInjector",
+    "DropEventInjector",
+    "DuplicateEventInjector",
+    "FreezeBankInjector",
+    "INJECTORS",
+    "KillWorkerInjector",
+]

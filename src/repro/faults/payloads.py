@@ -1,0 +1,99 @@
+"""Engine-event payloads owned by the fault-injection layer.
+
+The :class:`~repro.faults.plan.FaultPlan` schedules two private event
+kinds on the simulator's :class:`~repro.sim.engine.EventQueue`:
+
+``FAULT_TIMER``
+    Carries a :class:`FaultTimer` -- a scenario index plus an action tag
+    (``"kill"`` arms a worker kill, ``"rejoin"`` returns a replaced
+    worker to the pool).
+
+``FAULT_REDELIVER``
+    Carries a :class:`FaultRedeliver` -- a scenario index plus the
+    original ``(kind, payload)`` of a withheld / retransmitted /
+    duplicated event, so redelivery reuses the exact payload objects the
+    simulator scheduled.
+
+Both payload classes are plain slotted value types with structural
+equality, which keeps them encodable by the snapshot payload codec
+(``sim/snapshot.py`` has dedicated tags for them) and therefore lets a
+checkpoint taken mid-fault capture in-flight injections.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+#: Event kind of plan-armed timers (scheduled by injector ``on_arm``).
+FAULT_TIMER = "fault-timer"
+#: Event kind of withheld / retransmitted / duplicated deliveries.
+FAULT_REDELIVER = "fault-redeliver"
+
+#: Timer action tags.
+TIMER_KILL = "kill"
+TIMER_REJOIN = "rejoin"
+
+
+class FaultTimer:
+    """Payload of a ``FAULT_TIMER`` event."""
+
+    __slots__ = ("index", "tag", "arg")
+
+    def __init__(self, index: int, tag: str, arg: Optional[int] = None) -> None:
+        self.index = index
+        self.tag = tag
+        self.arg = arg
+
+    def __repr__(self) -> str:
+        return f"FaultTimer(index={self.index}, tag={self.tag!r}, arg={self.arg})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultTimer):
+            return NotImplemented
+        return (
+            self.index == other.index
+            and self.tag == other.tag
+            and self.arg == other.arg
+        )
+
+    def __hash__(self) -> int:
+        return hash((FaultTimer, self.index, self.tag, self.arg))
+
+
+class FaultRedeliver:
+    """Payload of a ``FAULT_REDELIVER`` event."""
+
+    __slots__ = ("index", "kind", "payload")
+
+    def __init__(self, index: int, kind: str, payload: Any) -> None:
+        self.index = index
+        self.kind = kind
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultRedeliver(index={self.index}, kind={self.kind!r}, "
+            f"payload={self.payload!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultRedeliver):
+            return NotImplemented
+        return (
+            self.index == other.index
+            and self.kind == other.kind
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((FaultRedeliver, self.index, self.kind))
+
+
+__all__ = [
+    "FAULT_REDELIVER",
+    "FAULT_TIMER",
+    "FaultRedeliver",
+    "FaultTimer",
+    "TIMER_KILL",
+    "TIMER_REJOIN",
+]

@@ -1,0 +1,471 @@
+"""Typed, seedable fault scenarios.
+
+A :class:`FaultScenario` describes one chaos action as data: *what* goes
+wrong (:class:`FaultKind`), *when* it happens (:class:`FaultTrigger` --
+a fixed cycle, a cycle window, or a seeded per-event probability),
+*where* it hits (:class:`FaultTarget` -- a packet class, a worker id, a
+DCT bank), and *how the system heals* (:class:`RecoveryPolicy`).  All
+four pieces are frozen dataclasses, so a scenario is hashable and can
+ride inside a :class:`~repro.sim.request.SimulationRequest` unchanged.
+
+Scenarios carry no runtime state; arming them against a simulator is the
+job of :class:`~repro.faults.plan.FaultPlan`.  The same scenario tuple
+plus the same trigger seeds therefore always replays the same faulted
+schedule -- determinism is part of the schema, not an afterthought.
+
+Three equivalent surfaces construct scenarios:
+
+* Python: ``FaultScenario(FaultKind.KILL_WORKER, FaultTrigger(at_cycle=
+  2000), FaultTarget(worker_id=1))``
+* wire documents (the service ``faults`` request field):
+  ``{"kind": "kill-worker", "trigger": {"at_cycle": 2000},
+  "target": {"worker": 1}}``
+* CLI spec strings (``picos-experiment simulate --fault ...``):
+  ``kill-worker@cycle=2000:worker=1``
+
+See ``docs/faults.md`` for the full grammar and per-kind semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+
+class FaultConfigurationError(ValueError):
+    """An invalid scenario document, spec string or field combination."""
+
+
+class FaultKind(enum.Enum):
+    """The chaos actions the injection layer knows how to perform.
+
+    Every member must have a registered injector in
+    :data:`repro.faults.injectors.INJECTORS` and an invariant checker in
+    :data:`repro.faults.invariants.INVARIANT_CHECKERS` -- repro-lint rule
+    FLT001 enforces the completeness of both tables.
+    """
+
+    #: Withhold a matching scheduled event and redeliver it late.
+    DELAY_EVENT = "delay-event"
+    #: Lose a matching event; the recovery layer retransmits a copy.
+    DROP_EVENT = "drop-event"
+    #: Deliver a matching event twice; the receiver discards the echo.
+    DUPLICATE_EVENT = "duplicate-event"
+    #: Stall a DCT bank: defer its packets until the window thaws.
+    FREEZE_BANK = "freeze-bank"
+    #: Kill a worker core and re-dispatch its in-flight task.
+    KILL_WORKER = "kill-worker"
+
+
+#: Event-level kinds fire on individual packet deliveries (as opposed to
+#: the timer-armed ``KILL_WORKER`` and the windowed ``FREEZE_BANK``).
+EVENT_LEVEL_KINDS = frozenset(
+    {FaultKind.DELAY_EVENT, FaultKind.DROP_EVENT, FaultKind.DUPLICATE_EVENT}
+)
+
+
+@dataclass(frozen=True)
+class FaultTrigger:
+    """When a scenario fires.  Exactly one trigger mode must be set.
+
+    ``at_cycle``
+        Fire on the first matching occasion at or after the given cycle.
+    ``window``
+        Fire on matching occasions inside ``[start, end)``.
+    ``probability``
+        Fire on each matching occasion with the given probability, drawn
+        from a private ``random.Random(seed)`` stream -- the only source
+        of randomness in a faulted run, so a seed pins the schedule.
+    ``max_fires``
+        Upper bound on the number of fires (``None`` = unbounded; the
+        default of 1 keeps scenarios single-shot unless asked otherwise).
+    """
+
+    at_cycle: Optional[int] = None
+    window: Optional[Tuple[int, int]] = None
+    probability: Optional[float] = None
+    seed: int = 0
+    max_fires: Optional[int] = 1
+
+    def __post_init__(self) -> None:
+        modes = (self.at_cycle, self.window, self.probability)
+        if sum(value is not None for value in modes) != 1:
+            raise FaultConfigurationError(
+                "exactly one of at_cycle / window / probability must be set"
+            )
+        if self.at_cycle is not None and self.at_cycle < 0:
+            raise FaultConfigurationError("at_cycle must be >= 0")
+        if self.window is not None:
+            window = tuple(self.window)
+            if len(window) != 2:
+                raise FaultConfigurationError("window must be [start, end)")
+            start, end = window
+            if start < 0 or end <= start:
+                raise FaultConfigurationError(
+                    "window must satisfy 0 <= start < end"
+                )
+            object.__setattr__(self, "window", window)
+        if self.probability is not None and not 0.0 < self.probability <= 1.0:
+            raise FaultConfigurationError("probability must be in (0, 1]")
+        if self.probability == 1.0 and self.max_fires is None:
+            raise FaultConfigurationError(
+                "probability 1.0 with unbounded max_fires never terminates"
+            )
+        if self.seed < 0:
+            raise FaultConfigurationError("seed must be >= 0")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise FaultConfigurationError("max_fires must be >= 1 or None")
+
+
+@dataclass(frozen=True)
+class FaultTarget:
+    """Where a scenario hits.
+
+    ``packet_class``
+        Backend-independent packet family the event-level kinds match:
+        ``ready`` (DCT ready notifications), ``complete`` (worker
+        completion messages), ``master`` (ARM-side master events) or
+        ``submit`` (Nanos submission stream).  ``None`` selects the
+        backend's default class; unknown classes are rejected when the
+        plan is armed against a concrete backend.
+    ``worker_id``
+        The victim core of ``KILL_WORKER``.
+    ``bank``
+        Reported DCT bank id of ``FREEZE_BANK`` (informational label on
+        the injected events; the frozen stream is the packet class).
+    """
+
+    packet_class: Optional[str] = None
+    worker_id: Optional[int] = None
+    bank: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.worker_id is not None and self.worker_id < 0:
+            raise FaultConfigurationError("worker_id must be >= 0")
+        if self.bank is not None and self.bank < 0:
+            raise FaultConfigurationError("bank must be >= 0")
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the system heals after an injection.
+
+    ``delay_cycles``
+        Redelivery / retransmission / replacement delay.  For
+        ``FREEZE_BANK`` armed via ``at_cycle`` it doubles as the freeze
+        duration.
+    ``jitter_cycles``
+        Extra uniform delay in ``[0, jitter_cycles]`` drawn from the
+        scenario's seeded stream -- chaotic but replayable.
+    """
+
+    delay_cycles: int = 200
+    jitter_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delay_cycles < 0:
+            raise FaultConfigurationError("delay_cycles must be >= 0")
+        if self.jitter_cycles < 0:
+            raise FaultConfigurationError("jitter_cycles must be >= 0")
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One typed, seedable fault: kind + trigger + target + recovery."""
+
+    kind: FaultKind
+    trigger: FaultTrigger
+    target: FaultTarget = FaultTarget()
+    recovery: RecoveryPolicy = RecoveryPolicy()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, FaultKind):
+            raise FaultConfigurationError(f"unknown fault kind: {self.kind!r}")
+        if self.kind is FaultKind.KILL_WORKER:
+            if self.trigger.at_cycle is None:
+                raise FaultConfigurationError(
+                    "kill-worker requires an at_cycle trigger"
+                )
+            if self.target.worker_id is None:
+                raise FaultConfigurationError(
+                    "kill-worker requires target.worker_id"
+                )
+            if self.target.packet_class is not None or self.target.bank is not None:
+                raise FaultConfigurationError(
+                    "kill-worker targets a worker, not a packet class or bank"
+                )
+        elif self.kind is FaultKind.FREEZE_BANK:
+            if self.trigger.probability is not None:
+                raise FaultConfigurationError(
+                    "freeze-bank needs a cycle or window trigger"
+                )
+            if self.target.worker_id is not None:
+                raise FaultConfigurationError("freeze-bank targets a bank")
+        else:  # event-level kinds
+            if self.target.worker_id is not None or self.target.bank is not None:
+                raise FaultConfigurationError(
+                    f"{self.kind.value} targets a packet class only"
+                )
+
+    # ------------------------------------------------------------------
+    # canonical encodings
+    # ------------------------------------------------------------------
+    def cache_token(self) -> Tuple[Any, ...]:
+        """Flat hashable tuple folded into the request cache key."""
+        trigger, target, recovery = self.trigger, self.target, self.recovery
+        return (
+            self.kind.value,
+            trigger.at_cycle,
+            trigger.window,
+            trigger.probability,
+            trigger.seed,
+            trigger.max_fires,
+            target.packet_class,
+            target.worker_id,
+            target.bank,
+            recovery.delay_cycles,
+            recovery.jitter_cycles,
+        )
+
+    def to_document(self) -> Dict[str, Any]:
+        """JSON-safe document; defaulted sections are omitted."""
+        trigger: Dict[str, Any] = {}
+        if self.trigger.at_cycle is not None:
+            trigger["at_cycle"] = self.trigger.at_cycle
+        if self.trigger.window is not None:
+            trigger["window"] = list(self.trigger.window)
+        if self.trigger.probability is not None:
+            trigger["probability"] = self.trigger.probability
+        if self.trigger.seed != 0:
+            trigger["seed"] = self.trigger.seed
+        if self.trigger.max_fires != 1:
+            trigger["max_fires"] = self.trigger.max_fires
+        document: Dict[str, Any] = {"kind": self.kind.value, "trigger": trigger}
+        target: Dict[str, Any] = {}
+        if self.target.packet_class is not None:
+            target["class"] = self.target.packet_class
+        if self.target.worker_id is not None:
+            target["worker"] = self.target.worker_id
+        if self.target.bank is not None:
+            target["bank"] = self.target.bank
+        if target:
+            document["target"] = target
+        recovery: Dict[str, Any] = {}
+        if self.recovery.delay_cycles != RecoveryPolicy().delay_cycles:
+            recovery["delay"] = self.recovery.delay_cycles
+        if self.recovery.jitter_cycles:
+            recovery["jitter"] = self.recovery.jitter_cycles
+        if recovery:
+            document["recovery"] = recovery
+        return document
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any]) -> "FaultScenario":
+        """Strict inverse of :meth:`to_document` (unknown keys rejected)."""
+        if not isinstance(document, Mapping):
+            raise FaultConfigurationError("fault scenario must be an object")
+        unknown = set(document) - {"kind", "trigger", "target", "recovery"}
+        if unknown:
+            raise FaultConfigurationError(
+                f"unknown fault scenario fields: {sorted(unknown)}"
+            )
+        try:
+            kind = FaultKind(document.get("kind"))
+        except ValueError:
+            raise FaultConfigurationError(
+                f"unknown fault kind: {document.get('kind')!r}"
+            ) from None
+        trigger = _trigger_from_document(document.get("trigger", {}))
+        target = _target_from_document(document.get("target", {}))
+        recovery = _recovery_from_document(document.get("recovery", {}))
+        return cls(kind=kind, trigger=trigger, target=target, recovery=recovery)
+
+
+def _require_int(value: Any, label: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise FaultConfigurationError(f"{label} must be an integer")
+    return value
+
+
+def _trigger_from_document(document: Any) -> FaultTrigger:
+    if not isinstance(document, Mapping):
+        raise FaultConfigurationError("trigger must be an object")
+    allowed = {"at_cycle", "window", "probability", "seed", "max_fires"}
+    unknown = set(document) - allowed
+    if unknown:
+        raise FaultConfigurationError(
+            f"unknown trigger fields: {sorted(unknown)}"
+        )
+    kwargs: Dict[str, Any] = {}
+    if "at_cycle" in document:
+        kwargs["at_cycle"] = _require_int(document["at_cycle"], "at_cycle")
+    if "window" in document:
+        window = document["window"]
+        if not isinstance(window, (list, tuple)) or len(window) != 2:
+            raise FaultConfigurationError("window must be [start, end)")
+        kwargs["window"] = (
+            _require_int(window[0], "window start"),
+            _require_int(window[1], "window end"),
+        )
+    if "probability" in document:
+        probability = document["probability"]
+        if not isinstance(probability, (int, float)) or isinstance(probability, bool):
+            raise FaultConfigurationError("probability must be a number")
+        kwargs["probability"] = float(probability)
+    if "seed" in document:
+        kwargs["seed"] = _require_int(document["seed"], "seed")
+    if "max_fires" in document:
+        max_fires = document["max_fires"]
+        kwargs["max_fires"] = (
+            None if max_fires is None else _require_int(max_fires, "max_fires")
+        )
+    return FaultTrigger(**kwargs)
+
+
+def _target_from_document(document: Any) -> FaultTarget:
+    if not isinstance(document, Mapping):
+        raise FaultConfigurationError("target must be an object")
+    unknown = set(document) - {"class", "worker", "bank"}
+    if unknown:
+        raise FaultConfigurationError(f"unknown target fields: {sorted(unknown)}")
+    kwargs: Dict[str, Any] = {}
+    if "class" in document:
+        packet_class = document["class"]
+        if not isinstance(packet_class, str):
+            raise FaultConfigurationError("target class must be a string")
+        kwargs["packet_class"] = packet_class
+    if "worker" in document:
+        kwargs["worker_id"] = _require_int(document["worker"], "worker")
+    if "bank" in document:
+        kwargs["bank"] = _require_int(document["bank"], "bank")
+    return FaultTarget(**kwargs)
+
+
+def _recovery_from_document(document: Any) -> RecoveryPolicy:
+    if not isinstance(document, Mapping):
+        raise FaultConfigurationError("recovery must be an object")
+    unknown = set(document) - {"delay", "jitter"}
+    if unknown:
+        raise FaultConfigurationError(
+            f"unknown recovery fields: {sorted(unknown)}"
+        )
+    kwargs: Dict[str, Any] = {}
+    if "delay" in document:
+        kwargs["delay_cycles"] = _require_int(document["delay"], "delay")
+    if "jitter" in document:
+        kwargs["jitter_cycles"] = _require_int(document["jitter"], "jitter")
+    return RecoveryPolicy(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# CLI spec strings
+# ----------------------------------------------------------------------
+#: Grammar (see docs/faults.md):
+#:   SPEC    := KIND '@' TRIGGER (':' OPT)*
+#:   TRIGGER := 'cycle=' INT | 'window=' INT '..' INT | 'p=' FLOAT
+#:   OPT     := 'class=' NAME | 'worker=' INT | 'bank=' INT
+#:            | 'seed=' INT | 'fires=' (INT | 'all')
+#:            | 'delay=' INT | 'jitter=' INT
+_SPEC_EXAMPLE = "kill-worker@cycle=2000:worker=1"
+
+
+def parse_fault_spec(spec: str) -> FaultScenario:
+    """Parse one ``--fault`` spec string into a :class:`FaultScenario`."""
+
+    def bad(reason: str) -> FaultConfigurationError:
+        return FaultConfigurationError(
+            f"bad fault spec {spec!r}: {reason} (example: {_SPEC_EXAMPLE})"
+        )
+
+    head, _, tail = spec.partition("@")
+    if not tail:
+        raise bad("missing '@trigger'")
+    try:
+        kind = FaultKind(head)
+    except ValueError:
+        known = ", ".join(sorted(member.value for member in FaultKind))
+        raise bad(f"unknown kind {head!r} (known: {known})") from None
+
+    parts = tail.split(":")
+    trigger_kwargs: Dict[str, Any] = {}
+    target_kwargs: Dict[str, Any] = {}
+    recovery_kwargs: Dict[str, Any] = {}
+
+    def parse_int(value: str, label: str) -> int:
+        try:
+            return int(value)
+        except ValueError:
+            raise bad(f"{label} must be an integer, got {value!r}") from None
+
+    trigger_part = parts[0]
+    key, _, value = trigger_part.partition("=")
+    if not value:
+        raise bad("trigger must be cycle=N, window=A..B or p=P")
+    if key == "cycle":
+        trigger_kwargs["at_cycle"] = parse_int(value, "cycle")
+    elif key == "window":
+        start, sep, end = value.partition("..")
+        if not sep:
+            raise bad("window must be window=START..END")
+        trigger_kwargs["window"] = (
+            parse_int(start, "window start"),
+            parse_int(end, "window end"),
+        )
+    elif key == "p":
+        try:
+            trigger_kwargs["probability"] = float(value)
+        except ValueError:
+            raise bad(f"p must be a float, got {value!r}") from None
+    else:
+        raise bad(f"unknown trigger {key!r} (cycle / window / p)")
+
+    for part in parts[1:]:
+        key, _, value = part.partition("=")
+        if not value:
+            raise bad(f"option {part!r} must be key=value")
+        if key == "class":
+            target_kwargs["packet_class"] = value
+        elif key == "worker":
+            target_kwargs["worker_id"] = parse_int(value, "worker")
+        elif key == "bank":
+            target_kwargs["bank"] = parse_int(value, "bank")
+        elif key == "seed":
+            trigger_kwargs["seed"] = parse_int(value, "seed")
+        elif key == "fires":
+            trigger_kwargs["max_fires"] = (
+                None if value == "all" else parse_int(value, "fires")
+            )
+        elif key == "delay":
+            recovery_kwargs["delay_cycles"] = parse_int(value, "delay")
+        elif key == "jitter":
+            recovery_kwargs["jitter_cycles"] = parse_int(value, "jitter")
+        else:
+            raise bad(f"unknown option {key!r}")
+
+    return FaultScenario(
+        kind=kind,
+        trigger=FaultTrigger(**trigger_kwargs),
+        target=FaultTarget(**target_kwargs),
+        recovery=RecoveryPolicy(**recovery_kwargs),
+    )
+
+
+def faults_from_documents(documents: Any) -> Tuple[FaultScenario, ...]:
+    """Decode a list of scenario documents (the wire ``faults`` field)."""
+    if not isinstance(documents, (list, tuple)):
+        raise FaultConfigurationError("faults must be a list of scenarios")
+    return tuple(FaultScenario.from_document(document) for document in documents)
+
+
+__all__ = [
+    "EVENT_LEVEL_KINDS",
+    "FaultConfigurationError",
+    "FaultKind",
+    "FaultScenario",
+    "FaultTarget",
+    "FaultTrigger",
+    "RecoveryPolicy",
+    "faults_from_documents",
+    "parse_fault_spec",
+]

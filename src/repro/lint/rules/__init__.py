@@ -11,6 +11,8 @@ Each module covers one invariant family:
                            branch-free hot loops
 :mod:`.handlers`           HTB0xx -- event-kind constants vs handler
                            tables (cross-module)
+:mod:`.faults`             FLT0xx -- ``FaultKind`` members vs the
+                           injector and invariant-checker registries
 :mod:`.parity`             PAR0xx -- flat vs reference datapath surface
                            parity and ``-1`` sentinel hygiene
 :mod:`.asyncsafety`        ASY0xx -- no blocking calls / lost tasks in
@@ -26,6 +28,7 @@ from __future__ import annotations
 
 import repro.lint.rules.asyncsafety  # noqa: F401
 import repro.lint.rules.determinism  # noqa: F401
+import repro.lint.rules.faults  # noqa: F401
 import repro.lint.rules.handlers  # noqa: F401
 import repro.lint.rules.hotpath  # noqa: F401
 import repro.lint.rules.parity  # noqa: F401

@@ -1,0 +1,111 @@
+"""Fault-registry completeness (FLT001) -- a cross-module rule.
+
+The fault-injection subsystem dispatches per kind through two registries:
+:data:`repro.faults.injectors.INJECTORS` (how a
+:class:`~repro.faults.scenario.FaultKind` perturbs a run) and
+:data:`repro.faults.invariants.INVARIANT_CHECKERS` (how a finished run
+proves the kind's recovery bookkeeping balanced).  A ``FaultKind`` member
+missing from either table is a latent ``KeyError`` that only fires when
+someone first arms a scenario of that kind -- the same failure shape
+HTB001 guards against in the engine handler tables.
+
+The rule cross-checks, purely syntactically:
+
+* every member of the ``FaultKind`` enum in
+  :data:`FAULT_ENUM_MODULE` (class-level ``NAME = "string"`` assignments);
+* every ``FaultKind.NAME`` attribute used as a dict-literal key in each
+  registry module of :data:`FAULT_REGISTRY_MODULES`;
+* a member absent from any registry module's tables is a finding,
+  anchored at the member's definition line.
+
+A fixture test pins the rule against the real modules (see
+``tests/test_lint.py``), so a change to the registry idiom fails loudly
+instead of silently checking nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.lint.framework import Finding, Project, Rule, register_rule
+
+#: Where the ``FaultKind`` enum lives.
+FAULT_ENUM_MODULE = "faults/scenario.py"
+
+#: The registries every member must appear in (module key, table role).
+FAULT_REGISTRY_MODULES: Tuple[Tuple[str, str], ...] = (
+    ("faults/injectors.py", "injector"),
+    ("faults/invariants.py", "invariant checker"),
+)
+
+
+def _enum_members(tree: ast.Module) -> Dict[str, int]:
+    """``FaultKind`` member names mapped to their definition lines."""
+    members: Dict[str, int] = {}
+    for statement in tree.body:
+        if not (isinstance(statement, ast.ClassDef) and statement.name == "FaultKind"):
+            continue
+        for item in statement.body:
+            if not isinstance(item, ast.Assign):
+                continue
+            if not (
+                isinstance(item.value, ast.Constant)
+                and isinstance(item.value.value, str)
+            ):
+                continue
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    members[target.id] = item.lineno
+    return members
+
+
+def _registry_keys(tree: ast.Module) -> Set[str]:
+    """``FaultKind.NAME`` attributes used as dict-literal keys."""
+    keys: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        for key in node.keys:
+            if (
+                isinstance(key, ast.Attribute)
+                and isinstance(key.value, ast.Name)
+                and key.value.id == "FaultKind"
+            ):
+                keys.add(key.attr)
+    return keys
+
+
+class FaultRegistryRule(Rule):
+    """FLT001: every FaultKind member has an injector and an invariant checker."""
+
+    id = "FLT001"
+    summary = "FaultKind members must be covered by both fault registries"
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        enum_module = project.get(FAULT_ENUM_MODULE)
+        if enum_module is None:
+            return
+        members = _enum_members(enum_module.tree)
+        for key, role in FAULT_REGISTRY_MODULES:
+            registry = project.get(key)
+            if registry is None:
+                continue
+            covered = _registry_keys(registry.tree)
+            for member in sorted(members):
+                if member not in covered:
+                    yield enum_module.finding(
+                        self.id,
+                        members[member],
+                        f"FaultKind.{member} has no registered {role} in {key}; "
+                        "arming a scenario of this kind would raise KeyError "
+                        "at plan-resolution time",
+                    )
+
+
+def _register() -> List[Rule]:
+    rules: Iterable[Rule] = (FaultRegistryRule(),)
+    return [register_rule(rule) for rule in rules]
+
+
+_RULES = _register()

@@ -37,7 +37,7 @@ and the snapshot codec (:mod:`repro.sim.snapshot`) work over it unchanged.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime.dependence_analysis import TaskGraph, build_task_graph
 from repro.runtime.overhead import NanosOverheadModel
@@ -46,6 +46,10 @@ from repro.sim.backend import BACKEND_NANOS, register_backend
 from repro.sim.engine import EventQueue
 from repro.sim.results import SimulationResult, TaskTimeline
 from repro.sim.session import EngineStepper
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import ArmedFault, FaultPlan
+    from repro.faults.scenario import FaultScenario
 
 _EV_SUBMITTED = "submitted"
 _EV_TASK_DONE = "task-done"
@@ -67,6 +71,7 @@ class NanosRuntimeSimulator:
         num_threads: int = 12,
         overhead: Optional[NanosOverheadModel] = None,
         batch_completions: bool = True,
+        faults: Sequence["FaultScenario"] = (),
     ) -> None:
         if num_threads < 1:
             raise ValueError("at least one thread is required")
@@ -101,6 +106,18 @@ class NanosRuntimeSimulator:
         self._finished = 0
         self._makespan = 0
 
+        #: Armed fault-injection plan, or ``None`` (the common case).
+        #: Armed runs force the reference completion loop: the batched
+        #: drain bypasses per-event dispatch (and so the injection layer)
+        #: via ``pop_same_kind``, and the loops are parity-pinned
+        #: cycle-identical, so this changes no observable quantity.
+        self._fault_plan: Optional["FaultPlan"] = None
+        if faults:
+            from repro.faults.plan import FaultPlan
+
+            self.batch_completions = False
+            self._fault_plan = FaultPlan(tuple(faults), _NANOS_FAULT_ADAPTER, self)
+
     # ------------------------------------------------------------------
     # simulation
     # ------------------------------------------------------------------
@@ -125,6 +142,8 @@ class NanosRuntimeSimulator:
         if not self._prepared:
             self._prepared = True
             self._prepare()
+            if self._fault_plan is not None:
+                self._fault_plan.arm(0)
         # Precomputed handler table instead of a string-comparison ladder;
         # this loop delivers one event per task submission and completion.
         # The table is consumed by the engine's shared dispatch loop, the
@@ -138,6 +157,8 @@ class NanosRuntimeSimulator:
                 else self._on_task_done
             ),
         }
+        if self._fault_plan is not None:
+            handlers = self._fault_plan.wrap(handlers)
         self.queue.dispatch(handlers, horizon=stop_at_cycle)
 
     def enable_lifecycle_log(self) -> List[Tuple[int, int, int]]:
@@ -303,6 +324,12 @@ class NanosRuntimeSimulator:
         if aborted and aborted_at is not None:
             counters["aborted_at_cycle"] = aborted_at
             counters["finished_tasks"] = self._finished
+        plan = self._fault_plan
+        if plan is not None:
+            counters["faults_injected"] = plan.injected
+            counters["faults_recovered"] = plan.recovered
+            if not aborted:
+                plan.verify()
         return SimulationResult(
             simulator="nanos-software",
             program_name=program.name,
@@ -314,6 +341,138 @@ class NanosRuntimeSimulator:
             counters=counters,
             drain_time=self.queue.now,
         )
+
+
+class _NanosFaultAdapter:
+    """Backend specifics of fault injection for the software runtime.
+
+    Duck-typed protocol documented in :mod:`repro.faults.plan`.  The
+    Nanos kill semantics differ from the HIL platform's: the runtime
+    forward-dates finish stamps at dispatch, so a dead thread cannot
+    abandon its task mid-body.  Instead the thread *dies after finishing
+    the work it already holds* (it is pulled from the idle pool, or
+    watched until its in-flight completion lands) and a replacement
+    thread joins the team after the scenario's recovery delay.
+    """
+
+    family = "nanos"
+    # The class vocabulary is shared across backends so one scenario is
+    # portable: "ready" is the task-arrival packet (the HIL platform's
+    # task-visible message; here the master's submission event).
+    packet_classes = {
+        "ready": _EV_SUBMITTED,
+        "complete": _EV_TASK_DONE,
+        "master": _EV_MASTER_JOINS,
+    }
+    default_packet_class = "ready"
+    completion_kind = _EV_TASK_DONE
+
+    def task_id_of(self, kind: str, payload: object) -> int:
+        if kind == _EV_SUBMITTED:
+            return int(payload)  # type: ignore[call-overload]
+        if kind == _EV_TASK_DONE:
+            return payload[1]  # type: ignore[index]
+        return -1
+
+    def worker_count(self, sim: NanosRuntimeSimulator) -> int:
+        # The master slot (num_threads - 1) is never killable: it is the
+        # thread encountering the task pragmas, not a pool worker.
+        return max(sim.num_threads - 1, 0)
+
+    def stall_counters(self, sim: NanosRuntimeSimulator) -> Dict[str, int]:
+        return {}  # the software runtime has no hardware stall counters
+
+    def timelines_of(
+        self, sim: NanosRuntimeSimulator
+    ) -> Dict[int, TaskTimeline]:
+        return sim._timelines
+
+    def kill_worker(
+        self,
+        sim: NanosRuntimeSimulator,
+        plan: "FaultPlan",
+        armed: "ArmedFault",
+        now: int,
+    ) -> None:
+        from repro.faults.payloads import TIMER_REJOIN
+
+        worker = armed.scenario.target.worker_id
+        assert worker is not None  # enforced by the scenario schema
+        if worker in sim._idle_workers:
+            # Idle thread: dies on the spot, replacement joins later.
+            sim._idle_workers.remove(worker)
+            plan.record_injected(now, -1, armed)
+            plan.schedule_timer(
+                armed, now + plan.recovery_delay(armed), TIMER_REJOIN, worker
+            )
+        else:
+            # Executing: watch for its in-flight completion; the thread
+            # dies once the work it already holds is finished.
+            armed.watching = worker
+            plan.record_injected(now, -1, armed)
+
+    def rejoin_worker(
+        self,
+        sim: NanosRuntimeSimulator,
+        plan: "FaultPlan",
+        armed: "ArmedFault",
+        worker: Optional[int],
+        now: int,
+    ) -> None:
+        assert worker is not None  # the kill path always carries the slot
+        sim._idle_workers.append(worker)
+        plan.record_recovered(now, -1, armed)
+        sim._try_dispatch(now)
+
+    def intercept_completion(
+        self,
+        sim: NanosRuntimeSimulator,
+        plan: "FaultPlan",
+        armed: "ArmedFault",
+        payload: Tuple[int, int],
+        now: int,
+    ) -> bool:
+        """Retire the watched thread's final completion, minus the rejoin.
+
+        The reference handler appends the worker back to the idle pool
+        *before* its dispatch pass, and the pool is popped LIFO -- so a
+        post-delivery removal would be too late: the dying thread would
+        pick up the next ready task first.  Instead the watched thread's
+        completion is handled here, mirroring
+        :meth:`NanosRuntimeSimulator._on_task_done` except that the
+        thread exits instead of rejoining (armed runs always use the
+        reference completion loop, so this is the only handler to
+        mirror).  The task itself still retires normally: Nanos never
+        loses work, the team just shrinks until the replacement joins.
+        """
+        from repro.faults.payloads import TIMER_REJOIN
+
+        worker, task_id = payload
+        if armed.watching != worker:
+            return False
+        sim._finished += 1
+        for successor in sim.graph.successors[task_id]:
+            sim._remaining_preds[successor] -= 1
+            sim._mark_ready_if_possible(successor, now)
+        sim._try_dispatch(now)
+        armed.watching = None
+        plan.schedule_timer(
+            armed, now + plan.recovery_delay(armed), TIMER_REJOIN, worker
+        )
+        return True
+
+    def completion_delivered(
+        self,
+        sim: NanosRuntimeSimulator,
+        plan: "FaultPlan",
+        armed: "ArmedFault",
+        payload: Tuple[int, int],
+        now: int,
+    ) -> None:
+        return None  # the kill bookkeeping is fully pre-delivery here
+
+
+_NANOS_FAULT_ADAPTER = _NanosFaultAdapter()
 
 
 def nanos_speedup(
@@ -340,8 +499,9 @@ class NanosBackend:
     name = BACKEND_NANOS
     description = "Nanos++ software-only runtime (the paper's baseline)"
     #: The software runtime has no Picos configuration or hardware policy;
-    #: only the overhead-model override is a meaningful request parameter.
-    accepts = frozenset({"overhead"})
+    #: the overhead-model override and fault scenarios are the only
+    #: meaningful request parameters.
+    accepts = frozenset({"overhead", "faults"})
 
     def open_session(self, request):  # type: ignore[no-untyped-def]
         """Streaming session over the software runtime model."""
@@ -355,11 +515,17 @@ class NanosBackend:
         *,
         num_workers: int = 12,
         overhead: Optional[NanosOverheadModel] = None,
+        faults: Sequence["FaultScenario"] = (),
         **kwargs: object,
     ) -> EngineStepper:
         """A resumable sliced run with the same defaults as :meth:`simulate`."""
         return EngineStepper(
-            NanosRuntimeSimulator(program, num_threads=num_workers, overhead=overhead)
+            NanosRuntimeSimulator(
+                program,
+                num_threads=num_workers,
+                overhead=overhead,
+                faults=faults,
+            )
         )
 
     def simulate(
@@ -368,10 +534,11 @@ class NanosBackend:
         *,
         num_workers: int = 12,
         overhead: Optional[NanosOverheadModel] = None,
+        faults: Sequence["FaultScenario"] = (),
         **kwargs: object,
     ) -> SimulationResult:
         return NanosRuntimeSimulator(
-            program, num_threads=num_workers, overhead=overhead
+            program, num_threads=num_workers, overhead=overhead, faults=faults
         ).run()
 
 

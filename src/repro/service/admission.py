@@ -24,7 +24,11 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional
 
-from repro.service.protocol import REJECT_SERVER_CAPACITY, REJECT_SESSION_QUOTA
+from repro.service.protocol import (
+    REJECT_FAULTS_FORBIDDEN,
+    REJECT_SERVER_CAPACITY,
+    REJECT_SESSION_QUOTA,
+)
 
 
 @dataclass(frozen=True)
@@ -37,6 +41,11 @@ class TenantQuota:
     cycles_per_second: Optional[float] = None
     #: Bucket capacity of the throttle; defaults to one second's worth.
     burst_cycles: Optional[float] = None
+    #: Whether requests carrying armed fault scenarios are admitted.
+    #: Fault injection deliberately perturbs shared capacity (frozen banks,
+    #: killed workers keep sessions alive longer), so operators can reserve
+    #: it for trusted tenants.
+    allow_faults: bool = True
 
     def __post_init__(self) -> None:
         if self.max_sessions is not None and self.max_sessions < 0:
@@ -139,8 +148,21 @@ class AdmissionController:
             return self._total_active
         return self._active.get(tenant, 0)
 
-    def admit(self, tenant: str):
-        """Admit one session; an :class:`AdmissionTicket` or a :class:`Rejection`."""
+    def admit(self, tenant: str, *, faulted: bool = False):
+        """Admit one session; an :class:`AdmissionTicket` or a :class:`Rejection`.
+
+        ``faulted`` marks a request that arms fault scenarios; tenants whose
+        quota sets ``allow_faults=False`` get a typed
+        ``faults-forbidden`` rejection before any quota slot is consumed.
+        """
+        if faulted and not self.quota_for(tenant).allow_faults:
+            return Rejection(
+                code=REJECT_FAULTS_FORBIDDEN,
+                message=(
+                    f"tenant {tenant!r} is not allowed to arm fault scenarios"
+                ),
+                tenant=tenant,
+            )
         if self._max_total is not None and self._total_active >= self._max_total:
             return Rejection(
                 code=REJECT_SERVER_CAPACITY,

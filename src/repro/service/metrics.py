@@ -85,6 +85,10 @@ class ServiceMetrics:
         # checkpoint/restore
         self.checkpoints_taken = 0
         self.sessions_restored = 0
+        # fault injection
+        self.faulted_sessions = 0
+        self.faults_injected = 0
+        self.faults_recovered = 0
         # streaming
         self.events_streamed = 0
         self.frames_sent = 0
@@ -126,6 +130,15 @@ class ServiceMetrics:
     def record_restored(self) -> None:
         self.sessions_restored += 1
 
+    def record_faulted_session(self) -> None:
+        """Account one admitted session that arms fault scenarios."""
+        self.faulted_sessions += 1
+
+    def record_fault_events(self, injected: int, recovered: int) -> None:
+        """Account the fault activity of one finished faulted run."""
+        self.faults_injected += injected
+        self.faults_recovered += recovered
+
     def record_events(self, count: int) -> None:
         self.events_streamed += count
 
@@ -162,6 +175,11 @@ class ServiceMetrics:
             "snapshots": {
                 "checkpoints_taken": self.checkpoints_taken,
                 "sessions_restored": self.sessions_restored,
+            },
+            "faults": {
+                "faulted_sessions": self.faulted_sessions,
+                "injected": self.faults_injected,
+                "recovered": self.faults_recovered,
             },
             "streaming": {
                 "events_streamed": self.events_streamed,

@@ -44,6 +44,10 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.core.config import DMDesign, PicosConfig
 from repro.core.scheduler import SchedulingPolicy
+from repro.faults.scenario import (
+    FaultConfigurationError,
+    faults_from_documents,
+)
 from repro.runtime.overhead import NanosOverheadModel
 from repro.runtime.task import Dependence, Direction, Task, TaskProgram
 from repro.sim.request import DEFAULT_TENANT, SimulationRequest, StreamOptions
@@ -61,6 +65,7 @@ REJECT_SERVER_CAPACITY = "server-capacity-exceeded"
 REJECT_DUPLICATE_SESSION = "duplicate-session-id"
 REJECT_UNKNOWN_SESSION = "unknown-session-id"
 REJECT_SESSION_STATE = "session-state"
+REJECT_FAULTS_FORBIDDEN = "faults-forbidden"
 
 
 class ProtocolError(ValueError):
@@ -124,6 +129,8 @@ def request_to_document(request: SimulationRequest) -> Dict[str, Any]:
         document["overhead"] = dataclasses.asdict(request.overhead)
     if request.seed is not None:
         document["seed"] = request.seed
+    if request.faults:
+        document["faults"] = [scenario.to_document() for scenario in request.faults]
     if request.tenant != DEFAULT_TENANT:
         document["tenant"] = request.tenant
     if request.stream is not None:
@@ -148,7 +155,7 @@ def request_from_document(document: Mapping[str, Any]) -> SimulationRequest:
     known = {
         "workload", "block_size", "problem_size", "name", "tasks",
         "backend", "workers", "policy", "dm_design", "config", "overhead",
-        "seed", "tenant", "stream",
+        "seed", "faults", "tenant", "stream",
     }
     unknown = sorted(set(document) - known)
     if unknown:
@@ -169,6 +176,8 @@ def request_from_document(document: Mapping[str, Any]) -> SimulationRequest:
         fields["overhead"] = _overhead_from_document(document["overhead"])
     if "seed" in document:
         fields["seed"] = _require_int(document, "seed")
+    if "faults" in document:
+        fields["faults"] = _faults_from_document(document["faults"])
     if "tenant" in document:
         fields["tenant"] = document["tenant"]
     if "stream" in document:
@@ -247,6 +256,15 @@ def _overhead_from_document(document: Any) -> NanosOverheadModel:
         return NanosOverheadModel(**document)
     except (TypeError, ValueError) as error:
         raise ProtocolError(f"invalid overhead model: {error}") from error
+
+
+def _faults_from_document(document: Any) -> Tuple[Any, ...]:
+    if not isinstance(document, list):
+        raise ProtocolError("'faults' must be a list of scenario objects")
+    try:
+        return faults_from_documents(document)
+    except (FaultConfigurationError, TypeError, ValueError) as error:
+        raise ProtocolError(f"invalid fault scenario: {error}") from error
 
 
 def _stream_from_document(document: Any) -> StreamOptions:

@@ -460,7 +460,7 @@ class SimulationServer:
             return Rejection(
                 code=REJECT_BAD_REQUEST, message=str(error), tenant="?"
             )
-        admitted = self.admission.admit(request.tenant)
+        admitted = self.admission.admit(request.tenant, faulted=bool(request.faults))
         if isinstance(admitted, Rejection):
             self.metrics.record_rejected(admitted.code)
             return admitted
@@ -474,6 +474,8 @@ class SimulationServer:
             )
         record = self.registry.add(session_id, request.tenant, session, admitted)
         self.metrics.record_admitted()
+        if request.faults:
+            self.metrics.record_faulted_session()
         return record
 
     async def _handle_restore(
@@ -543,7 +545,7 @@ class SimulationServer:
         except Exception as error:
             self.metrics.record_rejected(REJECT_BAD_REQUEST)
             return Rejection(code=REJECT_BAD_REQUEST, message=str(error), tenant="?")
-        admitted = self.admission.admit(request.tenant)
+        admitted = self.admission.admit(request.tenant, faulted=bool(request.faults))
         if isinstance(admitted, Rejection):
             self.metrics.record_rejected(admitted.code)
             return admitted
@@ -558,6 +560,8 @@ class SimulationServer:
         record = self.registry.add(session_id, request.tenant, session, admitted)
         record.restored = True
         self.metrics.record_admitted()
+        if request.faults:
+            self.metrics.record_faulted_session()
         return record, snapshot
 
     async def _handle_checkpoint(
@@ -693,15 +697,20 @@ class SimulationServer:
             session.request
         )
         session_id = record.session_id
+        faulted = bool(session.request.faults)
         try:
             result = None
             cached = False
-            if self.cache is not None and not record.restored:
+            if self.cache is not None and not record.restored and not faulted:
                 # Restored sessions bypass the read-through: a cache hit
                 # would replay the whole event stream, but a mid-run
                 # restore owes the client only the cycles after the
                 # captured boundary.  Write-behind below still applies --
                 # the finished run's result is cache-identical either way.
+                # Faulted sessions skip the cache entirely (read and
+                # write): FaultInjected/FaultRecovered events exist only
+                # in the live lifecycle stream, so a cached replay would
+                # silently drop them.
                 record.cache_key = service_cache_key(session.request)
                 result = await asyncio.to_thread(self.cache.get, record.cache_key)
                 cached = result is not None
@@ -729,10 +738,15 @@ class SimulationServer:
                     # so same-loop peers always get a turn.
                     await asyncio.sleep(0)
                 result = session.result()
-                if self.cache is not None:
+                if self.cache is not None and not faulted:
                     if record.cache_key is None:
                         record.cache_key = service_cache_key(session.request)
                     self._write_behind(record.cache_key, result)
+            if faulted:
+                self.metrics.record_fault_events(
+                    int(result.counters.get("faults_injected", 0)),
+                    int(result.counters.get("faults_recovered", 0)),
+                )
             if events:
                 await self._stream_events(session_id, events, event_batch, out)
             await out.put(

@@ -39,6 +39,8 @@ from repro.sim.request import (
 )
 from repro.sim.results import SimulationResult, TaskTimeline
 from repro.sim.session import (
+    FaultInjected,
+    FaultRecovered,
     SessionEvent,
     SessionSlice,
     SessionStats,
@@ -59,6 +61,8 @@ from repro.sim.worker import WorkerPool
 __all__ = [
     "BUILTIN_BACKENDS",
     "EventQueue",
+    "FaultInjected",
+    "FaultRecovered",
     "HILMode",
     "HILSimulator",
     "InlineProgramRef",

@@ -56,7 +56,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: The request parameters a backend may declare in its ``accepts`` set
 #: (``program`` and ``num_workers`` are universal and always passed).
 REQUEST_PARAMETERS: FrozenSet[str] = frozenset(
-    {"config", "dm_design", "policy", "overhead", "seed"}
+    {"config", "dm_design", "policy", "overhead", "seed", "faults"}
 )
 
 

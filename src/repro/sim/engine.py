@@ -503,6 +503,40 @@ class HeapEventQueue:
             yield event
 
 
+def intercept_handlers(
+    handlers: Mapping[str, Callable[[Any, int], None]],
+    intercept: Callable[[str, Any, int, Callable[[Any, int], None]], None],
+) -> Dict[str, Callable[[Any, int], None]]:
+    """Route every delivery of a handler table through ``intercept``.
+
+    The engine-side half of the fault-injection layer (see
+    ``repro.faults``): returns a *new* table whose entries call
+    ``intercept(kind, payload, time, original_handler)`` instead of the
+    handler directly, leaving the interceptor free to withhold, defer or
+    duplicate the delivery.  The input table is not mutated and dispatch
+    itself is untouched, so a run that never wraps its table -- the
+    default -- dispatches through exactly the same handlers as before;
+    this is what keeps unfaulted runs cycle-identical (the injection
+    layer is zero-cost when off).
+
+    Note for interceptor authors: the *batched* simulator loops drain
+    same-kind events internally via :meth:`EventQueue.pop_same_kind`,
+    which bypasses dispatch-level interception -- wrap only tables whose
+    handlers deliver one event per call (armed fault plans force the
+    reference event-per-event loops for exactly this reason).
+    """
+
+    def make(
+        kind: str, handler: Callable[[Any, int], None]
+    ) -> Callable[[Any, int], None]:
+        def deliver(payload: Any, time: int) -> None:
+            intercept(kind, payload, time, handler)
+
+        return deliver
+
+    return {kind: make(kind, handler) for kind, handler in handlers.items()}
+
+
 def dispatch_events(
     events: Iterable[Event],
     handlers: Mapping[str, Callable[[Any, int], None]],

@@ -55,7 +55,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import DMDesign, PicosConfig
 from repro.core.picos import PicosAccelerator, SubmitStatus
@@ -71,6 +71,10 @@ from repro.sim.engine import EventQueue
 from repro.sim.results import SimulationResult, TaskTimeline
 from repro.sim.session import EngineStepper
 from repro.sim.worker import WorkerPool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import ArmedFault, FaultPlan
+    from repro.faults.scenario import FaultScenario
 
 
 class HILMode(enum.Enum):
@@ -146,6 +150,7 @@ class HILSimulator:
         policy: SchedulingPolicy = SchedulingPolicy.FIFO,
         batch_completions: bool = True,
         batch_ready_events: bool = True,
+        faults: Sequence["FaultScenario"] = (),
     ) -> None:
         if num_workers < 1:
             raise ValueError("at least one worker is required")
@@ -234,6 +239,23 @@ class HILSimulator:
             _JOB_DISPATCH: self._on_master_dispatched,
             _JOB_FINISH: self._on_master_finished,
         }
+        #: Armed fault scenarios, if any (see ``repro.faults``).  The
+        #: default run never constructs a plan and dispatches through the
+        #: exact same handler tables as before -- the injection layer is
+        #: zero-cost when off and golden digests stay bit-identical.
+        self._fault_plan: Optional["FaultPlan"] = None
+        if faults:
+            from repro.faults.plan import FaultPlan
+
+            # Armed runs take the reference event-per-event loops so that
+            # every delivery flows through the injection layer (the batched
+            # twins drain same-kind runs internally via ``pop_same_kind``,
+            # bypassing dispatch-level interception).  The twins are
+            # parity-pinned cycle-identical, so this changes nothing but
+            # the hook coverage.
+            self.batch_completions = False
+            self.batch_ready_events = False
+            self._fault_plan = FaultPlan(tuple(faults), _HIL_FAULT_ADAPTER, self)
 
     # ------------------------------------------------------------------
     # public entry point
@@ -278,6 +300,8 @@ class HILSimulator:
                 # The ARM core pays a one-time platform start-up cost before
                 # the first task is created.
                 self._kick_master(self.config.hil_startup_cycles)
+            if self._fault_plan is not None:
+                self._fault_plan.arm(0)
 
         # Precomputed handler table: one dict hit per event instead of a
         # string-comparison ladder (this loop delivers hundreds of
@@ -297,6 +321,8 @@ class HILSimulator:
                 else self._on_master_done
             ),
         }
+        if self._fault_plan is not None:
+            handlers = self._fault_plan.wrap(handlers)
         self.queue.dispatch(handlers, horizon=stop_at_cycle)
 
     def enable_lifecycle_log(self) -> List[Tuple[int, int, int]]:
@@ -688,6 +714,12 @@ class HILSimulator:
         else:
             counters["picos_new_path_busy_until"] = self._picos_new_free_at
             counters["picos_finish_path_busy_until"] = self._picos_finish_free_at
+        plan = self._fault_plan
+        if plan is not None:
+            counters["faults_injected"] = plan.injected
+            counters["faults_recovered"] = plan.recovered
+            if not aborted:
+                plan.verify()
         return SimulationResult(
             simulator=f"picos-{self.mode.value}",
             program_name=self.program.name,
@@ -699,6 +731,146 @@ class HILSimulator:
             counters=counters,
             drain_time=self.queue.now,
         )
+
+
+class _HILFaultAdapter:
+    """HIL half of the fault-injection adapter protocol.
+
+    See the protocol definition in :mod:`repro.faults.plan`.  This object
+    owns every backend-specific decision of a faulted HIL run: which
+    engine kinds the backend-independent packet classes map to, how task
+    ids hide inside payloads, and how a worker core is killed -- the
+    in-flight task is discarded from the dead core and re-enters the
+    scheduler, travelling the existing ARM dispatch (gateway retry) path
+    to a replacement core.
+    """
+
+    family = "hil"
+    #: DCT ready notifications / worker completions / ARM master events.
+    packet_classes = {
+        "ready": _EV_TASK_VISIBLE,
+        "complete": _EV_WORKER_DONE,
+        "master": _EV_MASTER_DONE,
+    }
+    default_packet_class = "ready"
+    completion_kind = _EV_WORKER_DONE
+
+    @staticmethod
+    def task_id_of(kind: str, payload: object) -> int:
+        if kind == _EV_TASK_VISIBLE:
+            return payload if isinstance(payload, int) else -1
+        if kind == _EV_WORKER_DONE:
+            return payload[1]  # type: ignore[index]
+        if kind == _EV_MASTER_DONE:
+            job_kind, job_payload = payload  # type: ignore[misc]
+            if job_kind == _JOB_CREATE:
+                return job_payload.task_id
+            if job_kind == _JOB_DISPATCH:
+                return job_payload[0]
+            return job_payload  # a finish job carries the bare task id
+        return -1
+
+    @staticmethod
+    def worker_count(sim: "HILSimulator") -> int:
+        return sim.num_workers
+
+    @staticmethod
+    def stall_counters(sim: "HILSimulator") -> Dict[str, int]:
+        return sim.accel.stats.as_dict()
+
+    @staticmethod
+    def timelines_of(sim: "HILSimulator") -> Dict[int, TaskTimeline]:
+        return sim._timelines
+
+    @staticmethod
+    def _worker_done_pending(
+        sim: "HILSimulator", worker_id: int, task_id: int
+    ) -> bool:
+        """Whether the completion of ``(worker, task)`` is already queued,
+        i.e. the worker is genuinely *executing* (not merely reserved with
+        its dispatch message still in flight through the ARM core)."""
+        target = (worker_id, task_id)
+        current, buckets = sim.queue.snapshot_events()
+        for event in current:
+            if event.kind == _EV_WORKER_DONE and event.payload == target:
+                return True
+        for _time, events in buckets:
+            for event in events:
+                if event.kind == _EV_WORKER_DONE and event.payload == target:
+                    return True
+        return False
+
+    def kill_worker(
+        self, sim: "HILSimulator", plan: "FaultPlan", armed: "ArmedFault", now: int
+    ) -> None:
+        from repro.faults.payloads import TIMER_KILL
+
+        worker_id = armed.scenario.target.worker_id
+        assert worker_id is not None
+        task_id = sim.workers.state(worker_id).current_task
+        if task_id is None:
+            # An idle core is swapped for its hot spare on the spot: the
+            # fault is injected and recovered in the same cycle.
+            plan.record_injected(now, -1, armed)
+            plan.record_recovered(now, -1, armed)
+            return
+        if not self._worker_done_pending(sim, worker_id, task_id):
+            # Reserved, but the dispatch message is still in flight
+            # through the ARM core; the kill lands once execution has
+            # actually started (bounded by the comm latency).
+            plan.schedule_timer(armed, now + 1, TIMER_KILL)
+            return
+        plan.record_injected(now, task_id, armed)
+        # The dead core's completion message must never be believed ...
+        armed.killed.add((worker_id, task_id))
+        # ... and its in-flight task re-enters the scheduler, travelling
+        # the existing dispatch (gateway retry) path to a fresh core.
+        armed.awaiting.add(task_id)
+        sim.workers.release(worker_id)
+        sim.ready.push(task_id)
+        sim._try_dispatch(now)
+        sim._kick_master(now)
+
+    @staticmethod
+    def rejoin_worker(
+        sim: "HILSimulator",
+        plan: "FaultPlan",
+        armed: "ArmedFault",
+        worker: Optional[int],
+        now: int,
+    ) -> None:  # pragma: no cover - the HIL kill path swaps cores instantly
+        raise RuntimeError("the HIL kill path never schedules a rejoin")
+
+    @staticmethod
+    def intercept_completion(
+        sim: "HILSimulator",
+        plan: "FaultPlan",
+        armed: "ArmedFault",
+        payload: Tuple[int, int],
+        now: int,
+    ) -> bool:
+        pair = (payload[0], payload[1])
+        if pair in armed.killed:
+            armed.killed.discard(pair)
+            return True  # stale completion of the dead core
+        task_id = payload[1]
+        if task_id in armed.awaiting:
+            armed.awaiting.discard(task_id)
+            plan.record_recovered(now, task_id, armed)
+        return False
+
+    @staticmethod
+    def completion_delivered(
+        sim: "HILSimulator",
+        plan: "FaultPlan",
+        armed: "ArmedFault",
+        payload: Tuple[int, int],
+        now: int,
+    ) -> None:
+        return None
+
+
+_HIL_FAULT_ADAPTER = _HILFaultAdapter()
 
 
 class HILStepper(EngineStepper):
@@ -722,7 +894,7 @@ class HILBackend:
 
     #: Request parameters this backend understands (see
     #: :func:`repro.sim.backend.backend_accepted_parameters`).
-    accepts = frozenset({"config", "dm_design", "policy"})
+    accepts = frozenset({"config", "dm_design", "policy", "faults"})
 
     def __init__(self, mode: HILMode) -> None:
         self.mode = mode
@@ -745,6 +917,7 @@ class HILBackend:
         config: Optional[PicosConfig] = None,
         dm_design: Optional[DMDesign] = None,
         policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+        faults: Sequence["FaultScenario"] = (),
         **kwargs: object,
     ) -> HILStepper:
         """A resumable sliced run with the same defaults as :meth:`simulate`."""
@@ -760,6 +933,7 @@ class HILBackend:
                 mode=self.mode,
                 num_workers=num_workers,
                 policy=policy,
+                faults=faults,
             )
         )
 
@@ -771,6 +945,7 @@ class HILBackend:
         config: Optional[PicosConfig] = None,
         dm_design: Optional[DMDesign] = None,
         policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+        faults: Sequence["FaultScenario"] = (),
         **kwargs: object,
     ) -> SimulationResult:
         if config is None:
@@ -784,6 +959,7 @@ class HILBackend:
             mode=self.mode,
             num_workers=num_workers,
             policy=policy,
+            faults=faults,
         ).run()
 
 

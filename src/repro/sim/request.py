@@ -45,6 +45,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, U
 from repro.core.config import DMDesign, PicosConfig
 from repro.core.hashing import fingerprint_mapping, stable_digest
 from repro.core.scheduler import SchedulingPolicy
+from repro.faults.scenario import FaultScenario
 from repro.runtime.overhead import NanosOverheadModel
 from repro.runtime.task import TaskProgram
 
@@ -223,6 +224,7 @@ _CHECKED_PARAMETERS: Tuple[str, ...] = (
     "policy",
     "overhead",
     "seed",
+    "faults",
 )
 from repro.sim.backend import REQUEST_PARAMETERS as _REQUEST_PARAMETERS  # noqa: E402
 
@@ -288,6 +290,11 @@ class SimulationRequest:
     seed:
         Random seed, reserved for stochastic plug-in backends; the five
         built-in simulators are deterministic and do not accept it.
+    faults:
+        Armed fault scenarios (:class:`repro.faults.FaultScenario`),
+        injected deterministically by the engine-driven backends; the
+        analytical ``perfect`` backend rejects them.  Part of the cache
+        key: a faulted run is a different simulation.
     tenant:
         Accounting identity for the serving layer (admission control and
         quotas, :mod:`repro.service`); has no effect on the simulation and
@@ -306,10 +313,21 @@ class SimulationRequest:
     policy: SchedulingPolicy = SchedulingPolicy.FIFO
     overhead: Optional[NanosOverheadModel] = None
     seed: Optional[int] = None
+    faults: Tuple[FaultScenario, ...] = ()
     tenant: str = DEFAULT_TENANT
     stream: Optional[StreamOptions] = None
 
     def __post_init__(self) -> None:
+        if not isinstance(self.faults, tuple):
+            # Accept any sequence of scenarios; canonicalize to a tuple so
+            # the request stays hashable and order-stable.
+            object.__setattr__(self, "faults", tuple(self.faults))
+        for scenario in self.faults:
+            if not isinstance(scenario, FaultScenario):
+                raise TypeError(
+                    "faults must be FaultScenario instances "
+                    f"(got {type(scenario).__name__})"
+                )
         if not isinstance(self.backend, str) or not self.backend:
             raise ValueError("a request needs a non-empty backend name")
         if self.num_workers < 1:
@@ -476,6 +494,10 @@ class SimulationRequest:
             )
         if self.seed is not None:
             parts.append(("seed", self.seed))
+        if self.faults:
+            parts.append(
+                ("faults", tuple(sc.cache_token() for sc in self.faults))
+            )
         parts.extend(suffix)
         return stable_digest(*parts)
 

@@ -84,10 +84,32 @@ class TaskRetired(SessionEvent):
     kind: ClassVar[str] = "retired"
 
 
-_EVENT_ORDER = {TaskSubmitted.kind: 0, TaskReady.kind: 1, TaskRetired.kind: 2}
+class FaultInjected(SessionEvent):
+    """An armed fault scenario fired (``task_id`` is ``-1`` when the
+    fault targets a worker or bank rather than a specific task)."""
+
+    kind: ClassVar[str] = "fault-injected"
+
+
+class FaultRecovered(SessionEvent):
+    """A previously injected fault completed its recovery action."""
+
+    kind: ClassVar[str] = "fault-recovered"
+
+
+#: In-cycle delivery order; the numeric values double as the lifecycle-log
+#: order codes (``repro.faults.plan`` appends its entries with codes 3/4 --
+#: keep ``LOG_FAULT_INJECTED``/``LOG_FAULT_RECOVERED`` there in lockstep).
+_EVENT_ORDER = {
+    TaskSubmitted.kind: 0,
+    TaskReady.kind: 1,
+    TaskRetired.kind: 2,
+    FaultInjected.kind: 3,
+    FaultRecovered.kind: 4,
+}
 
 #: Event class per lifecycle-log order value (see stepper contract below).
-_EVENT_CLASSES = (TaskSubmitted, TaskReady, TaskRetired)
+_EVENT_CLASSES = (TaskSubmitted, TaskReady, TaskRetired, FaultInjected, FaultRecovered)
 
 
 def lifecycle_events(result: SimulationResult) -> List[SessionEvent]:
@@ -96,6 +118,13 @@ def lifecycle_events(result: SimulationResult) -> List[SessionEvent]:
     Derived from the per-task timelines; simultaneous events are ordered
     submitted < ready < retired, then by task id, so the stream is fully
     deterministic.
+
+    Fault events are *streaming-only*: a faulted run's
+    :class:`FaultInjected` / :class:`FaultRecovered` events are observed
+    live through the sliced :meth:`SimulationSession.advance` stream (they
+    come from the simulator's lifecycle log), but cannot be reconstructed
+    from a finished result's timelines -- which is also why the service
+    never serves a faulted run from its result cache.
     """
     events: List[SessionEvent] = []
     for timeline in result.timelines.values():
@@ -132,7 +161,8 @@ class SessionSlice:
     horizon: int
     #: Lifecycle events that became final inside this slice, in global
     #: stream order (concatenating every slice's events reproduces
-    #: :func:`lifecycle_events` exactly).
+    #: :func:`lifecycle_events` exactly; a faulted run additionally
+    #: interleaves its streaming-only fault events).
     events: Tuple[SessionEvent, ...]
 
 

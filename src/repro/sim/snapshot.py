@@ -89,6 +89,7 @@ from repro.core.reference.dependence_memory import DMWay
 from repro.core.reference.task_memory import DependenceSlot, TaskEntry
 from repro.core.reference.version_memory import VersionEntry
 from repro.core.stats import PicosStats
+from repro.faults.payloads import FaultRedeliver, FaultTimer
 from repro.runtime.nanos import NanosRuntimeSimulator
 from repro.runtime.task import Task, TaskProgram
 from repro.sim.engine import Event
@@ -151,9 +152,10 @@ class SnapshotError(RuntimeError):
 # ----------------------------------------------------------------------
 # Engine event payloads are a small closed vocabulary: ``None``, a bare
 # int, an int list (ready-task cycle-cluster), an int pair (worker/task),
-# or a master job ``(kind, sub)`` whose sub-payload is a Task (create), an
-# int pair (dispatch) or an int (finish).  Ints travel raw; everything
-# else is tagged so the decoder needs no knowledge of the event kind.
+# a master job ``(kind, sub)`` whose sub-payload is a Task (create), an
+# int pair (dispatch) or an int (finish), or -- in a faulted run -- a
+# fault timer / pending redelivery.  Ints travel raw; everything else is
+# tagged so the decoder needs no knowledge of the event kind.
 def _payload_to_document(payload: Any) -> Any:
     if payload is None:
         return ["none"]
@@ -168,6 +170,10 @@ def _payload_to_document(payload: Any) -> Any:
         return ["t", first, second]
     if isinstance(payload, Task):
         return ["task", payload.task_id]
+    if isinstance(payload, FaultTimer):
+        return ["fto", payload.index, payload.tag, payload.arg]
+    if isinstance(payload, FaultRedeliver):
+        return ["frd", payload.index, payload.kind, _payload_to_document(payload.payload)]
     raise SnapshotError(f"unencodable event payload: {payload!r}")
 
 
@@ -185,6 +191,12 @@ def _payload_from_document(document: Any, program: TaskProgram) -> Any:
         return program.task(document[1])
     if tag == "j":
         return (document[1], _payload_from_document(document[2], program))
+    if tag == "fto":
+        return FaultTimer(document[1], document[2], document[3])
+    if tag == "frd":
+        return FaultRedeliver(
+            document[1], document[2], _payload_from_document(document[3], program)
+        )
     raise SnapshotError(f"unknown payload tag {tag!r}")
 
 
@@ -814,9 +826,40 @@ def _restore_workers(pool: Any, document: Dict[str, Any]) -> None:
 # ----------------------------------------------------------------------
 # simulator codecs
 # ----------------------------------------------------------------------
+def _fault_plan_document(sim: Any, document: Dict[str, Any]) -> Dict[str, Any]:
+    """Attach the armed-fault state under the optional ``faults`` key.
+
+    Unfaulted runs get no key at all, so their state documents (and
+    therefore snapshot digests) are byte-identical to the pre-fault
+    schema -- which is why ``SNAPSHOT_VERSION`` did not bump.
+    """
+    plan = sim._fault_plan
+    if plan is not None:
+        document["faults"] = plan.snapshot_state()
+    return document
+
+
+def _restore_fault_plan(sim: Any, state: Dict[str, Any]) -> None:
+    plan = sim._fault_plan
+    document = state.get("faults")
+    if document is None:
+        if plan is not None:
+            raise SnapshotError(
+                "the restore request arms fault scenarios but the snapshot "
+                "carries no armed-fault state"
+            )
+        return
+    if plan is None:
+        raise SnapshotError(
+            "snapshot carries armed-fault state but the restore request "
+            "arms no fault scenarios"
+        )
+    plan.restore_state(document)
+
+
 def _hil_state_document(sim: HILSimulator) -> Dict[str, Any]:
     log = sim._lifecycle_log
-    return {
+    return _fault_plan_document(sim, {
         "simulator": "hil",
         "queue": _queue_document(sim.queue),
         "timelines": _timelines_document(sim._timelines),
@@ -834,7 +877,7 @@ def _hil_state_document(sim: HILSimulator) -> Dict[str, Any]:
         "ready": _scheduler_document(sim.ready),
         "workers": _workers_document(sim.workers),
         "accel": _accel_document(sim.accel),
-    }
+    })
 
 
 def _restore_hil(sim: HILSimulator, state: Dict[str, Any]) -> None:
@@ -859,11 +902,12 @@ def _restore_hil(sim: HILSimulator, state: Dict[str, Any]) -> None:
     _restore_scheduler(sim.ready, state["ready"])
     _restore_workers(sim.workers, state["workers"])
     _restore_accel(sim.accel, state["accel"], program)
+    _restore_fault_plan(sim, state)
 
 
 def _nanos_state_document(sim: NanosRuntimeSimulator) -> Dict[str, Any]:
     log = sim._lifecycle_log
-    return {
+    return _fault_plan_document(sim, {
         "simulator": "nanos",
         "queue": _queue_document(sim.queue),
         "timelines": _timelines_document(sim._timelines),
@@ -880,7 +924,7 @@ def _nanos_state_document(sim: NanosRuntimeSimulator) -> Dict[str, Any]:
         "ready_pool": list(sim._ready_pool),
         "finished": sim._finished,
         "makespan": sim._makespan,
-    }
+    })
 
 
 def _restore_nanos(sim: NanosRuntimeSimulator, state: Dict[str, Any]) -> None:
@@ -900,6 +944,7 @@ def _restore_nanos(sim: NanosRuntimeSimulator, state: Dict[str, Any]) -> None:
     sim._ready_pool = deque(state["ready_pool"])
     sim._finished = state["finished"]
     sim._makespan = state["makespan"]
+    _restore_fault_plan(sim, state)
 
 
 def _simulator_state_document(sim: Any) -> Dict[str, Any]:

@@ -9,8 +9,9 @@ module (imported as ``tests.helpers``) removes the collision.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
 
+from repro.core.config import DMDesign, PicosConfig
 from repro.core.picos import PicosAccelerator
 from repro.runtime.task import Dependence, Direction, Task, TaskProgram
 
@@ -41,6 +42,82 @@ def make_program(spec: Sequence[Sequence[tuple]], durations: Sequence[int] = (),
         duration = durations[index] if index < len(durations) else 10
         program.add_task(make_task(index, deps, duration=duration))
     return program
+
+
+class SaturationCase(NamedTuple):
+    """One capacity-corner setup shared by the failure-injection tests and
+    the fault matrix: a deliberately tiny accelerator configuration plus a
+    program shaped to saturate it."""
+
+    config: PicosConfig
+    build_program: Callable[[], TaskProgram]
+    #: HIL worker count the case is exercised with.
+    workers: int
+    #: Hardware counter expected to be non-zero under HW-only simulation
+    #: (``None`` when the corner saturates silently).
+    stall_counter: Optional[str]
+
+
+def _tiny_tm_program() -> TaskProgram:
+    return make_program(
+        [[(0x1000, Direction.INOUT)]] * 10 + [[]] * 5, name="tiny-tm"
+    )
+
+
+def _tiny_vm_program() -> TaskProgram:
+    return make_program([[(0x2000, Direction.OUT)]] * 20, name="tiny-vm")
+
+
+def _tiny_dm_program() -> TaskProgram:
+    spec = [[(0x1000 * (i + 1), Direction.INOUT)] for i in range(30)]
+    return make_program(spec, name="tiny-dm")
+
+
+def _tiny_everything_program() -> TaskProgram:
+    spec = []
+    for i in range(25):
+        spec.append(
+            [
+                (0x1000 * ((i % 5) + 1), Direction.INOUT),
+                (0x1000 * ((i % 3) + 6), Direction.IN),
+            ]
+        )
+    return make_program(spec, name="tiny-everything")
+
+
+def _burst_program() -> TaskProgram:
+    return make_program([[]] * 64, durations=[40_000] * 64, name="burst")
+
+
+#: The capacity corners, by name.  ``tests/test_failure_injection.py``
+#: parametrizes its exhaustion matrix over these, and
+#: ``tests/test_faults.py`` arms fault scenarios against the same setups
+#: so chaos is exercised under resource saturation too.
+SATURATION_CASES: Dict[str, SaturationCase] = {
+    "tiny-tm": SaturationCase(
+        PicosConfig(tm_entries=1), _tiny_tm_program, 4, "tm_full_stalls"
+    ),
+    "tiny-vm": SaturationCase(
+        PicosConfig(vm_entries=2), _tiny_vm_program, 2, None
+    ),
+    "tiny-dm": SaturationCase(
+        PicosConfig(dm_sets=1, dm_design=DMDesign.WAY8),
+        _tiny_dm_program,
+        2,
+        "dm_conflicts",
+    ),
+    "tiny-everything": SaturationCase(
+        PicosConfig(tm_entries=2, vm_entries=3, dm_sets=1, max_deps_per_task=3),
+        _tiny_everything_program,
+        4,
+        None,
+    ),
+    "burst": SaturationCase(
+        PicosConfig(tm_entries=4), _burst_program, 2, None
+    ),
+}
+
+SATURATION_CASE_NAMES = tuple(SATURATION_CASES)
 
 
 def drain_functional(accelerator: PicosAccelerator, program: TaskProgram) -> List[int]:

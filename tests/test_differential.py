@@ -31,7 +31,12 @@ backends.  Four families of invariants pin the whole stack:
   cycle and restoring it (and checkpointing the *restored* run again at a
   later drawn cycle) yields results field-for-field identical to the
   uninterrupted run, for every backend.  Both CI replays cover it, so the
-  invariant holds under the flat and the reference datapath alike.
+  invariant holds under the flat and the reference datapath alike;
+* **faulted determinism** -- a fuzz-drawn fault plan (worker kill + seeded
+  event-level chaos) replays field-for-field identically from the same
+  seeds, on both HIL datapaths, and a checkpoint taken mid-fault restores
+  into exactly the straight faulted run (the CI ``fault-matrix`` job
+  replays this family under ``REPRO_REFERENCE_DATAPATH=1`` as well).
 
 Run deterministically with ``pytest tests/test_differential.py
 --hypothesis-seed=0`` (the CI job does exactly that).
@@ -54,6 +59,7 @@ from hypothesis import given, settings, strategies as st  # noqa: E402
 
 import repro
 from repro.core.config import DMDesign, PicosConfig
+from repro.faults import FaultKind, FaultScenario, FaultTarget, FaultTrigger
 from repro.runtime.dependence_analysis import build_task_graph
 from repro.sim.backend import BUILTIN_BACKENDS
 from repro.sim.driver import simulate_request
@@ -217,6 +223,137 @@ class TestSnapshotRestoreEquivalence:
                 straight
             ), f"{backend}: snapshot-of-a-restored-run diverged"
             assert pre + mid + tail == straight_events
+
+
+#: A fuzzed fault plan: one timer-armed kill plus one event-level chaos
+#: scenario, every knob drawn -- the seed-pinned determinism contract must
+#: hold for whatever combination hypothesis invents.
+fault_params = st.fixed_dictionaries(
+    {
+        "kill_cycle": st.integers(min_value=1, max_value=5_000),
+        "kill_worker": st.integers(min_value=0, max_value=1),
+        "event_kind": st.sampled_from(
+            ["delay-event", "drop-event", "duplicate-event"]
+        ),
+        "probability": st.floats(min_value=0.05, max_value=0.5),
+        "seed": st.integers(min_value=0, max_value=2**16),
+        "fires": st.integers(min_value=1, max_value=4),
+        "delay": st.integers(min_value=1, max_value=300),
+        "jitter": st.integers(min_value=0, max_value=60),
+    }
+)
+
+#: Backends with an injection layer (the perfect backend rejects faults).
+FAULTED_BACKENDS = ("hil-full", "hil-hw", "nanos")
+
+
+def _fault_plan(fault):
+    from repro.faults import RecoveryPolicy
+
+    return (
+        FaultScenario(
+            FaultKind.KILL_WORKER,
+            FaultTrigger(at_cycle=fault["kill_cycle"]),
+            FaultTarget(worker_id=fault["kill_worker"]),
+        ),
+        FaultScenario(
+            FaultKind(fault["event_kind"]),
+            FaultTrigger(
+                probability=fault["probability"],
+                seed=fault["seed"],
+                max_fires=fault["fires"],
+            ),
+            FaultTarget(packet_class="ready"),
+            RecoveryPolicy(
+                delay_cycles=fault["delay"], jitter_cycles=fault["jitter"]
+            ),
+        ),
+    )
+
+
+class TestFaultedDeterminism:
+    """Seed-pinned replay of faulted runs, fuzzed over graphs and plans."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(params=graph_params, fault=fault_params)
+    def test_same_seed_and_plan_is_identical_on_both_datapaths(
+        self, params, fault
+    ):
+        """Same seed + same fault plan => field-for-field identical results,
+        and (for HIL) identical across the flat and reference datapaths."""
+        program = random_program(**params)
+        faults = _fault_plan(fault)
+        num_workers = 3  # >= kill_worker + 2, so nanos keeps a killable pool
+        for backend in FAULTED_BACKENDS:
+            request = SimulationRequest.for_program(
+                program, backend=backend, num_workers=num_workers, faults=faults
+            )
+            first = simulate_request(request)
+            second = simulate_request(request)
+            assert dataclasses.asdict(first) == dataclasses.asdict(second), (
+                f"{backend}: faulted replay diverged"
+            )
+            assert first.completed_all()
+            if backend.startswith("hil"):
+                reference = simulate_request(
+                    SimulationRequest.for_program(
+                        program,
+                        backend=backend,
+                        num_workers=num_workers,
+                        faults=faults,
+                        config=PicosConfig(reference_datapath=True),
+                    )
+                )
+                assert dataclasses.asdict(reference) == dataclasses.asdict(
+                    first
+                ), f"{backend}: faulted datapaths diverged"
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        params=graph_params,
+        fault=fault_params,
+        cut=st.integers(min_value=1, max_value=2_000),
+    )
+    def test_checkpoint_mid_fault_equals_straight_faulted_run(
+        self, params, fault, cut
+    ):
+        """Snapshotting between fault injection and recovery (RNG streams,
+        armed-fault state, pending fault timers all mid-flight) and
+        restoring must replay exactly the straight faulted run -- including
+        the streamed FaultInjected/FaultRecovered events."""
+        program = random_program(**params)
+        faults = _fault_plan(fault)
+        for backend in FAULTED_BACKENDS:
+            request = SimulationRequest.for_program(
+                program, backend=backend, num_workers=3, faults=faults
+            )
+            straight_events = []
+            with open_session(request) as session:
+                while True:
+                    chunk = session.advance(cut)
+                    straight_events.extend(chunk.events)
+                    if chunk.finished:
+                        break
+                straight = session.result()
+
+            session = open_session(request)
+            pre = list(session.advance(cut).events)
+            snapshot = capture(session)
+            session.close()
+            restored = restore(snapshot)
+            post = []
+            while True:
+                chunk = restored.advance(cut)
+                post.extend(chunk.events)
+                if chunk.finished:
+                    break
+            assert dataclasses.asdict(restored.result()) == dataclasses.asdict(
+                straight
+            ), f"{backend}: restore at cycle {cut} diverged under faults"
+            assert pre + post == straight_events, (
+                f"{backend}: faulted event stream diverged across the "
+                f"checkpoint at cycle {cut}"
+            )
 
 
 class TestCacheKeyStability:

@@ -10,67 +10,50 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import DMDesign, PicosConfig
 from repro.core.picos import PicosAccelerator, SubmitStatus
 from repro.runtime.dependence_analysis import ready_order_is_valid
 from repro.runtime.task import Direction, Task
 from repro.sim.hil import HILMode, HILSimulator
 from repro.traces.trace import TaskTrace, TraceFormatError
 
-from tests.helpers import drain_functional, make_program, make_task
+from tests.helpers import (
+    SATURATION_CASE_NAMES,
+    SATURATION_CASES,
+    drain_functional,
+    make_program,
+    make_task,
+)
 
 
 class TestCapacityExhaustion:
-    def test_tm_exhaustion_with_single_entry(self):
-        """A one-entry Task Memory degenerates to serial execution but must
-        still complete any program."""
-        config = PicosConfig(tm_entries=1)
-        program = make_program(
-            [[(0x1000, Direction.INOUT)]] * 10 + [[]] * 5, name="tiny-tm"
-        )
-        result = HILSimulator(program, config=config, mode=HILMode.HW_ONLY, num_workers=4).run()
-        assert result.completed_all()
-        assert result.counters["tm_full_stalls"] > 0
+    """Every capacity corner must still complete (no Task Superscalar
+    deadlocks).  The setups live in :data:`tests.helpers.SATURATION_CASES`
+    so the fault matrix (``tests/test_faults.py``) arms its scenarios
+    against exactly the same saturated configurations."""
 
-    def test_vm_exhaustion_with_long_version_chain(self):
-        config = PicosConfig(vm_entries=2)
-        program = make_program([[(0x2000, Direction.OUT)]] * 20, name="tiny-vm")
-        accelerator = PicosAccelerator(config)
-        order = drain_functional(accelerator, program)
-        assert ready_order_is_valid(program, order)
-        assert accelerator.is_drained()
-
-    def test_dm_single_set_forces_conflicts_but_completes(self):
-        config = PicosConfig(dm_sets=1, dm_design=DMDesign.WAY8)
-        spec = [[(0x1000 * (i + 1), Direction.INOUT)] for i in range(30)]
-        program = make_program(spec, name="tiny-dm")
-        result = HILSimulator(program, config=config, mode=HILMode.HW_ONLY, num_workers=2).run()
-        assert result.completed_all()
-        assert result.counters["dm_conflicts"] > 0
-
-    def test_every_capacity_tiny_at_once(self):
-        config = PicosConfig(tm_entries=2, vm_entries=3, dm_sets=1, max_deps_per_task=3)
-        spec = []
-        for i in range(25):
-            spec.append(
-                [
-                    (0x1000 * ((i % 5) + 1), Direction.INOUT),
-                    (0x1000 * ((i % 3) + 6), Direction.IN),
-                ]
-            )
-        program = make_program(spec, name="tiny-everything")
-        accelerator = PicosAccelerator(config)
-        order = drain_functional(accelerator, program)
-        assert sorted(order) == list(range(25))
-        assert accelerator.is_drained()
-
-    def test_more_in_flight_tasks_than_tm_entries_in_full_system(self):
-        config = PicosConfig(tm_entries=4)
-        program = make_program([[]] * 64, durations=[40_000] * 64, name="burst")
+    @pytest.mark.parametrize("name", SATURATION_CASE_NAMES)
+    def test_saturated_config_completes_under_hil(self, name):
+        case = SATURATION_CASES[name]
+        mode = HILMode.FULL_SYSTEM if name == "burst" else HILMode.HW_ONLY
         result = HILSimulator(
-            program, config=config, mode=HILMode.FULL_SYSTEM, num_workers=2
+            case.build_program(),
+            config=case.config,
+            mode=mode,
+            num_workers=case.workers,
         ).run()
         assert result.completed_all()
+        if case.stall_counter is not None:
+            assert result.counters[case.stall_counter] > 0
+
+    @pytest.mark.parametrize("name", SATURATION_CASE_NAMES)
+    def test_saturated_config_drains_functionally(self, name):
+        case = SATURATION_CASES[name]
+        program = case.build_program()
+        accelerator = PicosAccelerator(case.config)
+        order = drain_functional(accelerator, program)
+        assert sorted(order) == list(range(program.num_tasks))
+        assert ready_order_is_valid(program, order)
+        assert accelerator.is_drained()
 
 
 class TestMalformedInputs:

@@ -24,6 +24,7 @@ from repro.lint import (
     run_lint,
 )
 from repro.lint.cli import main as lint_main
+from repro.lint.rules.faults import _enum_members, _registry_keys
 from repro.lint.rules.handlers import _kind_constants, _table_keys
 from repro.lint.rules.hotpath import HOT_PATH_CLASSES
 from repro.lint.rules.snapshot import SNAPSHOT_INVENTORY
@@ -58,6 +59,7 @@ class TestFramework:
             "DET002",
             "DET003",
             "DET004",
+            "FLT001",
             "HOT001",
             "HOT002",
             "HTB001",
@@ -384,6 +386,108 @@ class TestHandlerTableRule:
                 names = [name for name, _ in constants.get(family, [])]
                 assert len(names) == count, (key, family, names)
                 assert set(names) <= covered.get(family, set()), (key, family)
+
+
+# ----------------------------------------------------------------------
+# FLT: fault-registry completeness (cross-module)
+# ----------------------------------------------------------------------
+_FAULT_ENUM_SOURCE = (
+    "import enum\n"
+    "class FaultKind(enum.Enum):\n"
+    '    DELAY_EVENT = "delay-event"\n'
+    '    KILL_WORKER = "kill-worker"\n'
+)
+
+
+class TestFaultRegistryRule:
+    def test_missing_injector_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "faults/scenario.py": _FAULT_ENUM_SOURCE,
+                "faults/injectors.py": "INJECTORS = {FaultKind.DELAY_EVENT: 1}\n",
+                "faults/invariants.py": (
+                    "INVARIANT_CHECKERS = {FaultKind.DELAY_EVENT: 1, "
+                    "FaultKind.KILL_WORKER: 2}\n"
+                ),
+            },
+        )
+        assert rule_ids(findings) == ["FLT001"]
+        assert "KILL_WORKER" in findings[0].message
+        assert "injector" in findings[0].message
+
+    def test_missing_invariant_checker_flagged(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "faults/scenario.py": _FAULT_ENUM_SOURCE,
+                "faults/injectors.py": (
+                    "INJECTORS = {FaultKind.DELAY_EVENT: 1, "
+                    "FaultKind.KILL_WORKER: 2}\n"
+                ),
+                "faults/invariants.py": (
+                    "INVARIANT_CHECKERS = {FaultKind.DELAY_EVENT: 1}\n"
+                ),
+            },
+        )
+        assert rule_ids(findings) == ["FLT001"]
+        assert "KILL_WORKER" in findings[0].message
+        assert "invariant checker" in findings[0].message
+
+    def test_member_missing_from_both_registries_flagged_twice(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "faults/scenario.py": _FAULT_ENUM_SOURCE,
+                "faults/injectors.py": "INJECTORS = {FaultKind.DELAY_EVENT: 1}\n",
+                "faults/invariants.py": (
+                    "INVARIANT_CHECKERS = {FaultKind.DELAY_EVENT: 1}\n"
+                ),
+            },
+        )
+        assert rule_ids(findings) == ["FLT001", "FLT001"]
+
+    def test_complete_registries_clean(self, tmp_path):
+        findings = lint_tree(
+            tmp_path,
+            {
+                "faults/scenario.py": _FAULT_ENUM_SOURCE,
+                "faults/injectors.py": (
+                    "INJECTORS = {FaultKind.DELAY_EVENT: 1, "
+                    "FaultKind.KILL_WORKER: 2}\n"
+                ),
+                "faults/invariants.py": (
+                    "INVARIANT_CHECKERS = {FaultKind.DELAY_EVENT: 1, "
+                    "FaultKind.KILL_WORKER: 2}\n"
+                ),
+            },
+        )
+        assert findings == []
+
+    def test_real_fault_modules_are_covered_and_checked(self):
+        """Pin FLT001 against the real subsystem: the enum has members,
+        both registries exist, and every member is covered -- so the rule
+        verifiably checks something."""
+        import ast as ast_module
+
+        from repro.faults.injectors import INJECTORS
+        from repro.faults.invariants import INVARIANT_CHECKERS
+        from repro.faults.scenario import FaultKind
+
+        tree = ast_module.parse(
+            (PACKAGE_ROOT / "faults/scenario.py").read_text(encoding="utf-8")
+        )
+        members = _enum_members(tree)
+        assert set(members) == {member.name for member in FaultKind}
+        assert len(members) >= 5
+        for key in ("faults/injectors.py", "faults/invariants.py"):
+            registry_tree = ast_module.parse(
+                (PACKAGE_ROOT / key).read_text(encoding="utf-8")
+            )
+            assert _registry_keys(registry_tree) == set(members), key
+        # And the runtime registries agree with the syntactic view.
+        assert set(INJECTORS) == set(FaultKind)
+        assert set(INVARIANT_CHECKERS) == set(FaultKind)
 
 
 # ----------------------------------------------------------------------

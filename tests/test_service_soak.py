@@ -118,6 +118,176 @@ class TestHundredSessionSoak:
         assert metrics["sessions"]["failed"] == 0
 
 
+class TestFaultedTenantIsolation:
+    """One tenant's worker-death storm must not stall other tenants.
+
+    A ``chaos`` tenant opens several sessions each arming a storm of
+    kill-worker plus drop-event scenarios; plain tenants run the same
+    workload unfaulted concurrently.  Every stream -- faulted and not --
+    must complete with exact accounting, the unfaulted results must be
+    byte-identical to the batch path, and the ``faults`` section of the
+    HTTP ``/metrics`` endpoint must add up end-to-end.
+    """
+
+    CHAOS_SESSIONS = 6
+    PLAIN_SESSIONS = 6
+
+    @staticmethod
+    def _faulted_document():
+        document = dict(_request_document("hil-full"))
+        document["tenant"] = "chaos"
+        document["faults"] = [
+            {
+                "kind": "kill-worker",
+                "trigger": {"at_cycle": 40_000},
+                "target": {"worker": 0},
+            },
+            {
+                "kind": "kill-worker",
+                "trigger": {"at_cycle": 90_000},
+                "target": {"worker": 1},
+            },
+            {
+                "kind": "drop-event",
+                "trigger": {"probability": 0.05, "seed": 17, "max_fires": 4},
+                "target": {"class": "ready"},
+            },
+        ]
+        return document
+
+    async def _drive_faulted(self, port, document):
+        """Like :func:`_drive` but also counts streamed fault events and
+        returns the result's fault counters."""
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", port, limit=16 * 1024 * 1024
+        )
+        try:
+            await reader.readline()  # hello
+            writer.write(encode_frame({"type": "open", "request": document}))
+            await writer.drain()
+            accepted = decode_frame(await reader.readline())
+            assert accepted["type"] == "accepted", accepted
+            writer.write(encode_frame({"type": "run", "id": accepted["id"]}))
+            await writer.drain()
+            injected = recovered = 0
+            while True:
+                frame = decode_frame(await reader.readline())
+                if frame["type"] == "events":
+                    # Wire events are [cycle, kind_code, task_id]; codes 3/4
+                    # are fault-injected / fault-recovered.
+                    injected += sum(1 for event in frame["events"] if event[1] == 3)
+                    recovered += sum(1 for event in frame["events"] if event[1] == 4)
+                elif frame["type"] == "result":
+                    assert frame["cached"] is False
+                    counters = frame["result"]["counters"]
+                    return (
+                        injected,
+                        recovered,
+                        counters["faults_injected"],
+                        counters["faults_recovered"],
+                    )
+                else:
+                    raise AssertionError(f"unexpected frame {frame}")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _get_metrics(self, port):
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            writer.write(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            head, _, body = raw.partition(b"\r\n\r\n")
+            assert b"200" in head.split(b"\r\n", 1)[0]
+            return json.loads(body)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def test_worker_death_storm_does_not_stall_other_tenants(self):
+        plain_document = _request_document("hil-full")
+        want_result, want_events = _expected("hil-full")
+        faulted_document = self._faulted_document()
+
+        async def scenario():
+            server = SimulationServer(ServerConfig(port=0, http_port=0))
+            await server.start()
+            try:
+                jobs = [
+                    self._drive_faulted(server.tcp_port, faulted_document)
+                    for _ in range(self.CHAOS_SESSIONS)
+                ] + [
+                    _drive(server.tcp_port, plain_document)
+                    for _ in range(self.PLAIN_SESSIONS)
+                ]
+                outcomes = await asyncio.gather(*jobs)
+                metrics = await self._get_metrics(server.http_port)
+                return outcomes, metrics
+            finally:
+                await server.shutdown(drain=False)
+
+        outcomes, metrics = asyncio.run(scenario())
+        chaos = outcomes[: self.CHAOS_SESSIONS]
+        plain = outcomes[self.CHAOS_SESSIONS :]
+
+        # Faulted sessions: streamed fault events match counters exactly,
+        # and every session really injected (the storm is live).
+        total_injected = total_recovered = 0
+        for injected, recovered, counter_injected, counter_recovered in chaos:
+            assert injected == counter_injected
+            assert recovered == counter_recovered
+            assert injected == recovered
+            assert injected >= 1
+            total_injected += injected
+            total_recovered += recovered
+
+        # Plain tenants saw byte-identical streams despite the storm.
+        for got_result, got_events in plain:
+            assert got_result == want_result
+            assert got_events == want_events
+
+        # The /metrics fault section adds up end-to-end.
+        assert metrics["faults"]["faulted_sessions"] == self.CHAOS_SESSIONS
+        assert metrics["faults"]["injected"] == total_injected
+        assert metrics["faults"]["recovered"] == total_recovered
+        total = self.CHAOS_SESSIONS + self.PLAIN_SESSIONS
+        assert metrics["sessions"]["completed"] == total
+        assert metrics["sessions"]["failed"] == 0
+
+    def test_faulted_sessions_never_touch_the_shared_cache(self, tmp_path):
+        """Faulted runs skip the result cache (read and write): fault
+        events exist only in the live stream, so a cached replay would
+        silently drop them.  Two identical faulted sessions against a
+        cache-enabled server must both run live."""
+        faulted_document = self._faulted_document()
+
+        async def scenario():
+            server = SimulationServer(
+                ServerConfig(port=0, http_port=None, cache_dir=tmp_path)
+            )
+            await server.start()
+            try:
+                first = await self._drive_faulted(server.tcp_port, faulted_document)
+                second = await self._drive_faulted(server.tcp_port, faulted_document)
+                return first, second, server.metrics.snapshot()
+            finally:
+                await server.shutdown(drain=False)
+
+        first, second, metrics = asyncio.run(scenario())
+        assert first == second  # deterministic replay, not a cache hit
+        assert first[0] >= 1
+        assert metrics["cache"]["hits"] == 0
+        assert metrics["cache"]["misses"] == 0
+        assert metrics["cache"]["writes"] == 0
+
+
 class TestSlowConsumerIsolation:
     def test_a_stalled_reader_only_pauses_its_own_session(self):
         # A deliberately event-heavy request (~18k lifecycle events): far

@@ -221,9 +221,13 @@ class TestAcceptedParameters:
         assert backend_accepted_parameters(get_backend("hil-full")) == {
             "config",
             "dm_design",
+            "faults",
             "policy",
         }
-        assert backend_accepted_parameters(get_backend("nanos")) == {"overhead"}
+        assert backend_accepted_parameters(get_backend("nanos")) == {
+            "faults",
+            "overhead",
+        }
         assert backend_accepted_parameters(get_backend("perfect")) == frozenset()
 
     def test_legacy_backend_with_kwargs_accepts_everything(self):
@@ -283,9 +287,10 @@ class TestSimulateKwargs:
             "num_workers",
             "config",
             "dm_design",
+            "faults",
             "policy",
         }
         nanos = SimulationRequest.for_program(diamond_program, backend="nanos")
-        assert set(nanos.simulate_kwargs()) == {"num_workers", "overhead"}
+        assert set(nanos.simulate_kwargs()) == {"num_workers", "overhead", "faults"}
         perfect = SimulationRequest.for_program(diamond_program, backend="perfect")
         assert set(perfect.simulate_kwargs()) == {"num_workers"}
